@@ -1,0 +1,392 @@
+(* The `dangers` command-line interface.
+
+   Subcommands:
+     list                      enumerate experiments
+     experiment [IDS..]        regenerate paper tables/figures
+     analytic                  print the closed-form predictions for a
+                               parameter point (all schemes)
+     simulate                  run one replication scheme under load and
+                               print its measured summary
+     scenario NAME             run a named workload scenario across schemes *)
+
+module Params = Dangers_analytic.Params
+module Model = Dangers_analytic.Model
+module Table = Dangers_util.Table
+module Experiment = Dangers_experiments.Experiment
+module Registry = Dangers_experiments.Registry
+module Runs = Dangers_experiments.Runs
+module Repl_stats = Dangers_replication.Repl_stats
+module Scenario = Dangers_workload.Scenario
+module Connectivity = Dangers_net.Connectivity
+
+open Cmdliner
+
+(* --- shared parameter flags --- *)
+
+let params_term =
+  let db_size =
+    Arg.(value & opt int Params.default.Params.db_size
+         & info [ "db-size" ] ~doc:"Distinct objects in the database.")
+  in
+  let nodes =
+    Arg.(value & opt int Params.default.Params.nodes
+         & info [ "nodes" ] ~doc:"Number of replica nodes.")
+  in
+  let tps =
+    Arg.(value & opt float Params.default.Params.tps
+         & info [ "tps" ] ~doc:"Transactions per second per node.")
+  in
+  let actions =
+    Arg.(value & opt int Params.default.Params.actions
+         & info [ "actions" ] ~doc:"Updates per transaction.")
+  in
+  let action_time =
+    Arg.(value & opt float Params.default.Params.action_time
+         & info [ "action-time" ] ~doc:"Seconds per action.")
+  in
+  let disconnected =
+    Arg.(value & opt float Params.default.Params.disconnected_time
+         & info [ "disconnected-time" ] ~doc:"Mean disconnected seconds.")
+  in
+  let connected =
+    Arg.(value & opt float Params.default.Params.time_between_disconnects
+         & info [ "connected-time" ] ~doc:"Mean connected seconds.")
+  in
+  let build db_size nodes tps actions action_time disconnected connected =
+    {
+      Params.default with
+      db_size;
+      nodes;
+      tps;
+      actions;
+      action_time;
+      disconnected_time = disconnected;
+      time_between_disconnects = connected;
+    }
+  in
+  Term.(const build $ db_size $ nodes $ tps $ actions $ action_time
+        $ disconnected $ connected)
+
+let seed_term =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-4s %-55s [%s]\n" e.Experiment.id e.Experiment.title
+          e.Experiment.paper_ref)
+      Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the paper experiments.")
+    Term.(const run $ const ())
+
+(* --- experiment --- *)
+
+let experiment_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID"
+         ~doc:"Experiment ids (default: all).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Shorter runs, fewer seeds.")
+  in
+  let run ids quick seed =
+    let selected =
+      match ids with
+      | [] -> Ok Registry.all
+      | ids ->
+          let missing = List.filter (fun id -> Registry.find id = None) ids in
+          if missing <> [] then
+            Error ("unknown experiment ids: " ^ String.concat ", " missing)
+          else Ok (List.filter_map Registry.find ids)
+    in
+    match selected with
+    | Error message ->
+        prerr_endline message;
+        prerr_endline ("known ids: " ^ String.concat " " (Registry.ids ()));
+        1
+    | Ok experiments ->
+        List.iter
+          (fun e ->
+            let result = e.Experiment.run ~quick ~seed in
+            Format.printf "%a@." Experiment.pp_result result)
+          experiments;
+        0
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate the paper's tables and figures (analytic vs measured).")
+    Term.(const run $ ids $ quick $ seed_term)
+
+(* --- analytic --- *)
+
+let analytic_cmd =
+  let sweep =
+    Arg.(value
+         & opt (some (enum [ ("nodes", `Nodes); ("actions", `Actions);
+                             ("headline", `Headline) ])) None
+         & info [ "sweep" ]
+             ~doc:"Also print an analytic sweep: nodes, actions, or headline.")
+  in
+  let run params sweep =
+    Params.validate params;
+    Format.printf "Parameters:@.%a@.@." Params.pp params;
+    let table =
+      Table.create ~caption:"Closed-form predictions (per second, system-wide)"
+        [
+          Table.column ~align:Table.Left "scheme";
+          Table.column "txn size";
+          Table.column "duration (s)";
+          Table.column "txns/update";
+          Table.column "owners";
+          Table.column "waits/s";
+          Table.column "deadlocks/s";
+          Table.column "reconciliations/s";
+        ]
+    in
+    List.iter
+      (fun scheme ->
+        let p = Model.predict scheme params in
+        Table.add_row table
+          [
+            Model.scheme_name scheme;
+            Table.cell_float ~digits:0 p.Model.transaction_size;
+            Table.cell_float ~digits:3 p.Model.transaction_duration;
+            Table.cell_float ~digits:0 p.Model.transactions_per_user_update;
+            Table.cell_float ~digits:0 p.Model.object_owners;
+            Table.cell_rate p.Model.wait_rate;
+            Table.cell_rate p.Model.deadlock_rate;
+            Table.cell_rate p.Model.reconciliation_rate;
+          ])
+      Model.all_schemes;
+    Format.printf "%a@." Table.pp table;
+    Format.printf
+      "mobile lazy-group (eq 15-18): outbound=%.1f inbound=%.1f \
+       P(collision)=%.4f rate=%s/s@."
+      (Dangers_analytic.Lazy_group.outbound_updates params)
+      (Dangers_analytic.Lazy_group.inbound_updates params)
+      (Dangers_analytic.Lazy_group.p_collision params)
+      (Table.cell_rate (Dangers_analytic.Lazy_group.mobile_reconciliation_rate params));
+    (match sweep with
+    | None -> ()
+    | Some `Nodes ->
+        Format.printf "@.%a@." Table.pp
+          (Dangers_analytic.Tables.nodes_sweep params
+             ~nodes:[ 1; 2; 5; 10; 20; 50; 100 ])
+    | Some `Actions ->
+        Format.printf "@.%a@." Table.pp
+          (Dangers_analytic.Tables.actions_sweep params
+             ~actions:[ 1; 2; 4; 8; 16; 40 ])
+    | Some `Headline ->
+        Format.printf "@.%a@." Table.pp
+          (Dangers_analytic.Tables.headline_growth params));
+    0
+  in
+  Cmd.v
+    (Cmd.info "analytic"
+       ~doc:"Print the model's predictions for a parameter point.")
+    Term.(const run $ params_term $ sweep)
+
+(* --- simulate --- *)
+
+let scheme_conv =
+  Arg.enum
+    [
+      ("eager-group", `Eager_group);
+      ("eager-master", `Eager_master);
+      ("lazy-group", `Lazy_group);
+      ("lazy-master", `Lazy_master);
+      ("lazy-undo", `Lazy_undo);
+      ("two-tier", `Two_tier);
+    ]
+
+let simulate_cmd =
+  let scheme =
+    Arg.(value & opt scheme_conv `Lazy_master
+         & info [ "scheme" ] ~doc:"Replication scheme to simulate.")
+  in
+  let span =
+    Arg.(value & opt float 120. & info [ "span" ] ~doc:"Measured seconds.")
+  in
+  let run params scheme span seed =
+    Params.validate params;
+    let warmup = 5. in
+    let summary =
+      match scheme with
+      | `Eager_group ->
+          Runs.eager ~ownership:Dangers_replication.Eager_impl.Group params
+            ~seed ~warmup ~span
+      | `Eager_master ->
+          Runs.eager ~ownership:Dangers_replication.Eager_impl.Master params
+            ~seed ~warmup ~span
+      | `Lazy_group -> Runs.lazy_group params ~seed ~warmup ~span
+      | `Lazy_master -> Runs.lazy_master params ~seed ~warmup ~span
+      | `Lazy_undo ->
+          let module Undo = Dangers_replication.Lazy_group_undo in
+          let module Stats = Dangers_util.Stats in
+          let sys = Undo.create params ~seed in
+          Undo.start sys;
+          Dangers_replication.Common.measure (Undo.base sys) ~warmup ~span;
+          Undo.stop_load sys;
+          Undo.force_sync sys;
+          Format.printf
+            "lazy-undo: durable=%d undone=%d tentative-outstanding=%d \
+             mean durability lag=%.4fs@."
+            (Undo.durable sys) (Undo.undone sys)
+            (Undo.tentative_outstanding sys)
+            (Stats.mean (Undo.durability_lag sys));
+          Repl_stats.summarize ~scheme:"lazy-undo" (Undo.base sys).Dangers_replication.Common.metrics
+      | `Two_tier ->
+          let base_nodes = max 1 (params.Params.nodes / 2) in
+          let summary, sys =
+            Runs.two_tier ~base_nodes params ~seed ~warmup ~span
+          in
+          Format.printf
+            "two-tier: tentative accepted=%d rejected=%d converged=%b@."
+            (Dangers_core.Two_tier.tentative_accepted sys)
+            (Dangers_core.Two_tier.tentative_rejected sys)
+            (Dangers_core.Two_tier.converged sys);
+          summary
+    in
+    Format.printf "%a@." Repl_stats.pp_summary summary;
+    0
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one scheme under generator load.")
+    Term.(const run $ params_term $ scheme $ span $ seed_term)
+
+(* --- report --- *)
+
+let report_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Shorter runs, fewer seeds.")
+  in
+  let run quick seed =
+    Format.printf
+      "# Paper reproduction report@.@.Generated by `dangers report`%s with seed %d. Every table and figure of Gray et al. (SIGMOD'96), analytic prediction vs simulator measurement.@.@."
+      (if quick then " (quick mode)" else "")
+      seed;
+    let total = ref 0 and ok = ref 0 in
+    List.iter
+      (fun e ->
+        let result = e.Experiment.run ~quick ~seed in
+        Format.printf "## %s — %s@.@.*%s*@.@." result.Experiment.id
+          result.Experiment.title e.Experiment.paper_ref;
+        List.iter
+          (fun table -> Format.printf "%s@." (Table.to_markdown table))
+          result.Experiment.tables;
+        List.iter
+          (fun f ->
+            incr total;
+            if Experiment.finding_ok f then incr ok;
+            Format.printf "- %s finding: **%s** — expected %.4g, measured                            %.4g (tolerance %.2g)@."
+              (if Experiment.finding_ok f then "✅" else "❌")
+              f.Experiment.label f.Experiment.expected f.Experiment.actual
+              f.Experiment.tolerance)
+          result.Experiment.findings;
+        List.iter (fun note -> Format.printf "@.> %s@." note)
+          result.Experiment.notes;
+        Format.printf "@.")
+      Registry.all;
+    Format.printf "---@.@.**Findings reproduced: %d / %d.**@." !ok !total;
+    0
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Emit the full paper-vs-measured report as markdown on stdout.")
+    Term.(const run $ quick $ seed_term)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let span =
+    Arg.(value & opt float 0.5 & info [ "span" ] ~doc:"Simulated seconds to trace.")
+  in
+  let last =
+    Arg.(value & opt int 60 & info [ "last" ] ~doc:"Entries to print (newest).")
+  in
+  let run params span last seed =
+    Params.validate params;
+    let module Lazy_master = Dangers_replication.Lazy_master in
+    let module Common = Dangers_replication.Common in
+    let module Trace = Dangers_sim.Trace in
+    let module Engine = Dangers_sim.Engine in
+    let sys = Lazy_master.create params ~seed in
+    let engine = (Lazy_master.base sys).Common.engine in
+    let tracer = Trace.create () in
+    Engine.set_tracer engine (Some tracer);
+    Lazy_master.start sys;
+    Engine.run_for engine span;
+    Lazy_master.stop_load sys;
+    let entries = Trace.entries tracer in
+    let total = List.length entries in
+    let tail = if total > last then List.filteri (fun i _ -> i >= total - last) entries else entries in
+    Format.printf
+      "lazy-master, %gs of simulated time: %d events recorded (%d dropped),        showing the last %d@.@."
+      span (Trace.recorded tracer) (Trace.dropped tracer) (List.length tail);
+    List.iter (fun entry -> Format.printf "%a@." Trace.pp_entry entry) tail;
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a short lazy-master simulation with event tracing and print              the trace.")
+    Term.(const run $ params_term $ span $ last $ seed_term)
+
+(* --- scenario --- *)
+
+let scenario_cmd =
+  let scenario_name =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"NAME" ~doc:"Scenario: checkbook, inventory, sales.")
+  in
+  let run name seed =
+    match Scenario.find name with
+    | None ->
+        prerr_endline
+          ("unknown scenario; available: "
+          ^ String.concat ", " (List.map (fun s -> s.Scenario.name) Scenario.all));
+        1
+    | Some scenario ->
+        Format.printf "%s: %s@.%a@.@." scenario.Scenario.name
+          scenario.Scenario.description Params.pp scenario.Scenario.params;
+        let params = scenario.Scenario.params in
+        let profile = scenario.Scenario.profile in
+        let span = 120. in
+        let print summary = Format.printf "%a@.@." Repl_stats.pp_summary summary in
+        print (Runs.eager ~profile params ~seed ~warmup:5. ~span);
+        print (Runs.lazy_group ~profile params ~seed ~warmup:5. ~span);
+        print (Runs.lazy_master ~profile params ~seed ~warmup:5. ~span);
+        let summary, sys =
+          Runs.two_tier ~profile
+            ~initial_value:scenario.Scenario.initial_value
+            ~base_nodes:(max 1 (params.Params.nodes / 2))
+            params ~seed ~warmup:5. ~span
+        in
+        print summary;
+        Format.printf "two-tier converged: %b@."
+          (Dangers_core.Two_tier.converged sys);
+        0
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Run a named workload scenario across schemes.")
+    Term.(const run $ scenario_name $ seed_term)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "dangers" ~version:"1.0.0"
+      ~doc:
+        "The Dangers of Replication and a Solution (Gray et al., SIGMOD'96): \
+         analytic model, replication simulators, and the two-tier scheme."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            list_cmd; experiment_cmd; analytic_cmd; simulate_cmd; trace_cmd;
+            report_cmd; scenario_cmd;
+          ]))

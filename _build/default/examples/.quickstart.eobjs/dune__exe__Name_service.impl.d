@@ -1,0 +1,1 @@
+examples/name_service.ml: Array Dangers_storage Format List Printf String

@@ -1,0 +1,86 @@
+(* Disconnected salesmen quoting prices — the paper's acceptance-criterion
+   example: "the price quote can not exceed the tentative quote".
+
+   A base node holds the product catalog. Two salesmen travel with replicas,
+   quote prices offline, and sync at night. Between their quotes head
+   office raises some prices; quotes that the base re-execution would
+   *increase* are rejected and returned to the salesman to renegotiate.
+
+   A quote transaction assigns the negotiated price to the customer's
+   order record; the acceptance criterion compares the re-executed result
+   with the tentative one under [At_most_tentative].
+
+   Run with: dune exec examples/mobile_sales.exe *)
+
+module Params = Dangers_analytic.Params
+module Engine = Dangers_sim.Engine
+module Oid = Dangers_storage.Oid
+module Fstore = Dangers_storage.Store.Fstore
+module Op = Dangers_txn.Op
+module Connectivity = Dangers_net.Connectivity
+module Common = Dangers_replication.Common
+module Acceptance = Dangers_core.Acceptance
+module Two_tier = Dangers_core.Two_tier
+
+(* Object layout: order records 0..9, catalog prices 10..19. A quote writes
+   the order record to catalog price minus the negotiated discount. *)
+let order customer = Oid.of_int customer
+let catalog product = Oid.of_int (10 + product)
+
+let params = { Params.default with nodes = 3; db_size = 20; tps = 1.; actions = 1 }
+
+let () =
+  let sys =
+    Two_tier.create ~initial_value:100.
+      ~acceptance:Acceptance.At_most_tentative
+      ~mobility:(Connectivity.day_cycle ~connected:5. ~disconnected:50_000.)
+      ~base_nodes:1 params ~seed:11
+  in
+  let engine = (Two_tier.base sys).Common.engine in
+  let base_store = (Two_tier.base sys).Common.stores.(0) in
+  Printf.printf "catalog price of product 0: $%.2f\n"
+    (Fstore.read base_store (catalog 0));
+
+  (* Salesmen go on the road. *)
+  Engine.run engine ~until:50_010.;
+
+  (* A quote is a derived write: order := current catalog price - discount.
+     The tentative run evaluates it against the salesman's (stale) replica;
+     the base replay re-evaluates it against the live catalog. *)
+  let quote ~salesman ~customer ~product ~discount =
+    let replica =
+      Dangers_core.Mobile_node.tentative_store (Two_tier.mobile sys ~node:salesman)
+    in
+    let promised = Fstore.read replica (catalog product) -. discount in
+    Printf.printf "salesman %d quotes customer %d: $%.2f\n" salesman customer
+      promised;
+    Two_tier.submit sys ~node:salesman
+      [
+        Op.Assign_from
+          { target = order customer; source = catalog product; offset = -.discount };
+      ]
+  in
+  quote ~salesman:1 ~customer:0 ~product:0 ~discount:5.;
+  quote ~salesman:2 ~customer:1 ~product:1 ~discount:2.;
+
+  (* Meanwhile head office raises product 0's price, so re-executing
+     salesman 1's quote would exceed what the customer was promised. *)
+  Two_tier.run_base_transaction sys
+    ~ops:[ Op.Assign (catalog 0, 150.) ]
+    ~on_done:(fun _ -> ())
+    ();
+
+  (* Night: both salesmen sync. *)
+  Two_tier.quiesce_and_sync sys;
+  Printf.printf "quotes honoured: %d, quotes to renegotiate: %d\n"
+    (Two_tier.tentative_accepted sys)
+    (Two_tier.tentative_rejected sys);
+  List.iter
+    (fun (_, reason) -> Printf.printf "head office: %s\n" reason)
+    (Two_tier.rejection_log sys);
+  Printf.printf
+    "order 0 on the master ledger: $%.2f (rejected quote left no trace)\n"
+    (Fstore.read base_store (order 0));
+  Printf.printf "order 1 on the master ledger: $%.2f (salesman 2's quote)\n"
+    (Fstore.read base_store (order 1));
+  Printf.printf "books converged: %b\n" (Two_tier.converged sys)

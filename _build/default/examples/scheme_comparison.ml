@@ -1,0 +1,67 @@
+(* One workload, all five replication strategies, side by side — the
+   repository's version of the paper's bottom line. Prints the analytic
+   prediction next to the measured rates for each scheme at the same
+   parameter point.
+
+   Run with: dune exec examples/scheme_comparison.exe [-- NODES] *)
+
+module Params = Dangers_analytic.Params
+module Model = Dangers_analytic.Model
+module Table = Dangers_util.Table
+module Repl_stats = Dangers_replication.Repl_stats
+module Eager_impl = Dangers_replication.Eager_impl
+module Runs = Dangers_experiments.Runs
+module Connectivity = Dangers_net.Connectivity
+
+let () =
+  let nodes =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 4
+  in
+  let params =
+    { Params.default with nodes; db_size = 400; tps = 5.; actions = 4 }
+  in
+  let seed = 7 and warmup = 5. and span = 120. in
+  Format.printf "Workload: %a@.@." Params.pp params;
+  let table =
+    Table.create
+      ~caption:"Model prediction vs 120s of simulation (rates per second)"
+      [
+        Table.column ~align:Table.Left "scheme";
+        Table.column "commits/s";
+        Table.column "waits/s (model)";
+        Table.column "waits/s";
+        Table.column "deadlocks/s (model)";
+        Table.column "deadlocks/s";
+        Table.column "reconciliations/s";
+      ]
+  in
+  let add scheme summary =
+    let p = Model.predict scheme params in
+    Table.add_row table
+      [
+        Model.scheme_name scheme;
+        Table.cell_float ~digits:1 summary.Repl_stats.commit_rate;
+        Table.cell_rate p.Model.wait_rate;
+        Table.cell_rate summary.Repl_stats.wait_rate;
+        Table.cell_rate p.Model.deadlock_rate;
+        Table.cell_rate summary.Repl_stats.deadlock_rate;
+        Table.cell_rate summary.Repl_stats.reconciliation_rate;
+      ]
+  in
+  add Model.Eager_group
+    (Runs.eager ~ownership:Eager_impl.Group params ~seed ~warmup ~span);
+  add Model.Eager_master
+    (Runs.eager ~ownership:Eager_impl.Master params ~seed ~warmup ~span);
+  add Model.Lazy_group (Runs.lazy_group params ~seed ~warmup ~span);
+  add Model.Lazy_master (Runs.lazy_master params ~seed ~warmup ~span);
+  let summary, sys =
+    Runs.two_tier ~mobility:Connectivity.base_node
+      ~base_nodes:(max 1 (nodes / 2)) params ~seed ~warmup ~span
+  in
+  add Model.Two_tier summary;
+  Format.printf "%a@." Table.pp table;
+  Format.printf
+    "two-tier converged: %b (the model's reconciliation column for \
+     lazy-group is equation 14; the measured column counts dangerous \
+     timestamp chains)@."
+    (Dangers_core.Two_tier.converged sys)

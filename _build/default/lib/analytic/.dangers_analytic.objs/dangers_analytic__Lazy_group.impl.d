@@ -1,0 +1,1 @@
+lib/analytic/lazy_group.ml: Eager Float Params

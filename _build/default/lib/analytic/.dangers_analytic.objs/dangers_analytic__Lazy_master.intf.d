@@ -1,0 +1,1 @@
+lib/analytic/lazy_master.mli: Params

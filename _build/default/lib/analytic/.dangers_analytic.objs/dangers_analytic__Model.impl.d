@@ -1,0 +1,1 @@
+lib/analytic/model.ml: Eager Lazy_group Lazy_master Params

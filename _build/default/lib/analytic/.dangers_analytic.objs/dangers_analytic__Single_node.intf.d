@@ -1,0 +1,1 @@
+lib/analytic/single_node.mli: Params

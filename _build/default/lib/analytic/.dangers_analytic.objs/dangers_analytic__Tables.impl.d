@@ -1,0 +1,1 @@
+lib/analytic/tables.ml: Dangers_util Eager Format Lazy_group Lazy_master List Model Params Single_node

@@ -1,0 +1,1 @@
+lib/analytic/tables.mli: Dangers_util Params

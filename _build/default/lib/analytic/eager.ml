@@ -1,0 +1,38 @@
+let fi = float_of_int
+
+let transaction_size p = fi p.Params.actions *. fi p.Params.nodes
+
+let transaction_duration p =
+  fi p.Params.actions *. fi p.Params.nodes *. p.Params.action_time
+
+let total_tps p = p.Params.tps *. fi p.Params.nodes
+
+let total_transactions p =
+  Params.concurrent_transactions p *. (fi p.Params.nodes ** 2.)
+
+let action_rate p = p.Params.tps *. fi p.Params.actions *. (fi p.Params.nodes ** 2.)
+
+let pw p =
+  p.Params.tps *. p.Params.action_time *. (fi p.Params.actions ** 3.)
+  *. (fi p.Params.nodes ** 2.)
+  /. (2. *. fi p.Params.db_size)
+
+let total_wait_rate p =
+  (p.Params.tps ** 2.) *. p.Params.action_time
+  *. ((fi p.Params.actions *. fi p.Params.nodes) ** 3.)
+  /. (2. *. fi p.Params.db_size)
+
+let pd p =
+  p.Params.tps *. p.Params.action_time *. (fi p.Params.actions ** 5.)
+  *. (fi p.Params.nodes ** 2.)
+  /. (4. *. (fi p.Params.db_size ** 2.))
+
+let total_deadlock_rate p =
+  (p.Params.tps ** 2.) *. p.Params.action_time *. (fi p.Params.actions ** 5.)
+  *. (fi p.Params.nodes ** 3.)
+  /. (4. *. (fi p.Params.db_size ** 2.))
+
+let deadlock_rate_scaled_db p =
+  (p.Params.tps ** 2.) *. p.Params.action_time *. (fi p.Params.actions ** 5.)
+  *. fi p.Params.nodes
+  /. (4. *. (fi p.Params.db_size ** 2.))

@@ -1,0 +1,48 @@
+(** Eager replication analysis — equations (6)–(13).
+
+    Updates are applied to every replica inside the originating transaction,
+    serially (the paper's message-cost-capturing choice), so transactions
+    are Nodes times bigger and longer, and the node update rate grows as
+    Nodes^2. The model does not distinguish eager-group from eager-master
+    (the second-order race for the same object is ignored when
+    DB_Size >> Nodes), so these predictions cover both. *)
+
+val transaction_size : Params.t -> float
+(** Equation (6a): [Actions x Nodes] actions per transaction. *)
+
+val transaction_duration : Params.t -> float
+(** Equation (6b): [Actions x Nodes x Action_Time] seconds. *)
+
+val total_tps : Params.t -> float
+(** Equation (6c): [TPS x Nodes] transactions per second system-wide. *)
+
+val total_transactions : Params.t -> float
+(** Equation (7): concurrent transactions system-wide,
+    [TPS x Actions x Action_Time x Nodes^2]. *)
+
+val action_rate : Params.t -> float
+(** Equation (8): system update-actions per second,
+    [TPS x Actions x Nodes^2]. Same for eager and lazy systems. *)
+
+val pw : Params.t -> float
+(** Equation (9): probability one transaction waits,
+    [TPS x Action_Time x Actions^3 x Nodes^2 / (2 x DB_Size)]. *)
+
+val total_wait_rate : Params.t -> float
+(** Equation (10): system waits per second,
+    [TPS^2 x Action_Time x (Actions x Nodes)^3 / (2 x DB_Size)]. *)
+
+val pd : Params.t -> float
+(** Equation (11): probability one transaction deadlocks,
+    [TPS x Action_Time x Actions^5 x Nodes^2 / (4 x DB_Size^2)]. *)
+
+val total_deadlock_rate : Params.t -> float
+(** Equation (12): system deadlocks per second,
+    [TPS^2 x Action_Time x Actions^5 x Nodes^3 / (4 x DB_Size^2)] — the
+    cubic law: ten-fold nodes, thousand-fold deadlocks. *)
+
+val deadlock_rate_scaled_db : Params.t -> float
+(** Equation (13): equation (12) when the database grows with the nodes
+    (DB_Size := DB_Size x Nodes):
+    [TPS^2 x Action_Time x Actions^5 x Nodes / (4 x DB_Size^2)] — linear,
+    still unstable but far better. *)

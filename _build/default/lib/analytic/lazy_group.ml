@@ -1,0 +1,21 @@
+let fi = float_of_int
+
+let reconciliation_rate = Eager.total_wait_rate
+
+let outbound_updates p =
+  p.Params.disconnected_time *. p.Params.tps *. fi p.Params.actions
+
+let inbound_updates p = fi (p.Params.nodes - 1) *. outbound_updates p
+
+let p_collision p =
+  let raw =
+    fi p.Params.nodes
+    *. ((p.Params.disconnected_time *. p.Params.tps *. fi p.Params.actions) ** 2.)
+    /. fi p.Params.db_size
+  in
+  Float.min raw 1.0
+
+let mobile_reconciliation_rate p =
+  p.Params.disconnected_time
+  *. ((p.Params.tps *. fi p.Params.actions *. fi p.Params.nodes) ** 2.)
+  /. fi p.Params.db_size

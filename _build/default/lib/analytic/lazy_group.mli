@@ -1,0 +1,29 @@
+(** Lazy-group replication analysis — equations (14)–(18).
+
+    Transactions that would wait under eager replication need reconciliation
+    under lazy-group, and waits are far more frequent than deadlocks
+    (deadlock ~ wait^2), so the reconciliation rate follows the eager *wait*
+    rate (equation 10). The disconnected (mobile) case is modelled as a
+    batch exchange: all updates made during Disconnected_Time collide with
+    the rest of the network's pending updates. *)
+
+val reconciliation_rate : Params.t -> float
+(** Equation (14): system reconciliations per second for connected
+    lazy-group, [TPS^2 x Action_Time x (Actions x Nodes)^3 / (2 x DB_Size)]. *)
+
+val outbound_updates : Params.t -> float
+(** Equation (15): distinct object updates a mobile node has pending at
+    reconnect, [Disconnected_Time x TPS x Actions]. *)
+
+val inbound_updates : Params.t -> float
+(** Equation (16): pending updates arriving from the rest of the network,
+    [(Nodes - 1) x Disconnected_Time x TPS x Actions]. *)
+
+val p_collision : Params.t -> float
+(** Equation (17): chance one node needs reconciliation during a
+    disconnect cycle, [Nodes x (Disconnected_Time x TPS x Actions)^2 /
+    DB_Size] (the paper's final approximation; capped at 1 for reporting). *)
+
+val mobile_reconciliation_rate : Params.t -> float
+(** Equation (18): reconciliations per second across all nodes,
+    [Disconnected_Time x (TPS x Actions x Nodes)^2 / DB_Size]. *)

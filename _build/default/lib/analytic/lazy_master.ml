@@ -1,0 +1,9 @@
+let fi = float_of_int
+
+let deadlock_rate p =
+  ((p.Params.tps *. fi p.Params.nodes) ** 2.)
+  *. p.Params.action_time *. (fi p.Params.actions ** 5.)
+  /. (4. *. (fi p.Params.db_size ** 2.))
+
+let replica_update_transactions_per_second p =
+  p.Params.tps *. fi p.Params.nodes *. fi (p.Params.nodes - 1)

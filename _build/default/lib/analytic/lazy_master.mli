@@ -1,0 +1,16 @@
+(** Lazy-master replication analysis — equation (19).
+
+    User transactions run against master copies, so the system behaves like
+    one node with [Nodes x TPS] originating transactions; the background
+    replica-update transactions abort and restart harmlessly. Deadlocks rise
+    as Nodes^2 — better than eager's Nodes^3 because transactions stay
+    short, but still unstable. *)
+
+val deadlock_rate : Params.t -> float
+(** Equation (19): [(TPS x Nodes)^2 x Action_Time x Actions^5 /
+    (4 x DB_Size^2)]. *)
+
+val replica_update_transactions_per_second : Params.t -> float
+(** Housekeeping volume: each committed master transaction fans out
+    [Nodes - 1] slave transactions, so [TPS x Nodes x (Nodes - 1)] per
+    second — the Nodes^2 background load §5 mentions. *)

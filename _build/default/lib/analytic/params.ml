@@ -1,0 +1,50 @@
+type t = {
+  db_size : int;
+  nodes : int;
+  tps : float;
+  actions : int;
+  action_time : float;
+  time_between_disconnects : float;
+  disconnected_time : float;
+  message_delay : float;
+  message_cpu : float;
+}
+
+let default =
+  {
+    db_size = 1000;
+    nodes = 1;
+    tps = 10.;
+    actions = 4;
+    action_time = 0.01;
+    time_between_disconnects = 86_400.; (* a day connected *)
+    disconnected_time = 28_800.; (* a night disconnected *)
+    message_delay = 0.;
+    message_cpu = 0.;
+  }
+
+let validate t =
+  let fail field = invalid_arg ("Params.validate: " ^ field) in
+  if t.db_size <= 0 then fail "db_size must be positive";
+  if t.nodes <= 0 then fail "nodes must be positive";
+  if not (t.tps > 0. && Float.is_finite t.tps) then fail "tps must be positive";
+  if t.actions <= 0 then fail "actions must be positive";
+  if not (t.action_time > 0. && Float.is_finite t.action_time) then
+    fail "action_time must be positive";
+  if not (t.time_between_disconnects > 0.) then
+    fail "time_between_disconnects must be positive";
+  if t.disconnected_time < 0. then fail "disconnected_time must be >= 0";
+  if t.message_delay < 0. then fail "message_delay must be >= 0";
+  if t.message_cpu < 0. then fail "message_cpu must be >= 0"
+
+let concurrent_transactions t = t.tps *. float_of_int t.actions *. t.action_time
+
+let scale_db_with_nodes t = { t with db_size = t.db_size * t.nodes }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>DB_Size=%d Nodes=%d TPS=%g Actions=%d Action_Time=%gs@ \
+     Time_Between_Disconnects=%gs Disconnected_Time=%gs Message_Delay=%gs \
+     Message_CPU=%gs@]"
+    t.db_size t.nodes t.tps t.actions t.action_time t.time_between_disconnects
+    t.disconnected_time t.message_delay t.message_cpu

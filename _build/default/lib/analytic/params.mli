@@ -1,0 +1,37 @@
+(** Model parameters — Table 2 of the paper.
+
+    One record feeds both the closed-form equations and the simulator, so a
+    prediction and a measurement always describe the same configuration. *)
+
+type t = {
+  db_size : int;  (** distinct objects in the database *)
+  nodes : int;  (** nodes, each replicating all objects *)
+  tps : float;  (** transactions per second *originating at each node* *)
+  actions : int;  (** updates per transaction *)
+  action_time : float;  (** seconds per action *)
+  time_between_disconnects : float;
+      (** mean seconds a mobile node stays connected *)
+  disconnected_time : float;  (** mean seconds a mobile node stays down *)
+  message_delay : float;
+      (** propagation delay, seconds. The model ignores it (Table 2); the
+          simulator can honour it for the "delays make it worse" ablation. *)
+  message_cpu : float;  (** per-message processing time; ignored likewise *)
+}
+
+val default : t
+(** A deliberately contention-prone laptop-scale base point: 1000 objects,
+    1 node, 10 TPS, 4 actions of 10 ms, day-scale disconnects. Experiments
+    override fields with [{ default with ... }]. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument naming the offending field. *)
+
+val concurrent_transactions : t -> float
+(** Equation (1): [TPS x Actions x Action_Time], the number of concurrent
+    transactions originating at one node. *)
+
+val scale_db_with_nodes : t -> t
+(** The equation-(13) variant: database size grows with the number of nodes
+    (TPC-A/B/C style), i.e. [db_size = db_size x nodes]. *)
+
+val pp : Format.formatter -> t -> unit

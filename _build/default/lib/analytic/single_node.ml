@@ -1,0 +1,20 @@
+let fi = float_of_int
+
+let pw p =
+  let transactions = Params.concurrent_transactions p in
+  transactions *. (fi p.Params.actions ** 2.) /. (2. *. fi p.Params.db_size)
+
+let pd p =
+  let transactions = Params.concurrent_transactions p in
+  if transactions = 0. then 0. else pw p ** 2. /. transactions
+
+let transaction_deadlock_rate p =
+  p.Params.tps *. (fi p.Params.actions ** 4.) /. (4. *. (fi p.Params.db_size ** 2.))
+
+let node_deadlock_rate p =
+  (p.Params.tps ** 2.) *. p.Params.action_time *. (fi p.Params.actions ** 5.)
+  /. (4. *. (fi p.Params.db_size ** 2.))
+
+let node_wait_rate p =
+  (p.Params.tps ** 2.) *. p.Params.action_time *. (fi p.Params.actions ** 3.)
+  /. (2. *. fi p.Params.db_size)

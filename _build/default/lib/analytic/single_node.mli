@@ -1,0 +1,26 @@
+(** Single-node wait and deadlock analysis — equations (1)–(5).
+
+    The derivation: each of the other transactions holds about Actions/2
+    locks on average (it is halfway done); an action's chance of hitting one
+    is (Transactions x Actions) / (2 x DB_Size); a transaction makes Actions
+    such requests. Deadlock cycles of length two dominate. *)
+
+val pw : Params.t -> float
+(** Equation (2): probability a transaction waits at least once in its
+    lifetime, [Transactions x Actions^2 / (2 x DB_Size)]. *)
+
+val pd : Params.t -> float
+(** Equation (3): probability a transaction deadlocks,
+    [PW^2 / Transactions]. *)
+
+val transaction_deadlock_rate : Params.t -> float
+(** Equation (4): [PD / (Actions x Action_Time)] — a transaction's deadlock
+    hazard per second, [TPS x Actions^4 / (4 x DB_Size^2)]. *)
+
+val node_deadlock_rate : Params.t -> float
+(** Equation (5): deadlocks per second for the whole node,
+    [TPS^2 x Action_Time x Actions^5 / (4 x DB_Size^2)]. *)
+
+val node_wait_rate : Params.t -> float
+(** Waits per second for the whole node, by the eq-(10) argument applied to
+    one node: [TPS^2 x Action_Time x Actions^3 / (2 x DB_Size)]. *)

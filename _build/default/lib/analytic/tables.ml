@@ -1,0 +1,110 @@
+module Table = Dangers_util.Table
+
+let check_nodes nodes =
+  if nodes = [] then invalid_arg "Tables: empty sweep";
+  if List.exists (fun n -> n <= 0) nodes then
+    invalid_arg "Tables: node counts must be positive"
+
+let nodes_sweep params ~nodes =
+  check_nodes nodes;
+  Params.validate params;
+  let table =
+    Table.create
+      ~caption:
+        (Format.asprintf "Predicted failure rates per second vs nodes (%a)"
+           Params.pp params)
+      [
+        Table.column "Nodes";
+        Table.column "eager deadlocks (eq12)";
+        Table.column "eager, scaled DB (eq13)";
+        Table.column "lazy-group reconciliations (eq14)";
+        Table.column "lazy-master deadlocks (eq19)";
+        Table.column "mobile P(collision) (eq17)";
+      ]
+  in
+  List.iter
+    (fun n ->
+      let p = { params with Params.nodes = n } in
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_rate (Eager.total_deadlock_rate p);
+          Table.cell_rate (Eager.deadlock_rate_scaled_db p);
+          Table.cell_rate (Lazy_group.reconciliation_rate p);
+          Table.cell_rate (Lazy_master.deadlock_rate p);
+          Table.cell_float ~digits:4 (Lazy_group.p_collision p);
+        ])
+    nodes;
+  table
+
+let actions_sweep params ~actions =
+  if actions = [] || List.exists (fun a -> a <= 0) actions then
+    invalid_arg "Tables: actions must be positive";
+  Params.validate params;
+  let table =
+    Table.create
+      ~caption:"The Actions^5 law: deadlock rates vs transaction size"
+      [
+        Table.column "Actions";
+        Table.column "single-node deadlocks (eq5)";
+        Table.column "eager deadlocks (eq12)";
+        Table.column "PW single (eq2)";
+      ]
+  in
+  List.iter
+    (fun a ->
+      let p = { params with Params.actions = a } in
+      Table.add_row table
+        [
+          Table.cell_int a;
+          Table.cell_rate (Single_node.node_deadlock_rate p);
+          Table.cell_rate (Eager.total_deadlock_rate p);
+          Table.cell_float ~digits:5 (Single_node.pw p);
+        ])
+    actions;
+  table
+
+let headline_growth params =
+  Params.validate params;
+  let by_nodes f =
+    Model.growth_ratio f params ~scale:(fun p ->
+        { p with Params.nodes = 10 * p.Params.nodes })
+  in
+  let by_actions f =
+    Model.growth_ratio f params ~scale:(fun p ->
+        { p with Params.actions = 10 * p.Params.actions })
+  in
+  let table =
+    Table.create ~caption:"What a 10x increase does to each failure rate"
+      [
+        Table.column ~align:Table.Left "rate";
+        Table.column "10x nodes";
+        Table.column "10x transaction size";
+      ]
+  in
+  let row label f =
+    Table.add_row table
+      [
+        label;
+        Table.cell_float ~digits:0 (by_nodes f);
+        Table.cell_float ~digits:0 (by_actions f);
+      ]
+  in
+  row "eager deadlocks (eq12)" Eager.total_deadlock_rate;
+  row "eager deadlocks, scaled DB (eq13)" Eager.deadlock_rate_scaled_db;
+  row "lazy-group reconciliations (eq14)" Lazy_group.reconciliation_rate;
+  row "lazy-master deadlocks (eq19)" Lazy_master.deadlock_rate;
+  table
+
+let stability_threshold params ~budget_per_second scheme =
+  if budget_per_second <= 0. then
+    invalid_arg "Tables.stability_threshold: budget must be positive";
+  Params.validate params;
+  let rate n =
+    let p = { params with Params.nodes = n } in
+    match scheme with
+    | `Eager -> Eager.total_deadlock_rate p
+    | `Lazy_master -> Lazy_master.deadlock_rate p
+  in
+  let rec search n = if rate (n + 1) > budget_per_second then n else search (n + 1) in
+  if rate 1 > budget_per_second then 0 else search 1

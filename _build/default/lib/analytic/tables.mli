@@ -1,0 +1,26 @@
+(** Paper-style analytic sweep tables: the equations evaluated over
+    parameter ranges, with no simulation — what the paper's reader computes
+    by hand from §3–§5, printed. *)
+
+module Table = Dangers_util.Table
+
+val nodes_sweep : Params.t -> nodes:int list -> Table.t
+(** Per node count: eager deadlock rate (eq 12), scaled-DB variant (eq 13),
+    lazy-group reconciliation (eq 14), lazy-master deadlock (eq 19), and
+    the mobile collision probability (eq 17).
+    @raise Invalid_argument on an empty or non-positive list. *)
+
+val actions_sweep : Params.t -> actions:int list -> Table.t
+(** The Actions^5 law: single-node and eager deadlock rates as the
+    transaction grows. *)
+
+val headline_growth : Params.t -> Table.t
+(** The abstract's claims as a table: what multiplying nodes by 10 does to
+    each scheme's failure rate, and what multiplying the transaction size
+    by 10 does. *)
+
+val stability_threshold :
+  Params.t -> budget_per_second:float -> [ `Eager | `Lazy_master ] -> int
+(** The largest node count whose predicted deadlock rate stays within
+    [budget_per_second] — where the paper's "scaleup pitfall" bites for a
+    given tolerance. @raise Invalid_argument on a non-positive budget. *)

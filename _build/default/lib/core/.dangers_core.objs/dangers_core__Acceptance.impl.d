@@ -1,0 +1,1 @@
+lib/core/acceptance.ml: Dangers_storage Float Format List Option Printf String

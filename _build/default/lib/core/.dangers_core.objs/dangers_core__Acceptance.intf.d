@@ -1,0 +1,1 @@
+lib/core/acceptance.mli: Dangers_storage

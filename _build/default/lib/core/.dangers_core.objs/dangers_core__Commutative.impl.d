@@ -1,0 +1,1 @@
+lib/core/commutative.ml: Array Dangers_storage Dangers_txn Dangers_util Float List

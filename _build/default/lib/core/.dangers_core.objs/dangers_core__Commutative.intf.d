@@ -1,0 +1,1 @@
+lib/core/commutative.mli: Dangers_storage Dangers_txn Dangers_util

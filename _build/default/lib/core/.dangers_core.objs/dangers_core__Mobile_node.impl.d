@@ -1,0 +1,1 @@
+lib/core/mobile_node.ml: Dangers_storage Dangers_txn List Tentative

@@ -1,0 +1,1 @@
+lib/core/mobile_node.mli: Acceptance Dangers_storage Dangers_txn Tentative

@@ -1,0 +1,1 @@
+lib/core/tentative.ml: Acceptance Dangers_storage Dangers_txn Format List String

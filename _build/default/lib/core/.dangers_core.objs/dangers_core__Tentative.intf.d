@@ -1,0 +1,1 @@
+lib/core/tentative.mli: Acceptance Dangers_storage Dangers_txn Format

@@ -1,0 +1,71 @@
+module Oid = Dangers_storage.Oid
+
+type outcome = { oid : Oid.t; tentative : float; base : float }
+
+type t =
+  | Always
+  | Exact_match
+  | Within of float
+  | Non_negative
+  | At_most_tentative
+  | All of t list
+  | Custom of string * (outcome list -> bool)
+
+let rec accept t outcomes =
+  match t with
+  | Always -> true
+  | Exact_match ->
+      List.for_all (fun o -> Float.equal o.tentative o.base) outcomes
+  | Within epsilon ->
+      List.for_all (fun o -> Float.abs (o.base -. o.tentative) <= epsilon) outcomes
+  | Non_negative -> List.for_all (fun o -> o.base >= 0.) outcomes
+  | At_most_tentative -> List.for_all (fun o -> o.base <= o.tentative) outcomes
+  | All criteria -> List.for_all (fun c -> accept c outcomes) criteria
+  | Custom (_, f) -> f outcomes
+
+let rec name = function
+  | Always -> "always"
+  | Exact_match -> "exact-match"
+  | Within epsilon -> Printf.sprintf "within(%g)" epsilon
+  | Non_negative -> "non-negative"
+  | At_most_tentative -> "at-most-tentative"
+  | All criteria -> "all[" ^ String.concat "; " (List.map name criteria) ^ "]"
+  | Custom (label, _) -> "custom:" ^ label
+
+let rec first_failure t outcomes =
+  match t with
+  | Always -> None
+  | Exact_match ->
+      List.find_opt (fun o -> not (Float.equal o.tentative o.base)) outcomes
+      |> Option.map (fun o -> (o, "base result differs from tentative"))
+  | Within epsilon ->
+      List.find_opt (fun o -> Float.abs (o.base -. o.tentative) > epsilon) outcomes
+      |> Option.map (fun o ->
+             (o, Printf.sprintf "base result drifted more than %g" epsilon))
+  | Non_negative ->
+      List.find_opt (fun o -> o.base < 0.) outcomes
+      |> Option.map (fun o -> (o, "base value would go negative"))
+  | At_most_tentative ->
+      List.find_opt (fun o -> o.base > o.tentative) outcomes
+      |> Option.map (fun o -> (o, "base result exceeds the tentative quote"))
+  | All criteria ->
+      List.fold_left
+        (fun acc c -> match acc with Some _ -> acc | None -> first_failure c outcomes)
+        None criteria
+  | Custom (label, f) ->
+      if f outcomes then None
+      else
+        (match outcomes with
+        | o :: _ -> Some (o, "custom criterion '" ^ label ^ "' failed")
+        | [] -> None)
+
+let explain t outcomes =
+  if accept t outcomes then None
+  else
+    match first_failure t outcomes with
+    | Some (o, why) ->
+        Some
+          (Format.asprintf
+             "rejected at %a: %s (tentative %.4g, base %.4g; criterion %s)"
+             Oid.pp o.oid why o.tentative o.base (name t))
+    | None -> Some ("rejected: criterion " ^ name t ^ " failed")

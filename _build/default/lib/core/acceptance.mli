@@ -1,0 +1,35 @@
+(** Acceptance criteria for two-tier base transactions (§7).
+
+    A tentative transaction is re-executed at the base; its slightly
+    different results are acceptable only if they pass the transaction's
+    acceptance criterion. The paper's examples: "the bank balance must not
+    go negative", "the price quote can not exceed the tentative quote",
+    "the seats must be aisle seats". *)
+
+module Oid = Dangers_storage.Oid
+
+type outcome = {
+  oid : Oid.t;
+  tentative : float;  (** the value the mobile's tentative execution produced *)
+  base : float;  (** the value the base re-execution would produce *)
+}
+
+type t =
+  | Always  (** no test — any base result is acceptable *)
+  | Exact_match
+      (** base and tentative results must be identical — the paper's
+          strictest test ("probably too pessimistic") *)
+  | Within of float  (** |base - tentative| <= epsilon per object *)
+  | Non_negative  (** every base post-value >= 0 (the bank-balance test) *)
+  | At_most_tentative
+      (** base result must not exceed the tentative result per object (the
+          price-quote test) *)
+  | All of t list  (** conjunction *)
+  | Custom of string * (outcome list -> bool)  (** named predicate *)
+
+val accept : t -> outcome list -> bool
+val name : t -> string
+
+val explain : t -> outcome list -> string option
+(** [None] when accepted; otherwise a §7-style diagnostic naming the first
+    failing object and criterion, to return to the mobile node. *)

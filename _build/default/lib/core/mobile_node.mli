@@ -1,0 +1,61 @@
+(** A mobile node's replicated state (§7).
+
+    Each mobile node keeps two versions of every object:
+
+    - the {e master version}, the most recent value received from the
+      object masters (possibly stale while disconnected), and
+    - the {e tentative version}, the master version plus the effects of the
+      node's own not-yet-accepted tentative transactions.
+
+    Local tentative transactions read and write tentative versions and are
+    queued (with their input parameters and acceptance criteria) for replay
+    at the base. On reconnect the tentative versions are discarded and both
+    stores are refreshed from the base (protocol steps 1 and 4). *)
+
+module Oid = Dangers_storage.Oid
+module Op = Dangers_txn.Op
+module Fstore = Dangers_storage.Store.Fstore
+module Timestamp = Dangers_storage.Timestamp
+
+type t
+
+val create : node:int -> db_size:int -> initial_value:float -> t
+
+val node : t -> int
+val master_store : t -> Fstore.t
+val tentative_store : t -> Fstore.t
+
+val run_tentative :
+  t -> ops:Op.t list -> acceptance:Acceptance.t -> now:float -> Tentative.t
+(** Execute against the tentative versions, record the results, queue the
+    transaction, and return it. *)
+
+val pending : t -> Tentative.t list
+(** Queued tentative transactions in commit order. *)
+
+val pending_count : t -> int
+
+val take_pending : t -> Tentative.t list
+(** Remove and return the queue (reconnect protocol step 3 hands them to
+    the host base node). *)
+
+val requeue_front : t -> Tentative.t list -> unit
+(** Put un-replayed transactions back (a disconnect interrupted the
+    replay); they stay ahead of anything queued later. *)
+
+val apply_master_update : t -> Oid.t -> float -> Timestamp.t ->
+  [ `Applied | `Stale ]
+(** A lazy-master slave update for this replica; also folds into the
+    tentative version when no tentative transactions are pending (the
+    stores coincide while connected). *)
+
+val refresh_from : t -> Fstore.t -> unit
+(** Steps 1 and 4: discard tentative versions and overwrite both stores
+    from a base replica. Pending transactions are untouched. *)
+
+val tentative_commits : t -> int
+(** Tentative transactions this node ever ran. *)
+
+val diverged : t -> bool
+(** Tentative and master versions differ somewhere (there is uncommitted
+    tentative work visible locally). *)

@@ -1,0 +1,30 @@
+module Oid = Dangers_storage.Oid
+module Op = Dangers_txn.Op
+
+type t = {
+  seq : int;
+  origin : int;
+  ops : Op.t list;
+  acceptance : Acceptance.t;
+  tentative_results : (Oid.t * float) list;
+  committed_at : float;
+}
+
+let make ~seq ~origin ~ops ~acceptance ~tentative_results ~committed_at =
+  { seq; origin; ops; acceptance; tentative_results; committed_at }
+
+let written_oids t =
+  List.fold_left
+    (fun acc op ->
+      if Op.is_update op && not (List.exists (Oid.equal (Op.oid op)) acc) then
+        Op.oid op :: acc
+      else acc)
+    [] t.ops
+  |> List.rev
+
+let commutes_with a b = Op.all_commute a.ops b.ops
+
+let pp ppf t =
+  Format.fprintf ppf "tentative#%d@@m%d [%s] (%s)" t.seq t.origin
+    (String.concat "; " (List.map (Format.asprintf "%a" Op.pp) t.ops))
+    (Acceptance.name t.acceptance)

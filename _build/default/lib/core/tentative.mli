@@ -1,0 +1,37 @@
+(** Tentative transactions (§7).
+
+    A tentative transaction runs against the mobile node's tentative data
+    and records everything needed to re-run it as a base transaction later:
+    the operations (the "input parameters"), the acceptance criterion, the
+    results the tentative execution produced, and the local commit order. *)
+
+module Oid = Dangers_storage.Oid
+module Op = Dangers_txn.Op
+
+type t = {
+  seq : int;  (** commit order at the originating mobile node *)
+  origin : int;  (** the mobile node *)
+  ops : Op.t list;
+  acceptance : Acceptance.t;
+  tentative_results : (Oid.t * float) list;
+      (** post-value of every written object at the mobile *)
+  committed_at : float;  (** local (simulated) commit time *)
+}
+
+val make :
+  seq:int ->
+  origin:int ->
+  ops:Op.t list ->
+  acceptance:Acceptance.t ->
+  tentative_results:(Oid.t * float) list ->
+  committed_at:float ->
+  t
+
+val written_oids : t -> Oid.t list
+(** Objects the transaction updates, in op order, deduplicated. *)
+
+val commutes_with : t -> t -> bool
+(** Whether the two transactions' operations pairwise commute — §7's design
+    rule for a zero reconciliation rate. *)
+
+val pp : Format.formatter -> t -> unit

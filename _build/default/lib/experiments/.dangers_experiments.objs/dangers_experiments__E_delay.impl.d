@@ -1,0 +1,1 @@
+lib/experiments/e_delay.ml: Dangers_analytic Dangers_net Dangers_replication Dangers_util Experiment List Runs

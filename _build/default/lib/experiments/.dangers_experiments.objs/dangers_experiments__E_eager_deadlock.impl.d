@@ -1,0 +1,1 @@
+lib/experiments/e_eager_deadlock.ml: Dangers_analytic Dangers_replication Dangers_util Experiment Float List Printf Runs

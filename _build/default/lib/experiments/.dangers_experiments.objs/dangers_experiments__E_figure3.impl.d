@@ -1,0 +1,1 @@
+lib/experiments/e_figure3.ml: Dangers_analytic Dangers_replication Dangers_util Experiment Runs

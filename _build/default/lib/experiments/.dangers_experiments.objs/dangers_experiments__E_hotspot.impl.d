@@ -1,0 +1,1 @@
+lib/experiments/e_hotspot.ml: Dangers_analytic Dangers_replication Dangers_util Dangers_workload Experiment List Runs

@@ -1,0 +1,1 @@
+lib/experiments/e_lazy_group.ml: Dangers_analytic Dangers_replication Dangers_util Experiment List Runs

@@ -1,0 +1,1 @@
+lib/experiments/e_lazy_master.ml: Dangers_analytic Dangers_replication Dangers_util Experiment List Printf Runs

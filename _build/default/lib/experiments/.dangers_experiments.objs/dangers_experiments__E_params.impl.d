@@ -1,0 +1,1 @@
+lib/experiments/e_params.ml: Dangers_analytic Dangers_util Experiment

@@ -1,0 +1,1 @@
+lib/experiments/e_quorum.ml: Dangers_replication Dangers_util Experiment List

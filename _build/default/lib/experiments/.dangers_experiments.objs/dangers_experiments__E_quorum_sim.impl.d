@@ -1,0 +1,1 @@
+lib/experiments/e_quorum_sim.ml: Dangers_analytic Dangers_replication Dangers_sim Dangers_util Experiment Float List

@@ -1,0 +1,1 @@
+lib/experiments/e_scaled_db.ml: E_eager_deadlock Experiment Runs

@@ -1,0 +1,1 @@
+lib/experiments/e_single_node.ml: Dangers_analytic Dangers_replication Dangers_util Experiment List Runs

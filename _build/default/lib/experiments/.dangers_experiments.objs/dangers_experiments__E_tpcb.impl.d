@@ -1,0 +1,1 @@
+lib/experiments/e_tpcb.ml: Dangers_analytic Dangers_replication Dangers_util Dangers_workload Experiment Float List Runs

@@ -1,0 +1,1 @@
+lib/experiments/e_undo.ml: Dangers_analytic Dangers_net Dangers_replication Dangers_sim Dangers_util Experiment List Printf

@@ -1,0 +1,1 @@
+lib/experiments/experiment.mli: Dangers_util Format

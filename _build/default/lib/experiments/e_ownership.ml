@@ -1,0 +1,85 @@
+(* E15 — the second-order effect equation (12) ignores: "it does not
+   distinguish between Master and Group replication. If DB_Size >> Nodes,
+   such conflicts will be rare" — and §3's "Having a master for each
+   object helps eager replication avoid deadlocks". We make the conflicts
+   non-rare (small database) and measure the group-vs-master gap, then
+   grow the database to show the two laws merging, as the model assumes. *)
+
+module Table = Dangers_util.Table
+module Params = Dangers_analytic.Params
+module Eager_impl = Dangers_replication.Eager_impl
+module Repl_stats = Dangers_replication.Repl_stats
+module Experiment_ = Experiment
+
+let base = { Params.default with nodes = 4; tps = 5.; actions = 2 }
+
+let experiment =
+  {
+    Experiment.id = "E15";
+    title = "Eager group vs master: the second-order race equation (12) drops";
+    paper_ref = "Section 3 (object-master remark; eq 12 footnote)";
+    run =
+      (fun ~quick ~seed ->
+        let seeds = Runs.seeds ~quick ~base:seed in
+        let span = if quick then 80. else 300. in
+        let db_sizes = if quick then [ 40; 400 ] else [ 40; 100; 400; 1600 ] in
+        let table =
+          Table.create
+            ~caption:
+              "Eager deadlock rates, group vs master visit order (4 nodes, \
+               TPS=5, Actions=2)"
+            [
+              Table.column "DB_Size";
+              Table.column "group deadlocks/s";
+              Table.column "master deadlocks/s";
+              Table.column "group/master ratio";
+            ]
+        in
+        let points =
+          List.map
+            (fun db_size ->
+              let params = { base with db_size } in
+              let rate ownership =
+                Experiment.mean_over_seeds ~seeds (fun seed ->
+                    (Runs.eager ~ownership params ~seed ~warmup:5. ~span)
+                      .Repl_stats.deadlock_rate)
+              in
+              let group = rate Eager_impl.Group in
+              let master = rate Eager_impl.Master in
+              Table.add_row table
+                [
+                  Table.cell_int db_size;
+                  Table.cell_rate group;
+                  Table.cell_rate master;
+                  (if master > 0. then Table.cell_float ~digits:2 (group /. master)
+                   else "inf");
+                ];
+              (db_size, group, master))
+            db_sizes
+        in
+        let _, g_small, m_small = List.nth points 0 in
+        {
+          Experiment.id = "E15";
+          title = "Eager group vs master: the second-order race equation (12) drops";
+          tables = [ table ];
+          findings =
+            [
+              {
+                Experiment_.label =
+                  "hot database: group deadlocks exceed master's (1 = yes)";
+                expected = 1.;
+                actual = (if g_small > m_small then 1. else 0.);
+                tolerance = 0.;
+              };
+            ];
+          notes =
+            [
+              "Group ownership lets two transactions start locking the same \
+               object's replicas from different ends; master ownership \
+               serializes same-object access at the owner first. Both rates \
+               fall as DB_Size grows and the absolute gap vanishes - the \
+               DB_Size >> Nodes regime where equation (12) can afford to \
+               ignore the difference.";
+            ];
+        });
+  }

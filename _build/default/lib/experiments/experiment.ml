@@ -1,0 +1,48 @@
+module Table = Dangers_util.Table
+module Stats = Dangers_util.Stats
+
+type finding = {
+  label : string;
+  expected : float;
+  actual : float;
+  tolerance : float;
+}
+
+type result = {
+  id : string;
+  title : string;
+  tables : Table.t list;
+  findings : finding list;
+  notes : string list;
+}
+
+type t = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  run : quick:bool -> seed:int -> result;
+}
+
+let finding_ok f = Float.abs (f.actual -. f.expected) <= f.tolerance
+
+let pp_result ppf (r : result) =
+  Format.fprintf ppf "=== %s: %s ===@." r.id r.title;
+  List.iter (fun table -> Format.fprintf ppf "%a@." Table.pp table) r.tables;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "finding: %s expected %.4g measured %.4g (+/- %.2g) %s@."
+        f.label f.expected f.actual f.tolerance
+        (if finding_ok f then "[ok]" else "[off]"))
+    r.findings;
+  List.iter (fun note -> Format.fprintf ppf "note: %s@." note) r.notes
+
+let mean_over_seeds ~seeds f =
+  match seeds with
+  | [] -> invalid_arg "Experiment.mean_over_seeds: no seeds"
+  | _ ->
+      let total = List.fold_left (fun acc seed -> acc +. f seed) 0. seeds in
+      total /. float_of_int (List.length seeds)
+
+let fitted_exponent points =
+  let usable = List.filter (fun (x, y) -> x > 0. && y > 0.) points in
+  if List.length usable < 2 then Float.nan else Stats.loglog_slope usable

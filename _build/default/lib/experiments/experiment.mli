@@ -1,0 +1,46 @@
+(** Experiment descriptors: one per paper table / figure / equation group.
+
+    Each experiment regenerates the paper's predicted series and, where a
+    system is involved, the matching measurement from the simulator; the
+    result is a set of printable tables plus machine-readable findings
+    (fitted exponents, growth ratios) that EXPERIMENTS.md records and the
+    test-suite can assert on. *)
+
+module Table = Dangers_util.Table
+
+type finding = {
+  label : string;
+  expected : float;  (** the paper's value (exponent, ratio, count ...) *)
+  actual : float;  (** what we measured *)
+  tolerance : float;  (** |actual - expected| acceptable for "reproduced" *)
+}
+
+type result = {
+  id : string;
+  title : string;
+  tables : Table.t list;
+  findings : finding list;
+  notes : string list;
+}
+
+type t = {
+  id : string;  (** "T1", "F1", "E3", ... *)
+  title : string;
+  paper_ref : string;  (** where in the paper this comes from *)
+  run : quick:bool -> seed:int -> result;
+      (** [quick] shrinks sweeps/durations for smoke runs; [seed] drives
+          every random stream, so results are reproducible. *)
+}
+
+val finding_ok : finding -> bool
+val pp_result : Format.formatter -> result -> unit
+
+(** {1 Measurement helpers} *)
+
+val mean_over_seeds : seeds:int list -> (int -> float) -> float
+(** Average a measured rate over several seeded runs. *)
+
+val fitted_exponent : (float * float) list -> float
+(** Log-log slope of (x, rate) points, skipping non-positive rates; [nan]
+    when fewer than two usable points remain (e.g. an event too rare to
+    observe). *)

@@ -1,0 +1,33 @@
+let all =
+  [
+    E_params.experiment;
+    E_taxonomy.experiment;
+    E_figure1.experiment;
+    E_figure3.experiment;
+    E_single_node.experiment;
+    E_eager_growth.experiment;
+    E_eager_deadlock.experiment;
+    E_scaled_db.experiment;
+    E_lazy_group.experiment;
+    E_mobile.experiment;
+    E_lazy_master.experiment;
+    E_two_tier.experiment;
+    E_convergence.experiment;
+    E_quorum.experiment;
+    E_delay.experiment;
+    E_hotspot.experiment;
+    E_reads.experiment;
+    E_quorum_sim.experiment;
+    E_ownership.experiment;
+    E_delusion.experiment;
+    E_undo.experiment;
+    E_tpcb.experiment;
+  ]
+
+let find id =
+  let wanted = String.lowercase_ascii id in
+  List.find_opt
+    (fun e -> String.lowercase_ascii e.Experiment.id = wanted)
+    all
+
+let ids () = List.map (fun e -> e.Experiment.id) all

@@ -1,0 +1,8 @@
+(** The experiment registry: every paper table and figure, in report
+    order. *)
+
+val all : Experiment.t list
+val find : string -> Experiment.t option
+(** Lookup by id, case-insensitive ("e3", "T1", ...). *)
+
+val ids : unit -> string list

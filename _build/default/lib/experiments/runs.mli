@@ -1,0 +1,42 @@
+(** Shared measurement drills for the scheme-backed experiments. *)
+
+module Params = Dangers_analytic.Params
+module Profile = Dangers_workload.Profile
+module Repl_stats = Dangers_replication.Repl_stats
+module Reconcile = Dangers_replication.Reconcile
+module Connectivity = Dangers_net.Connectivity
+
+val eager :
+  ?ownership:Dangers_replication.Eager_impl.ownership ->
+  ?profile:Profile.t ->
+  ?delay:Dangers_net.Delay.t ->
+  Params.t -> seed:int -> warmup:float -> span:float -> Repl_stats.summary
+(** Run the eager simulator under generator load for [warmup + span]
+    simulated seconds and return the measured-window summary. *)
+
+val lazy_group :
+  ?profile:Profile.t ->
+  ?rule:Reconcile.rule ->
+  ?delay:Dangers_net.Delay.t ->
+  ?mobility:Connectivity.spec ->
+  ?mobile_nodes:int list ->
+  Params.t -> seed:int -> warmup:float -> span:float -> Repl_stats.summary
+
+val lazy_master :
+  ?profile:Profile.t ->
+  Params.t -> seed:int -> warmup:float -> span:float -> Repl_stats.summary
+
+val two_tier :
+  ?profile:Profile.t ->
+  ?acceptance:Dangers_core.Acceptance.t ->
+  ?mobility:Connectivity.spec ->
+  ?initial_value:float ->
+  base_nodes:int ->
+  Params.t -> seed:int -> warmup:float -> span:float ->
+  Repl_stats.summary * Dangers_core.Two_tier.t
+(** Also returns the quiesced system so callers can inspect acceptance
+    counters and convergence. The summary is taken at the end of the
+    measured window, before the final sync. *)
+
+val seeds : quick:bool -> base:int -> int list
+(** Three seeds normally, one in quick mode, derived from [base]. *)

@@ -1,0 +1,1 @@
+lib/lock/lock_manager.ml: Lock_table Waits_for

@@ -1,0 +1,1 @@
+lib/lock/lock_table.ml: Hashtbl Int List Mode

@@ -1,0 +1,1 @@
+lib/lock/waits_for.ml: Hashtbl Int List

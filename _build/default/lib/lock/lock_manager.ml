@@ -1,0 +1,31 @@
+type t = {
+  locks : Lock_table.t;
+  mutable wait_count : int;
+  mutable deadlock_count : int;
+}
+
+type outcome = Granted | Waiting | Deadlock of int list
+
+let create () = { locks = Lock_table.create (); wait_count = 0; deadlock_count = 0 }
+
+let request t ~owner ~resource ~mode ~on_grant =
+  match Lock_table.acquire t.locks ~owner ~resource ~mode ~on_grant with
+  | Lock_table.Granted -> Granted
+  | Lock_table.Queued ->
+      t.wait_count <- t.wait_count + 1;
+      let successors owner = Lock_table.blockers t.locks ~owner in
+      (match Waits_for.find_cycle ~successors ~start:owner with
+      | None -> Waiting
+      | Some cycle ->
+          t.deadlock_count <- t.deadlock_count + 1;
+          Lock_table.cancel_wait t.locks ~owner;
+          Deadlock cycle)
+
+let release_all t ~owner = Lock_table.release_all t.locks ~owner
+let table t = t.locks
+let waits t = t.wait_count
+let deadlocks t = t.deadlock_count
+
+let reset_counters t =
+  t.wait_count <- 0;
+  t.deadlock_count <- 0

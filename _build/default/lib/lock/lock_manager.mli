@@ -1,0 +1,39 @@
+(** Lock manager: lock table + deadlock detection + statistics.
+
+    Policy follows the paper's model: detection runs the moment a request
+    blocks, and the victim is the *requester* — equation (3) derives the
+    deadlock probability per request, so a deadlock costs exactly the
+    requesting transaction. The victim's queued request is withdrawn before
+    [Deadlock] is returned; the caller must then abort the transaction
+    ([release_all]) and, per §7, resubmit it. *)
+
+type t
+
+val create : unit -> t
+
+type outcome =
+  | Granted
+  | Waiting
+      (** Blocked with no deadlock; [on_grant] will fire when the lock is
+          granted. Counted as a wait. *)
+  | Deadlock of int list
+      (** This request closed a waits-for cycle (the list, starting with the
+          requester). The request has been withdrawn; [on_grant] will never
+          fire. Counted as a wait and a deadlock. *)
+
+val request :
+  t -> owner:int -> resource:int -> mode:Mode.t -> on_grant:(unit -> unit) ->
+  outcome
+
+val release_all : t -> owner:int -> unit
+(** Commit or abort: drop all locks and any queued request, waking
+    unblocked waiters. *)
+
+val table : t -> Lock_table.t
+(** The underlying table, for invariant checks in tests. *)
+
+val waits : t -> int
+(** Requests that blocked (including those that then deadlocked). *)
+
+val deadlocks : t -> int
+val reset_counters : t -> unit

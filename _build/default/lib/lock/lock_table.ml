@@ -1,0 +1,202 @@
+type waiter = { w_owner : int; w_mode : Mode.t; on_grant : unit -> unit }
+
+type lock = {
+  mutable granted : (int * Mode.t) list;
+  mutable queue : waiter list; (* front of the queue first *)
+}
+
+type t = {
+  locks : (int, lock) Hashtbl.t;
+  held : (int, (int, Mode.t) Hashtbl.t) Hashtbl.t; (* owner -> resource -> mode *)
+  waiting : (int, int) Hashtbl.t; (* owner -> resource *)
+  mutable grants : int;
+}
+
+type outcome = Granted | Queued
+
+let create () =
+  { locks = Hashtbl.create 1024; held = Hashtbl.create 64;
+    waiting = Hashtbl.create 64; grants = 0 }
+
+let lock_for t resource =
+  match Hashtbl.find_opt t.locks resource with
+  | Some lock -> lock
+  | None ->
+      let lock = { granted = []; queue = [] } in
+      Hashtbl.add t.locks resource lock;
+      lock
+
+let drop_if_empty t resource lock =
+  if lock.granted = [] && lock.queue = [] then Hashtbl.remove t.locks resource
+
+let held_table t owner =
+  match Hashtbl.find_opt t.held owner with
+  | Some table -> table
+  | None ->
+      let table = Hashtbl.create 8 in
+      Hashtbl.add t.held owner table;
+      table
+
+let record_grant t ~owner ~resource ~mode =
+  Hashtbl.replace (held_table t owner) resource mode;
+  t.grants <- t.grants + 1
+
+let record_upgrade t ~owner ~resource =
+  Hashtbl.replace (held_table t owner) resource Mode.X
+
+(* A waiter is grantable when its mode is compatible with every grant held by
+   a different owner (its own grant is ignored: that is the upgrade case). *)
+let grantable lock waiter =
+  List.for_all
+    (fun (owner, mode) ->
+      owner = waiter.w_owner || Mode.compatible mode waiter.w_mode)
+    lock.granted
+
+let grant_waiter t resource lock waiter =
+  let upgrading = List.mem_assoc waiter.w_owner lock.granted in
+  if upgrading then begin
+    lock.granted <-
+      List.map
+        (fun (owner, mode) ->
+          if owner = waiter.w_owner then (owner, waiter.w_mode) else (owner, mode))
+        lock.granted;
+    record_upgrade t ~owner:waiter.w_owner ~resource
+  end
+  else begin
+    lock.granted <- (waiter.w_owner, waiter.w_mode) :: lock.granted;
+    record_grant t ~owner:waiter.w_owner ~resource ~mode:waiter.w_mode
+  end;
+  Hashtbl.remove t.waiting waiter.w_owner
+
+(* Strict FIFO pump: grant from the front until the first waiter that still
+   conflicts. Returns the grant callbacks to run once state is settled. *)
+let pump t resource lock =
+  let rec loop acc =
+    match lock.queue with
+    | waiter :: rest when grantable lock waiter ->
+        lock.queue <- rest;
+        grant_waiter t resource lock waiter;
+        loop (waiter.on_grant :: acc)
+    | _ :: _ | [] -> List.rev acc
+  in
+  let callbacks = loop [] in
+  drop_if_empty t resource lock;
+  callbacks
+
+let acquire t ~owner ~resource ~mode ~on_grant =
+  if Hashtbl.mem t.waiting owner then
+    invalid_arg "Lock_table.acquire: owner is already waiting";
+  let lock = lock_for t resource in
+  let held_mode = List.assoc_opt owner lock.granted in
+  match held_mode with
+  | Some held when Mode.covers ~held ~requested:mode ->
+      drop_if_empty t resource lock;
+      Granted
+  | Some _held ->
+      (* Upgrade S -> X. Sole holder upgrades in place; otherwise the upgrade
+         waits at the front of the queue so it cannot deadlock behind new
+         arrivals. *)
+      if List.for_all (fun (o, _) -> o = owner) lock.granted then begin
+        lock.granted <- List.map (fun (o, _) -> (o, Mode.X)) lock.granted;
+        record_upgrade t ~owner ~resource;
+        Granted
+      end
+      else begin
+        lock.queue <- { w_owner = owner; w_mode = mode; on_grant } :: lock.queue;
+        Hashtbl.replace t.waiting owner resource;
+        Queued
+      end
+  | None ->
+      let compatible_with_granted =
+        List.for_all (fun (_, held) -> Mode.compatible held mode) lock.granted
+      in
+      if compatible_with_granted && lock.queue = [] then begin
+        lock.granted <- (owner, mode) :: lock.granted;
+        record_grant t ~owner ~resource ~mode;
+        Granted
+      end
+      else begin
+        lock.queue <- lock.queue @ [ { w_owner = owner; w_mode = mode; on_grant } ];
+        Hashtbl.replace t.waiting owner resource;
+        Queued
+      end
+
+let blockers t ~owner =
+  match Hashtbl.find_opt t.waiting owner with
+  | None -> []
+  | Some resource ->
+      let lock = Hashtbl.find t.locks resource in
+      let rec ahead acc = function
+        | [] -> acc (* the owner must be in the queue; defensive *)
+        | waiter :: _ when waiter.w_owner = owner -> acc
+        | waiter :: rest -> ahead (waiter :: acc) rest
+      in
+      let my_mode =
+        let rec find = function
+          | [] -> Mode.X
+          | waiter :: rest -> if waiter.w_owner = owner then waiter.w_mode else find rest
+        in
+        find lock.queue
+      in
+      let from_granted =
+        List.filter_map
+          (fun (o, mode) ->
+            if o <> owner && not (Mode.compatible mode my_mode) then Some o
+            else None)
+          lock.granted
+      in
+      let from_queue =
+        List.filter_map
+          (fun waiter ->
+            if not (Mode.compatible waiter.w_mode my_mode) then Some waiter.w_owner
+            else None)
+          (ahead [] lock.queue)
+      in
+      List.sort_uniq Int.compare (from_granted @ from_queue)
+
+let is_waiting t ~owner = Hashtbl.mem t.waiting owner
+let waiting_resource t ~owner = Hashtbl.find_opt t.waiting owner
+
+let cancel_wait t ~owner =
+  match Hashtbl.find_opt t.waiting owner with
+  | None -> ()
+  | Some resource ->
+      let lock = Hashtbl.find t.locks resource in
+      lock.queue <- List.filter (fun w -> w.w_owner <> owner) lock.queue;
+      Hashtbl.remove t.waiting owner;
+      let callbacks = pump t resource lock in
+      List.iter (fun callback -> callback ()) callbacks
+
+let release_all t ~owner =
+  cancel_wait t ~owner;
+  match Hashtbl.find_opt t.held owner with
+  | None -> ()
+  | Some table ->
+      Hashtbl.remove t.held owner;
+      let resources = Hashtbl.fold (fun resource _ acc -> resource :: acc) table [] in
+      let callbacks =
+        List.concat_map
+          (fun resource ->
+            match Hashtbl.find_opt t.locks resource with
+            | None -> []
+            | Some lock ->
+                lock.granted <- List.filter (fun (o, _) -> o <> owner) lock.granted;
+                t.grants <- t.grants - 1;
+                pump t resource lock)
+          (List.sort Int.compare resources)
+      in
+      List.iter (fun callback -> callback ()) callbacks
+
+let holds t ~owner ~resource =
+  match Hashtbl.find_opt t.held owner with
+  | None -> None
+  | Some table -> Hashtbl.find_opt table resource
+
+let held_resources t ~owner =
+  match Hashtbl.find_opt t.held owner with
+  | None -> []
+  | Some table ->
+      Hashtbl.fold (fun resource _ acc -> resource :: acc) table []
+      |> List.sort Int.compare
+
+let grants_outstanding t = t.grants

@@ -1,0 +1,52 @@
+(** Lock table: granted sets and FIFO wait queues per resource.
+
+    Resources and owners are integers; the transaction layer encodes
+    (node, object) pairs into resource ids. An owner (a transaction) waits
+    on at most one resource at a time — transactions execute their actions
+    sequentially — which the table enforces.
+
+    Grant discipline is strict FIFO: a release grants waiters from the front
+    of the queue until the first one that conflicts, which prevents
+    starvation and makes wait order deterministic. Lock upgrades (held S,
+    requested X) jump to the front of the queue. *)
+
+type t
+
+val create : unit -> t
+
+type outcome =
+  | Granted
+  | Queued
+      (** The request waits; the caller learns who blocks it via
+          [blockers]. *)
+
+val acquire :
+  t -> owner:int -> resource:int -> mode:Mode.t -> on_grant:(unit -> unit) ->
+  outcome
+(** Re-entrant: a request covered by a lock already held is granted without
+    a new entry. [on_grant] fires (possibly later, from [release_all] or
+    [cancel_wait]) only for [Queued] requests.
+    @raise Invalid_argument if [owner] is already waiting on some
+    resource. *)
+
+val blockers : t -> owner:int -> int list
+(** Owners that must release before this owner's queued request can be
+    granted: conflicting holders plus conflicting waiters queued ahead.
+    Empty when the owner is not waiting. Deduplicated, unspecified order. *)
+
+val is_waiting : t -> owner:int -> bool
+val waiting_resource : t -> owner:int -> int option
+
+val cancel_wait : t -> owner:int -> unit
+(** Drop the owner's queued request (it will never be granted); grants any
+    waiters the departure unblocks. No-op when not waiting. *)
+
+val release_all : t -> owner:int -> unit
+(** Release every lock the owner holds, granting unblocked waiters (their
+    [on_grant] callbacks run before this returns, oldest first).
+    Also cancels the owner's queued request if any. *)
+
+val holds : t -> owner:int -> resource:int -> Mode.t option
+val held_resources : t -> owner:int -> int list
+val grants_outstanding : t -> int
+(** Total (owner, resource) grants — an invariant-check hook for tests. *)

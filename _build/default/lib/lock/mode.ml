@@ -1,0 +1,11 @@
+type t = S | X
+
+let compatible a b = match (a, b) with S, S -> true | S, X | X, S | X, X -> false
+
+let covers ~held ~requested =
+  match (held, requested) with
+  | X, (S | X) -> true
+  | S, S -> true
+  | S, X -> false
+
+let pp ppf = function S -> Format.pp_print_string ppf "S" | X -> Format.pp_print_string ppf "X"

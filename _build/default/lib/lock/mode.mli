@@ -1,0 +1,14 @@
+(** Lock modes. The model's workload is update-only (reads are ignored,
+    Table 2), so the simulator takes X locks; S exists for the read-lock
+    RPCs lazy-master serializability requires (§5) and for completeness. *)
+
+type t = S | X
+
+val compatible : t -> t -> bool
+(** S/S is the only compatible pair. *)
+
+val covers : held:t -> requested:t -> bool
+(** A held X covers everything; a held S covers only S (an S holder
+    requesting X is an upgrade). *)
+
+val pp : Format.formatter -> t -> unit

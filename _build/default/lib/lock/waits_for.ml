@@ -1,0 +1,34 @@
+let find_cycle ~successors ~start =
+  (* DFS with an explicit path; [visited] prunes nodes proven not to reach
+     [start]. *)
+  let visited = Hashtbl.create 64 in
+  let rec dfs node path =
+    let explore acc successor =
+      match acc with
+      | Some _ as found -> found
+      | None ->
+          if successor = start then Some (List.rev path)
+          else if Hashtbl.mem visited successor then None
+          else begin
+            Hashtbl.add visited successor ();
+            dfs successor (successor :: path)
+          end
+    in
+    List.fold_left explore None (successors node)
+  in
+  dfs start [ start ]
+
+let reachable ~successors ~start =
+  let visited = Hashtbl.create 64 in
+  let rec dfs node =
+    List.iter
+      (fun successor ->
+        if not (Hashtbl.mem visited successor) then begin
+          Hashtbl.add visited successor ();
+          dfs successor
+        end)
+      (successors node)
+  in
+  dfs start;
+  Hashtbl.fold (fun node () acc -> node :: acc) visited []
+  |> List.sort Int.compare

@@ -1,0 +1,18 @@
+(** Cycle detection over a waits-for relation.
+
+    The relation is supplied as a successor function ("who blocks whom") and
+    evaluated lazily at detection time, so there are no stale-edge hazards:
+    the graph is always exactly the lock table's current state. Detection
+    runs whenever a request blocks, which is the model's assumption of
+    prompt deadlock detection. *)
+
+val find_cycle : successors:(int -> int list) -> start:int -> int list option
+(** Depth-first search from [start]; returns a cycle *through [start]* as the
+    list of owners in waits-for order (starting with [start], without
+    repeating it), or [None]. A victim-is-requester policy only needs cycles
+    through the new waiter: any deadlock created by this request contains
+    it. *)
+
+val reachable : successors:(int -> int list) -> start:int -> int list
+(** All owners transitively blocking [start], excluding [start] itself
+    unless it lies on a cycle. For diagnostics and tests. *)

@@ -1,0 +1,1 @@
+lib/net/connectivity.ml: Dangers_sim Dangers_util Float

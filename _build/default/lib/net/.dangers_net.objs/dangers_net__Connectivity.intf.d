@@ -1,0 +1,1 @@
+lib/net/connectivity.mli: Dangers_sim Dangers_util

@@ -1,0 +1,1 @@
+lib/net/delay.ml: Dangers_util Format

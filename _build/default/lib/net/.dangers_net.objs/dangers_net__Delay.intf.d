@@ -1,0 +1,1 @@
+lib/net/delay.mli: Dangers_util Format

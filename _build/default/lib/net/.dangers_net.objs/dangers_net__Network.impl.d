@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Dangers_sim Dangers_util Delay List Queue

@@ -1,0 +1,1 @@
+lib/net/network.mli: Dangers_sim Dangers_util Delay

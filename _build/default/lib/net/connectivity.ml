@@ -1,0 +1,94 @@
+module Engine = Dangers_sim.Engine
+module Rng = Dangers_util.Rng
+
+type distribution = Fixed | Exponential
+
+type spec = {
+  time_between_disconnects : float;
+  disconnected_time : float;
+  distribution : distribution;
+  start_connected : bool;
+}
+
+let always_connected spec =
+  spec.time_between_disconnects = infinity && spec.start_connected
+
+let base_node =
+  {
+    time_between_disconnects = infinity;
+    disconnected_time = 0.;
+    distribution = Fixed;
+    start_connected = true;
+  }
+
+let day_cycle ~connected ~disconnected =
+  if connected <= 0. || disconnected <= 0. then
+    invalid_arg "Connectivity.day_cycle: phase lengths must be positive";
+  {
+    time_between_disconnects = connected;
+    disconnected_time = disconnected;
+    distribution = Fixed;
+    start_connected = true;
+  }
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  spec : spec;
+  set_connected : bool -> unit;
+  mutable next_event : Engine.event_id option;
+  mutable toggle_count : int;
+  mutable stopped : bool;
+}
+
+let phase_length t ~connected =
+  let mean =
+    if connected then t.spec.time_between_disconnects else t.spec.disconnected_time
+  in
+  match t.spec.distribution with
+  | Fixed -> mean
+  | Exponential -> Rng.exponential t.rng ~mean
+
+let rec arm t ~connected =
+  if not t.stopped then begin
+    let span = phase_length t ~connected in
+    if Float.is_finite span then
+      t.next_event <-
+        Some
+          (Engine.schedule t.engine ~delay:span (fun () ->
+               let connected' = not connected in
+               t.toggle_count <- t.toggle_count + 1;
+               t.set_connected connected';
+               arm t ~connected:connected'))
+    else t.next_event <- None
+  end
+
+let install ~engine ~rng ~spec ~set_connected =
+  if spec.time_between_disconnects <= 0. then
+    invalid_arg "Connectivity.install: time_between_disconnects must be positive";
+  if spec.disconnected_time < 0. then
+    invalid_arg "Connectivity.install: disconnected_time must be >= 0";
+  let t =
+    {
+      engine;
+      rng;
+      spec;
+      set_connected;
+      next_event = None;
+      toggle_count = 0;
+      stopped = false;
+    }
+  in
+  set_connected spec.start_connected;
+  arm t ~connected:spec.start_connected;
+  t
+
+let stop t =
+  t.stopped <- true;
+  match t.next_event with
+  | Some event ->
+      Engine.cancel t.engine event;
+      t.next_event <- None
+  | None -> ()
+
+let toggles t = t.toggle_count

@@ -1,0 +1,108 @@
+module Engine = Dangers_sim.Engine
+module Rng = Dangers_util.Rng
+
+type 'msg parked = { p_src : int; p_dst : int; p_msg : 'msg }
+
+type 'msg t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  delay : Delay.t;
+  node_count : int;
+  connected : bool array;
+  parked : 'msg parked Queue.t array; (* indexed by the disconnected endpoint *)
+  deliver : src:int -> dst:int -> 'msg -> unit;
+  mutable observers : (node:int -> connected:bool -> unit) list;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable parked_count : int;
+}
+
+let create ~engine ~rng ~delay ~nodes ~deliver =
+  if nodes <= 0 then invalid_arg "Network.create: nodes must be positive";
+  Delay.validate delay;
+  {
+    engine;
+    rng;
+    delay;
+    node_count = nodes;
+    connected = Array.make nodes true;
+    parked = Array.init nodes (fun _ -> Queue.create ());
+    deliver;
+    observers = [];
+    sent = 0;
+    delivered = 0;
+    parked_count = 0;
+  }
+
+let nodes t = t.node_count
+
+let check_node t node name =
+  if node < 0 || node >= t.node_count then invalid_arg (name ^ ": node out of range")
+
+let is_connected t ~node =
+  check_node t node "Network.is_connected";
+  t.connected.(node)
+
+let park t ~at message =
+  Engine.trace t.engine (Dangers_sim.Trace.Message_parked { at });
+  Queue.add message t.parked.(at);
+  t.parked_count <- t.parked_count + 1
+
+(* Arrival: if the destination went down while the message was in flight, it
+   parks there and is re-delivered after the reconnect flush. *)
+let arrive t ({ p_src; p_dst; p_msg } as message) =
+  if t.connected.(p_dst) then begin
+    t.delivered <- t.delivered + 1;
+    Engine.trace t.engine
+      (Dangers_sim.Trace.Message_delivered { src = p_src; dst = p_dst });
+    t.deliver ~src:p_src ~dst:p_dst p_msg
+  end
+  else park t ~at:p_dst message
+
+let transmit t message =
+  let delay = Delay.sample t.delay t.rng in
+  ignore (Engine.schedule t.engine ~delay (fun () -> arrive t message))
+
+let send t ~src ~dst msg =
+  check_node t src "Network.send";
+  check_node t dst "Network.send";
+  if src = dst then invalid_arg "Network.send: src = dst";
+  t.sent <- t.sent + 1;
+  Engine.trace t.engine (Dangers_sim.Trace.Message_sent { src; dst });
+  let message = { p_src = src; p_dst = dst; p_msg = msg } in
+  if not t.connected.(src) then park t ~at:src message
+  else if not t.connected.(dst) then park t ~at:dst message
+  else transmit t message
+
+let broadcast t ~src msg =
+  for dst = 0 to t.node_count - 1 do
+    if dst <> src then send t ~src ~dst msg
+  done
+
+let set_connected t ~node state =
+  check_node t node "Network.set_connected";
+  if t.connected.(node) <> state then begin
+    t.connected.(node) <- state;
+    Engine.trace t.engine
+      (if state then Dangers_sim.Trace.Node_connected { node }
+       else Dangers_sim.Trace.Node_disconnected { node });
+    if state then begin
+      let queue = t.parked.(node) in
+      let backlog = Queue.length queue in
+      for _ = 1 to backlog do
+        let message = Queue.pop queue in
+        t.parked_count <- t.parked_count - 1;
+        (* A flushed message may still face a down peer at the other end. *)
+        let other = if message.p_src = node then message.p_dst else message.p_src in
+        if t.connected.(other) then transmit t message
+        else park t ~at:other message
+      done
+    end;
+    List.iter (fun observer -> observer ~node ~connected:state) t.observers
+  end
+
+let on_connectivity_change t observer = t.observers <- observer :: t.observers
+
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let messages_parked t = t.parked_count

@@ -1,0 +1,45 @@
+(** Simulated message network with store-and-forward for disconnected nodes.
+
+    Nodes are integers in [0, nodes). A message is delivered by invoking the
+    network's [deliver] callback after the sampled delay — but only when both
+    endpoints are connected. Messages involving a disconnected endpoint are
+    parked and flushed when that node reconnects; this models the paper's
+    mobile pattern of exchanging deferred replica updates at reconnect
+    (§2, §4). Base nodes simply never disconnect. *)
+
+type 'msg t
+
+val create :
+  engine:Dangers_sim.Engine.t ->
+  rng:Dangers_util.Rng.t ->
+  delay:Delay.t ->
+  nodes:int ->
+  deliver:(src:int -> dst:int -> 'msg -> unit) ->
+  'msg t
+(** All nodes start connected. @raise Invalid_argument if [nodes <= 0] or
+    the delay model is invalid. *)
+
+val nodes : 'msg t -> int
+val is_connected : 'msg t -> node:int -> bool
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Fire-and-forget. @raise Invalid_argument on out-of-range node ids or
+    [src = dst]. *)
+
+val broadcast : 'msg t -> src:int -> 'msg -> unit
+(** Send to every other node. *)
+
+val set_connected : 'msg t -> node:int -> bool -> unit
+(** Reconnecting flushes messages parked for and by the node, each with a
+    fresh delay sample. Observers registered with [on_connectivity_change]
+    run after the flush is scheduled. Setting the current state is a
+    no-op. *)
+
+val on_connectivity_change : 'msg t -> (node:int -> connected:bool -> unit) -> unit
+
+(** {1 Counters} *)
+
+val messages_sent : 'msg t -> int
+val messages_delivered : 'msg t -> int
+val messages_parked : 'msg t -> int
+(** Currently parked (waiting for a reconnect). *)

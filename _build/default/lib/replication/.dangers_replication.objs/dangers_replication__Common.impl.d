@@ -1,0 +1,1 @@
+lib/replication/common.ml: Array Dangers_analytic Dangers_sim Dangers_storage Dangers_txn Dangers_util Dangers_workload List Repl_stats

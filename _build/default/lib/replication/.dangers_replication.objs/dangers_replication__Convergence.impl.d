@@ -1,0 +1,1 @@
+lib/replication/convergence.ml: Array Dangers_storage Float Hashtbl List Set String

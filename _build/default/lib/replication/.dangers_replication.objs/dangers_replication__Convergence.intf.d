@@ -1,0 +1,1 @@
+lib/replication/convergence.mli: Dangers_storage

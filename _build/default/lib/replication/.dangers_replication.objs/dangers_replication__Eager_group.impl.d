@@ -1,0 +1,1 @@
+lib/replication/eager_group.ml: Eager_impl

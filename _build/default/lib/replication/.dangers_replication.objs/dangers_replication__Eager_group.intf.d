@@ -1,0 +1,1 @@
+lib/replication/eager_group.mli: Common Dangers_analytic Dangers_txn Dangers_workload Eager_impl Repl_stats

@@ -1,0 +1,1 @@
+lib/replication/eager_impl.ml: Array Common Dangers_analytic Dangers_lock Dangers_net Dangers_sim Dangers_storage Dangers_txn Dangers_util Dangers_workload Fun List Repl_stats

@@ -1,0 +1,1 @@
+lib/replication/eager_master.ml: Eager_impl

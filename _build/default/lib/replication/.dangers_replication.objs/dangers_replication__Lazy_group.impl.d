@@ -1,0 +1,1 @@
+lib/replication/lazy_group.ml: Array Common Dangers_analytic Dangers_lock Dangers_net Dangers_sim Dangers_storage Dangers_txn Dangers_util Dangers_workload Float Fun List Reconcile Repl_stats

@@ -1,0 +1,1 @@
+lib/replication/lazy_group_undo.ml: Array Common Dangers_analytic Dangers_net Dangers_sim Dangers_storage Dangers_txn Dangers_util Dangers_workload Fun Hashtbl List Repl_stats

@@ -1,0 +1,1 @@
+lib/replication/quorum_sim.ml: Array Common Dangers_analytic Dangers_net Dangers_storage Dangers_txn Dangers_util Fun List Quorum

@@ -1,0 +1,1 @@
+lib/replication/quorum_sim.mli: Common Dangers_analytic Dangers_net Dangers_storage Quorum

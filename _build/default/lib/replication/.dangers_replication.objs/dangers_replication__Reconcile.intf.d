@@ -1,0 +1,1 @@
+lib/replication/reconcile.mli: Dangers_storage

@@ -1,0 +1,1 @@
+lib/replication/repl_stats.ml: Dangers_sim Dangers_util Format

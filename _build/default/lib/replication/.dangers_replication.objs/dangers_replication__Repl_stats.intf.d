@@ -1,0 +1,1 @@
+lib/replication/repl_stats.mli: Dangers_sim Format

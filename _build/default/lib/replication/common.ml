@@ -1,0 +1,78 @@
+module Params = Dangers_analytic.Params
+module Engine = Dangers_sim.Engine
+module Metrics = Dangers_sim.Metrics
+module Fstore = Dangers_storage.Store.Fstore
+module Timestamp = Dangers_storage.Timestamp
+module Txn_id = Dangers_txn.Txn_id
+module Profile = Dangers_workload.Profile
+module Generator = Dangers_workload.Generator
+module Rng = Dangers_util.Rng
+
+type base = {
+  params : Params.t;
+  profile : Profile.t;
+  initial_value : float;
+  engine : Engine.t;
+  metrics : Metrics.t;
+  rng : Rng.t;
+  stores : Fstore.t array;
+  clocks : Timestamp.Clock.t array;
+  txn_gen : Txn_id.Gen.t;
+  mutable generators : Generator.t list;
+}
+
+let make ?profile ?(initial_value = 0.) params ~seed =
+  Params.validate params;
+  let profile =
+    match profile with Some p -> p | None -> Profile.of_params params
+  in
+  let engine = Engine.create () in
+  {
+    params;
+    profile;
+    initial_value;
+    engine;
+    metrics = Metrics.create engine;
+    rng = Rng.create ~seed;
+    stores =
+      Array.init params.Params.nodes (fun _ ->
+          Fstore.create ~db_size:params.Params.db_size ~init:(fun _ -> initial_value));
+    clocks =
+      Array.init params.Params.nodes (fun node -> Timestamp.Clock.create ~node);
+    txn_gen = Txn_id.Gen.create ();
+    generators = [];
+  }
+
+let start_generators base ~submit =
+  if base.generators <> [] then
+    invalid_arg "Common.start_generators: generators already running";
+  base.generators <-
+    List.init base.params.Params.nodes (fun node ->
+        let rng = Rng.split base.rng in
+        Generator.start ~engine:base.engine ~rng ~tps:base.params.Params.tps
+          ~profile:base.profile ~db_size:base.params.Params.db_size
+          ~submit:(fun ops -> submit ~node ops))
+
+let stop_generators base =
+  List.iter Generator.stop base.generators;
+  base.generators <- []
+
+let backoff_delay base rng =
+  let duration =
+    float_of_int base.params.Params.actions *. base.params.Params.action_time
+  in
+  (0.5 +. Rng.float rng 1.0) *. duration
+
+let commit_duration base ~started =
+  Metrics.incr base.metrics Repl_stats.commits;
+  Metrics.sample base.metrics Repl_stats.duration_sample
+    (Engine.now base.engine -. started)
+
+(* A drain that never ends is a bug (a generator or connectivity schedule
+   left running); surface it instead of hanging. *)
+let drain base = Engine.run ~max_events:200_000_000 base.engine
+
+let measure base ~warmup ~span =
+  Engine.run_for base.engine warmup;
+  Metrics.start_window base.metrics;
+  Engine.run_for base.engine span

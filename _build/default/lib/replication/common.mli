@@ -1,0 +1,54 @@
+(** Shared scaffolding for the replication-scheme simulators: one engine,
+    one metrics registry, a replica store and Lamport clock per node,
+    per-node RNG splits, and the measured-window drill. *)
+
+module Params = Dangers_analytic.Params
+module Engine = Dangers_sim.Engine
+module Metrics = Dangers_sim.Metrics
+module Fstore = Dangers_storage.Store.Fstore
+module Timestamp = Dangers_storage.Timestamp
+module Txn_id = Dangers_txn.Txn_id
+module Profile = Dangers_workload.Profile
+module Generator = Dangers_workload.Generator
+module Rng = Dangers_util.Rng
+
+type base = {
+  params : Params.t;
+  profile : Profile.t;
+  initial_value : float;
+  engine : Engine.t;
+  metrics : Metrics.t;
+  rng : Rng.t;
+  stores : Fstore.t array;  (** one replica of the whole database per node *)
+  clocks : Timestamp.Clock.t array;
+  txn_gen : Txn_id.Gen.t;
+  mutable generators : Generator.t list;
+}
+
+val make :
+  ?profile:Profile.t -> ?initial_value:float -> Params.t -> seed:int -> base
+(** Validates the parameters. The profile defaults to the model's
+    ([Profile.of_params]); every object starts at [initial_value]
+    (default 0). *)
+
+val start_generators : base -> submit:(node:int -> Dangers_txn.Op.t list -> unit) -> unit
+(** One Poisson generator per node at [params.tps], each on its own RNG
+    split. @raise Invalid_argument if generators are already running. *)
+
+val stop_generators : base -> unit
+
+val backoff_delay : base -> Rng.t -> float
+(** Restart delay for a deadlock victim: uniform in [0.5, 1.5] x the
+    scheme-free transaction duration (Actions x Action_Time) — long enough
+    to let the conflicting transaction finish, short enough not to distort
+    the load. *)
+
+val commit_duration : base -> started:float -> unit
+(** Record a committed transaction's duration sample and bump the commit
+    counter. *)
+
+val drain : base -> unit
+(** Run the engine until no events remain (generators must be stopped). *)
+
+val measure : base -> warmup:float -> span:float -> unit
+(** Run [warmup] seconds, reset the metrics window, run [span] more. *)

@@ -1,0 +1,10 @@
+type t = Eager_impl.t
+
+let create ?profile ?initial_value params ~seed =
+  Eager_impl.create ?profile ?initial_value Eager_impl.Group params ~seed
+
+let base = Eager_impl.base
+let submit = Eager_impl.submit
+let start = Eager_impl.start
+let stop_load = Eager_impl.stop_load
+let summary = Eager_impl.summary

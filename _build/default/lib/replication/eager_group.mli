@@ -1,0 +1,18 @@
+(** Eager group replication: update anywhere, all replicas updated inside
+    the originating transaction (Table 1, top-right). See {!Eager_impl} for
+    the execution model. *)
+
+type t = Eager_impl.t
+
+val create :
+  ?profile:Dangers_workload.Profile.t ->
+  ?initial_value:float ->
+  Dangers_analytic.Params.t ->
+  seed:int ->
+  t
+
+val base : t -> Common.base
+val submit : t -> node:int -> Dangers_txn.Op.t list -> unit
+val start : t -> unit
+val stop_load : t -> unit
+val summary : t -> Repl_stats.summary

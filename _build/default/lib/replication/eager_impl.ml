@@ -1,0 +1,132 @@
+module Params = Dangers_analytic.Params
+module Profile = Dangers_workload.Profile
+module Op = Dangers_txn.Op
+module Oid = Dangers_storage.Oid
+module Engine = Dangers_sim.Engine
+module Metrics = Dangers_sim.Metrics
+module Fstore = Dangers_storage.Store.Fstore
+module Timestamp = Dangers_storage.Timestamp
+module Txn_id = Dangers_txn.Txn_id
+module Executor = Dangers_txn.Executor
+module Lock_manager = Dangers_lock.Lock_manager
+module Rng = Dangers_util.Rng
+
+type ownership = Group | Master
+
+type t = {
+  common : Common.base;
+  executor : Executor.t;
+  retry_rng : Rng.t;
+  delay_rng : Rng.t;
+  delay : Dangers_net.Delay.t;
+  ownership : ownership;
+}
+
+let scheme_name = function Group -> "eager-group" | Master -> "eager-master"
+
+let create ?profile ?initial_value ?(delay = Dangers_net.Delay.Zero) ownership
+    params ~seed =
+  Dangers_net.Delay.validate delay;
+  let common = Common.make ?profile ?initial_value params ~seed in
+  let locks = Lock_manager.create () in
+  let executor =
+    Executor.create
+      ~on_wait:(fun () -> Metrics.incr common.Common.metrics Repl_stats.waits)
+      ~engine:common.Common.engine ~locks
+      ~action_time:params.Params.action_time ()
+  in
+  {
+    common;
+    executor;
+    retry_rng = Rng.split common.Common.rng;
+    delay_rng = Rng.split common.Common.rng;
+    delay;
+    ownership;
+  }
+
+let base t = t.common
+let ownership t = t.ownership
+
+let master_of t oid = Oid.to_int oid mod t.common.Common.params.Params.nodes
+
+(* The replicas an action visits, first-lock first. *)
+let visit_order t ~origin oid =
+  let nodes = t.common.Common.params.Params.nodes in
+  let first = match t.ownership with Group -> origin | Master -> master_of t oid in
+  first :: List.filter (fun m -> m <> first) (List.init nodes Fun.id)
+
+let resource t ~node oid =
+  (node * t.common.Common.params.Params.db_size) + Oid.to_int oid
+
+let apply_everywhere t ~origin ops =
+  let common = t.common in
+  List.iter
+    (fun op ->
+      if Op.is_update op then begin
+      let oid = Op.oid op in
+      let origin_store = common.Common.stores.(origin) in
+      let current = Fstore.read origin_store oid in
+      let value = Op.apply ~read:(Fstore.read origin_store) ~current op in
+      let stamp = Timestamp.Clock.tick common.Common.clocks.(origin) in
+      Array.iter (fun store -> Fstore.write store oid value stamp)
+        common.Common.stores
+      end)
+    ops
+
+let submit t ~node ops =
+  let common = t.common in
+  let metrics = common.Common.metrics in
+  let rec attempt () =
+    let owner = Txn_id.Gen.next common.Common.txn_gen in
+    let started = Engine.now common.Common.engine in
+    let steps =
+      List.concat_map
+        (fun op ->
+          let oid = Op.oid op in
+          if Op.is_update op then
+            List.map
+              (fun m ->
+                let step =
+                  Executor.update_step ~resource:(resource t ~node:m oid)
+                in
+                if m = node then step
+                else begin
+                  (* A remote update costs Action_Time plus the message
+                     delay the model ignores; charged here for the
+                     delay ablation. *)
+                  let extra = Dangers_net.Delay.sample t.delay t.delay_rng in
+                  if extra = 0. then step
+                  else
+                    {
+                      step with
+                      Executor.cost =
+                        Some
+                          (t.common.Common.params.Params.action_time +. extra);
+                    }
+                end)
+              (visit_order t ~origin:node oid)
+          else
+            (* Reads touch only the local replica: read-only work adds no
+               remote load (Figure 3). *)
+            [ Executor.read_step ~resource:(resource t ~node oid) ])
+        ops
+    in
+    Executor.run t.executor ~owner ~steps
+      ~on_commit:(fun () ->
+        apply_everywhere t ~origin:node ops;
+        Common.commit_duration common ~started)
+      ~on_deadlock:(fun ~cycle:_ ->
+        Metrics.incr metrics Repl_stats.deadlocks;
+        Metrics.incr metrics Repl_stats.restarts;
+        ignore
+          (Engine.schedule common.Common.engine
+             ~delay:(Common.backoff_delay common t.retry_rng)
+             attempt))
+  in
+  attempt ()
+
+let start t = Common.start_generators t.common ~submit:(fun ~node ops -> submit t ~node ops)
+let stop_load t = Common.stop_generators t.common
+
+let summary t =
+  Repl_stats.summarize ~scheme:(scheme_name t.ownership) t.common.Common.metrics

@@ -1,0 +1,19 @@
+(** Eager master replication: each object is owned by one node; updates hit
+    the owner's copy first, then the replicas, all inside the originating
+    transaction (Table 1, bottom-right). See {!Eager_impl}. *)
+
+type t = Eager_impl.t
+
+val create :
+  ?profile:Dangers_workload.Profile.t ->
+  ?initial_value:float ->
+  Dangers_analytic.Params.t ->
+  seed:int ->
+  t
+
+val base : t -> Common.base
+val master_of : t -> Dangers_storage.Oid.t -> int
+val submit : t -> node:int -> Dangers_txn.Op.t list -> unit
+val start : t -> unit
+val stop_load : t -> unit
+val summary : t -> Repl_stats.summary

@@ -1,0 +1,260 @@
+module Params = Dangers_analytic.Params
+module Profile = Dangers_workload.Profile
+module Op = Dangers_txn.Op
+module Oid = Dangers_storage.Oid
+module Connectivity = Dangers_net.Connectivity
+module Delay = Dangers_net.Delay
+module Network = Dangers_net.Network
+module Engine = Dangers_sim.Engine
+module Metrics = Dangers_sim.Metrics
+module Fstore = Dangers_storage.Store.Fstore
+module Timestamp = Dangers_storage.Timestamp
+module Txn_id = Dangers_txn.Txn_id
+module Executor = Dangers_txn.Executor
+module Lock_manager = Dangers_lock.Lock_manager
+module Rng = Dangers_util.Rng
+
+type t = {
+  common : Common.base;
+  executors : Executor.t array; (* one local lock space per node *)
+  mutable network : Reconcile.update list Network.t option;
+  rule : Reconcile.rule;
+  retry_rng : Rng.t;
+  expected : float array; (* initial_value + committed increment deltas *)
+  mutable schedules : Connectivity.t list;
+  mutable pending_installs : Engine.event_id list;
+}
+
+let base t = t.common
+let rule t = t.rule
+
+let network t =
+  match t.network with
+  | Some network -> network
+  | None -> assert false (* set at the end of [create] *)
+
+let max_stamp a b = if Timestamp.newer a ~than:b then a else b
+
+(* Apply one incoming replica update at [dst], counting §4's outcomes. *)
+let apply_update t ~dst (u : Reconcile.update) =
+  let common = t.common in
+  let metrics = common.Common.metrics in
+  let store = common.Common.stores.(dst) in
+  Timestamp.Clock.witness common.Common.clocks.(dst) u.Reconcile.stamp;
+  let current_stamp = Fstore.stamp store u.Reconcile.oid in
+  let chain_intact = Timestamp.equal current_stamp u.Reconcile.old_stamp in
+  let is_additive_delta =
+    match (t.rule, u.Reconcile.delta) with
+    | Reconcile.Additive, Some _ -> true
+    | Reconcile.Additive, None -> false
+    | ( ( Reconcile.Ignore | Reconcile.Timestamp_priority
+        | Reconcile.Site_priority _ | Reconcile.Value_priority _
+        | Reconcile.Custom _ ),
+        _ ) -> false
+  in
+  if is_additive_delta then begin
+    (* Commutative discipline: always merge the delta, never overwrite with
+       the absolute value — any application order yields the same sum. *)
+    if not chain_intact then Metrics.incr metrics Repl_stats.reconciliations;
+    let delta = match u.Reconcile.delta with Some d -> d | None -> assert false in
+    let current = Fstore.read store u.Reconcile.oid in
+    Fstore.write store u.Reconcile.oid (current +. delta)
+      (max_stamp current_stamp u.Reconcile.stamp);
+    Metrics.incr metrics Repl_stats.replica_applied
+  end
+  else if chain_intact then begin
+    Fstore.write store u.Reconcile.oid u.Reconcile.value u.Reconcile.stamp;
+    Metrics.incr metrics Repl_stats.replica_applied
+  end
+  else begin
+    Metrics.incr metrics Repl_stats.reconciliations;
+    let current_value = Fstore.read store u.Reconcile.oid in
+    let stamp' = max_stamp current_stamp u.Reconcile.stamp in
+    match Reconcile.resolve t.rule ~current_value ~current_stamp u with
+    | Reconcile.Keep_current ->
+        Fstore.write store u.Reconcile.oid current_value stamp'
+    | Reconcile.Take_incoming ->
+        Fstore.write store u.Reconcile.oid u.Reconcile.value stamp'
+    | Reconcile.Merge value -> Fstore.write store u.Reconcile.oid value stamp'
+    | Reconcile.Drop -> () (* failed reconciliation: the chain stays broken *)
+  end
+
+(* A replica-update transaction: the model charges it the same Actions x
+   Action_Time work as the root (equation 7's lazy accounting). Local
+   deadlocks restart it without user impact. *)
+let deliver t ~src:_ ~dst updates =
+  let common = t.common in
+  let rec attempt () =
+    let owner = Txn_id.Gen.next common.Common.txn_gen in
+    let steps =
+      List.map
+        (fun (u : Reconcile.update) ->
+          Executor.update_step ~resource:(Oid.to_int u.Reconcile.oid))
+        updates
+    in
+    Executor.run t.executors.(dst) ~owner ~steps
+      ~on_commit:(fun () ->
+        Metrics.incr common.Common.metrics "replica_txns";
+        List.iter (apply_update t ~dst) updates)
+      ~on_deadlock:(fun ~cycle:_ ->
+        Metrics.incr common.Common.metrics "replica_restarts";
+        ignore
+          (Engine.schedule common.Common.engine
+             ~delay:(Common.backoff_delay common t.retry_rng)
+             attempt))
+  in
+  attempt ()
+
+let root_commit t ~node ops =
+  let common = t.common in
+  let store = common.Common.stores.(node) in
+  let clock = common.Common.clocks.(node) in
+  let updates =
+    List.filter_map
+      (fun op ->
+        if not (Op.is_update op) then None
+        else begin
+          let oid = Op.oid op in
+          let current = Fstore.read store oid in
+          let value = Op.apply ~read:(Fstore.read store) ~current op in
+          let old_stamp = Fstore.stamp store oid in
+          let stamp = Timestamp.Clock.tick clock in
+          Fstore.write store oid value stamp;
+          let delta =
+            match op with
+            | Op.Increment (_, d) ->
+                t.expected.(Oid.to_int oid) <- t.expected.(Oid.to_int oid) +. d;
+                Some d
+            | Op.Assign _ | Op.Read _ | Op.Assign_from _ -> None
+          in
+          Some
+            {
+              Reconcile.oid;
+              old_stamp;
+              value;
+              delta;
+              stamp;
+              origin = node;
+            }
+        end)
+      ops
+  in
+  if updates <> [] then Network.broadcast (network t) ~src:node updates
+
+let submit t ~node ops =
+  let common = t.common in
+  let rec attempt () =
+    let owner = Txn_id.Gen.next common.Common.txn_gen in
+    let started = Engine.now common.Common.engine in
+    let steps =
+      List.map
+        (fun op ->
+          let resource = Oid.to_int (Op.oid op) in
+          if Op.is_update op then Executor.update_step ~resource
+          else Executor.read_step ~resource)
+        ops
+    in
+    Executor.run t.executors.(node) ~owner ~steps
+      ~on_commit:(fun () ->
+        root_commit t ~node ops;
+        Common.commit_duration common ~started)
+      ~on_deadlock:(fun ~cycle:_ ->
+        Metrics.incr common.Common.metrics Repl_stats.deadlocks;
+        Metrics.incr common.Common.metrics Repl_stats.restarts;
+        ignore
+          (Engine.schedule common.Common.engine
+             ~delay:(Common.backoff_delay common t.retry_rng)
+             attempt))
+  in
+  attempt ()
+
+let create ?profile ?initial_value ?(rule = Reconcile.Timestamp_priority)
+    ?(delay = Delay.Zero) ?mobility ?mobile_nodes params ~seed =
+  let common = Common.make ?profile ?initial_value params ~seed in
+  let executors =
+    Array.init params.Params.nodes (fun _ ->
+        Executor.create
+          ~on_wait:(fun () -> Metrics.incr common.Common.metrics Repl_stats.waits)
+          ~engine:common.Common.engine
+          ~locks:(Lock_manager.create ())
+          ~action_time:params.Params.action_time ())
+  in
+  let init_value = match initial_value with Some v -> v | None -> 0. in
+  let t =
+    {
+      common;
+      executors;
+      network = None;
+      rule;
+      retry_rng = Rng.split common.Common.rng;
+      expected = Array.make params.Params.db_size init_value;
+      schedules = [];
+      pending_installs = [];
+    }
+  in
+  let network =
+    Network.create ~engine:common.Common.engine
+      ~rng:(Rng.split common.Common.rng) ~delay ~nodes:params.Params.nodes
+      ~deliver:(fun ~src ~dst updates -> deliver t ~src ~dst updates)
+  in
+  t.network <- Some network;
+  (match mobility with
+  | None -> ()
+  | Some spec ->
+      let targets =
+        match mobile_nodes with
+        | Some nodes -> nodes
+        | None -> List.init params.Params.nodes Fun.id
+      in
+      (* Stagger the phases so the fleet does not disconnect in lockstep. *)
+      let cycle = spec.Connectivity.time_between_disconnects
+                  +. spec.Connectivity.disconnected_time in
+      let stagger_rng = Rng.split common.Common.rng in
+      List.iter
+        (fun node ->
+          let offset = Rng.float stagger_rng cycle in
+          let install =
+            Engine.schedule common.Common.engine ~delay:offset (fun () ->
+                let schedule =
+                  Connectivity.install ~engine:common.Common.engine
+                    ~rng:(Rng.split stagger_rng) ~spec
+                    ~set_connected:(fun connected ->
+                      Network.set_connected network ~node connected)
+                in
+                t.schedules <- schedule :: t.schedules)
+          in
+          t.pending_installs <- install :: t.pending_installs)
+        targets);
+  t
+
+let start t = Common.start_generators t.common ~submit:(fun ~node ops -> submit t ~node ops)
+let stop_load t = Common.stop_generators t.common
+
+let summary t = Repl_stats.summarize ~scheme:"lazy-group" t.common.Common.metrics
+
+let expected_sum t oid = t.expected.(Oid.to_int oid)
+
+let divergence t =
+  let stores = t.common.Common.stores in
+  let reference = stores.(0) in
+  let count = ref 0 in
+  Array.iteri
+    (fun node store ->
+      if node > 0 then
+        Fstore.iter store (fun oid value _ ->
+            if not (Float.equal value (Fstore.read reference oid)) then incr count))
+    stores;
+  !count
+
+let is_connected t ~node = Network.is_connected (network t) ~node
+
+let force_sync t =
+  List.iter (Engine.cancel t.common.Common.engine) t.pending_installs;
+  t.pending_installs <- [];
+  List.iter Connectivity.stop t.schedules;
+  t.schedules <- [];
+  let n = t.common.Common.params.Params.nodes in
+  for node = 0 to n - 1 do
+    Network.set_connected (network t) ~node true
+  done;
+  Common.drain t.common

@@ -1,0 +1,57 @@
+(** Undo-oriented lazy-group replication — the alternative §7 examines and
+    rejects.
+
+    "One approach is to undo all the work of any transaction that needs
+    reconciliation — backing out all the updates of the transaction. This
+    makes transactions atomic, consistent, and isolated, but not durable —
+    or at least not durable until the updates are propagated to each node.
+    In such a lazy group system, every transaction is tentative until all
+    its replica updates have been propagated. If some mobile replica node
+    is disconnected for a very long time, all transactions will be
+    tentative until the missing node reconnects."
+
+    The model: a root transaction commits locally and stays {e tentative}
+    until every peer acknowledges its replica updates. A peer whose
+    timestamp chain matches applies and ACKs; a conflicting peer NACKs,
+    and the origin then undoes the transaction everywhere (value-level
+    backout; cascades are not chased — the paper's point stands without
+    them). Durability lag — commit to last ACK — is the measurable cost:
+    with a disconnected node it is the rest of the disconnection, which is
+    what makes the scheme untenable for mobile use. *)
+
+module Params = Dangers_analytic.Params
+module Profile = Dangers_workload.Profile
+module Op = Dangers_txn.Op
+module Connectivity = Dangers_net.Connectivity
+
+type t
+
+val create :
+  ?profile:Profile.t ->
+  ?initial_value:float ->
+  ?mobility:Connectivity.spec ->
+  ?mobile_nodes:int list ->
+  Params.t ->
+  seed:int ->
+  t
+
+val base : t -> Common.base
+val submit : t -> node:int -> Op.t list -> unit
+val start : t -> unit
+val stop_load : t -> unit
+
+val durable : t -> int
+(** Transactions fully acknowledged. *)
+
+val tentative_outstanding : t -> int
+(** Transactions still waiting for acknowledgements. *)
+
+val undone : t -> int
+(** Transactions backed out after a conflict NACK. *)
+
+val durability_lag : t -> Dangers_util.Stats.t
+(** Seconds from local commit to the last acknowledgement, per durable
+    transaction. *)
+
+val force_sync : t -> unit
+(** Reconnect everyone and drain (generators must be stopped). *)

@@ -1,0 +1,157 @@
+module Params = Dangers_analytic.Params
+module Connectivity = Dangers_net.Connectivity
+module Fstore = Dangers_storage.Store.Fstore
+module Timestamp = Dangers_storage.Timestamp
+module Op = Dangers_txn.Op
+module Oid = Dangers_storage.Oid
+module Rng = Dangers_util.Rng
+
+type t = {
+  common : Common.base;
+  quorum : Quorum.t;
+  up : bool array;
+  version : int array; (* last committed update each replica has applied *)
+  mutable latest : int; (* version of the most recent committed update *)
+  mutable committed : int;
+  mutable unavailable : int;
+  mutable catch_ups : int;
+  mutable schedules : Connectivity.t list;
+}
+
+let base t = t.common
+
+(* The up node holding the newest state; None when everyone is down. *)
+let freshest_up t =
+  let best = ref None in
+  Array.iteri
+    (fun node is_up ->
+      if is_up then
+        match !best with
+        | None -> best := Some node
+        | Some current -> if t.version.(node) > t.version.(current) then best := Some node)
+    t.up;
+  !best
+
+let sync_from t ~node ~source =
+  if t.version.(source) > t.version.(node) then begin
+    Fstore.overwrite_from t.common.Common.stores.(node)
+      ~src:t.common.Common.stores.(source);
+    t.version.(node) <- t.version.(source);
+    t.catch_ups <- t.catch_ups + 1
+  end
+
+(* Gifford-style commit. The submitter is a *client* (clients do not fail
+   with replicas, so measured availability is the closed-form quantity): an
+   update succeeds iff the up-set holds a write quorum. It then reads the
+   freshest up replica (version numbers play the role of Gifford's version
+   vectors) and installs the update at every up replica, leaving all up
+   nodes current. *)
+let submit t ~node:_ ops =
+  if Quorum.can_write t.quorum ~up:t.up then begin
+    match freshest_up t with
+    | None -> assert false (* a write quorum implies at least one up node *)
+    | Some source ->
+        (* Bring any laggard in the write set current first. *)
+        Array.iteri
+          (fun peer is_up -> if is_up then sync_from t ~node:peer ~source)
+          t.up;
+        let authoritative = t.common.Common.stores.(source) in
+        let stamp = Timestamp.Clock.tick t.common.Common.clocks.(source) in
+        t.latest <- t.latest + 1;
+        List.iter
+          (fun op ->
+            if Op.is_update op then begin
+              let oid = Op.oid op in
+              let current = Fstore.read authoritative oid in
+              let value = Op.apply ~read:(Fstore.read authoritative) ~current op in
+              Array.iteri
+                (fun peer is_up ->
+                  if is_up then
+                    Fstore.write t.common.Common.stores.(peer) oid value stamp)
+                t.up
+            end)
+          ops;
+        Array.iteri
+          (fun peer is_up -> if is_up then t.version.(peer) <- t.latest)
+          t.up;
+        t.committed <- t.committed + 1
+  end
+  else t.unavailable <- t.unavailable + 1
+
+let set_up t ~node state =
+  if t.up.(node) <> state then begin
+    t.up.(node) <- state;
+    if state then
+      match freshest_up t with
+      | Some source when source <> node -> sync_from t ~node ~source
+      | Some _ | None -> ()
+  end
+
+let create ?initial_value ~quorum ~uptime ~mean_downtime params ~seed =
+  if not (uptime > 0. && uptime < 1.) then
+    invalid_arg "Quorum_sim.create: uptime must be in (0,1)";
+  if mean_downtime <= 0. then
+    invalid_arg "Quorum_sim.create: mean_downtime must be positive";
+  if Quorum.replicas quorum <> params.Params.nodes then
+    invalid_arg "Quorum_sim.create: quorum replica count mismatch";
+  let common = Common.make ?initial_value params ~seed in
+  let t =
+    {
+      common;
+      quorum;
+      up = Array.make params.Params.nodes true;
+      version = Array.make params.Params.nodes 0;
+      latest = 0;
+      committed = 0;
+      unavailable = 0;
+      catch_ups = 0;
+      schedules = [];
+    }
+  in
+  let mean_uptime = mean_downtime *. uptime /. (1. -. uptime) in
+  let spec =
+    {
+      Connectivity.time_between_disconnects = mean_uptime;
+      disconnected_time = mean_downtime;
+      distribution = Connectivity.Exponential;
+      start_connected = true;
+    }
+  in
+  for node = 0 to params.Params.nodes - 1 do
+    let schedule =
+      Connectivity.install ~engine:common.Common.engine
+        ~rng:(Rng.split common.Common.rng) ~spec
+        ~set_connected:(fun state -> set_up t ~node state)
+    in
+    t.schedules <- schedule :: t.schedules
+  done;
+  t
+
+let start t = Common.start_generators t.common ~submit:(fun ~node ops -> submit t ~node ops)
+
+let stop_load t =
+  Common.stop_generators t.common;
+  List.iter Connectivity.stop t.schedules;
+  t.schedules <- []
+
+let committed t = t.committed
+let unavailable t = t.unavailable
+
+let availability t =
+  let total = t.committed + t.unavailable in
+  if total = 0 then 1. else float_of_int t.committed /. float_of_int total
+
+let catch_ups t = t.catch_ups
+
+let up_replicas_consistent t =
+  match freshest_up t with
+  | None -> true
+  | Some source ->
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun node is_up ->
+             (not is_up)
+             || t.version.(node) < t.version.(source)
+             || Fstore.content_equal t.common.Common.stores.(node)
+                  t.common.Common.stores.(source))
+           t.up)

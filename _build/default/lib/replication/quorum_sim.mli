@@ -1,0 +1,54 @@
+(** Eager replication under failures with weighted-voting quorums.
+
+    §3: "Simple eager replication systems prohibit updates if any node is
+    disconnected. For high availability, eager replication systems allow
+    updates among members of the quorum ... When a node joins the quorum,
+    the quorum sends the new node all replica updates since the node was
+    disconnected."
+
+    This simulator models exactly that availability layer (the locking
+    layer is {!Eager_impl}'s job): nodes fail and recover on connectivity
+    schedules; an update commits iff the up-set holds a write quorum, and
+    then applies to every up replica; a recovering node catches up from a
+    current replica before rejoining. Measured availability can be checked
+    against {!Quorum}'s closed-form prediction. *)
+
+module Params = Dangers_analytic.Params
+module Connectivity = Dangers_net.Connectivity
+module Fstore = Dangers_storage.Store.Fstore
+
+type t
+
+val create :
+  ?initial_value:float ->
+  quorum:Quorum.t ->
+  uptime:float ->
+  mean_downtime:float ->
+  Params.t ->
+  seed:int ->
+  t
+(** [uptime] is the long-run fraction of time each node is up (exponential
+    up/down phases; mean downtime [mean_downtime] seconds, mean uptime
+    derived). The quorum must have [params.nodes] replicas.
+    @raise Invalid_argument on [uptime] outside (0,1), non-positive
+    downtime, or a replica-count mismatch. *)
+
+val start : t -> unit
+(** Poisson update load per node (only up nodes originate). *)
+
+val stop_load : t -> unit
+val base : t -> Common.base
+
+val committed : t -> int
+val unavailable : t -> int
+(** Updates refused because the up-set lacked a write quorum. *)
+
+val availability : t -> float
+(** committed / (committed + unavailable), over the whole run. *)
+
+val catch_ups : t -> int
+(** Recovery synchronisations performed. *)
+
+val up_replicas_consistent : t -> bool
+(** Every currently-up replica has identical content — the eager
+    invariant the quorum protects. *)

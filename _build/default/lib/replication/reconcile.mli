@@ -1,0 +1,61 @@
+(** Reconciliation rules for dangerous lazy-group updates.
+
+    §6 observes that Oracle 7 shipped a dozen pluggable rules — site
+    priority, time priority, value priority, commutative merges — and that
+    such rules "make some transactions commutative". This module implements
+    that rule family. A rule is consulted only when the timestamp chain is
+    broken: the incoming update was made against a version the local
+    replica no longer has (or never had).
+
+    After any decision the object's timestamp advances to the maximum of
+    the two timestamps, so replicas that see the same update set settle on
+    the same (value, stamp) pair for the order-insensitive rules
+    ([Timestamp_priority], [Value_priority], [Additive]). *)
+
+module Oid = Dangers_storage.Oid
+module Timestamp = Dangers_storage.Timestamp
+
+type update = {
+  oid : Oid.t;
+  old_stamp : Timestamp.t;  (** origin's stamp before its update *)
+  value : float;  (** absolute value after the update at the origin *)
+  delta : float option;  (** the increment, when the op was commutative *)
+  stamp : Timestamp.t;  (** the update's own stamp *)
+  origin : int;  (** originating node *)
+}
+
+type decision =
+  | Keep_current
+  | Take_incoming
+  | Merge of float  (** write this merged value *)
+  | Drop
+      (** no state change at all — not even the timestamp advances, so the
+          replica's chain stays broken and every later update from the same
+          lineage is dangerous too. This models *failed* reconciliation:
+          the divergence it leaves behind accumulates into the paper's
+          system delusion. *)
+
+type rule =
+  | Ignore
+      (** reject every dangerous update outright ([Drop]) — the
+          no-reconciliation strawman whose divergence grows without bound *)
+  | Timestamp_priority  (** latest timestamp wins (Notes' replace; lossy) *)
+  | Site_priority of int array
+      (** earlier site in the array wins; unlisted sites lose to listed
+          ones; ties fall back to timestamps *)
+  | Value_priority of [ `Max | `Min ]  (** extremum wins (lossy) *)
+  | Additive
+      (** commutative merge: add the incoming delta to the current value;
+          falls back to [Timestamp_priority] for updates with no delta *)
+  | Custom of
+      (current_value:float -> current_stamp:Timestamp.t -> update -> decision)
+
+val resolve :
+  rule -> current_value:float -> current_stamp:Timestamp.t -> update -> decision
+
+val rule_name : rule -> string
+
+val lossless : rule -> bool
+(** [Additive] preserves every update's effect; the priority rules discard
+    the loser (the lost-update problem). [Custom] is conservatively
+    lossy. *)

@@ -1,0 +1,51 @@
+module Metrics = Dangers_sim.Metrics
+module Stats = Dangers_util.Stats
+
+let commits = "commits"
+let waits = "waits"
+let deadlocks = "deadlocks"
+let restarts = "restarts"
+let reconciliations = "reconciliations"
+let replica_applied = "replica_applied"
+let stale_discards = "stale_discards"
+let lost_updates = "lost_updates"
+let duration_sample = "txn_duration"
+
+type summary = {
+  scheme : string;
+  window : float;
+  commits : int;
+  waits : int;
+  deadlocks : int;
+  restarts : int;
+  reconciliations : int;
+  commit_rate : float;
+  wait_rate : float;
+  deadlock_rate : float;
+  reconciliation_rate : float;
+  mean_duration : float;
+}
+
+let summarize ~scheme metrics =
+  {
+    scheme;
+    window = Metrics.window_elapsed metrics;
+    commits = Metrics.count metrics commits;
+    waits = Metrics.count metrics waits;
+    deadlocks = Metrics.count metrics deadlocks;
+    restarts = Metrics.count metrics restarts;
+    reconciliations = Metrics.count metrics reconciliations;
+    commit_rate = Metrics.rate metrics commits;
+    wait_rate = Metrics.rate metrics waits;
+    deadlock_rate = Metrics.rate metrics deadlocks;
+    reconciliation_rate = Metrics.rate metrics reconciliations;
+    mean_duration = Stats.mean (Metrics.sample_stats metrics duration_sample);
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>%s over %.1fs:@ commits=%d (%.3f/s) waits=%d (%.4f/s) deadlocks=%d \
+     (%.5f/s)@ restarts=%d reconciliations=%d (%.5f/s) mean duration=%.4fs@]"
+    s.scheme s.window s.commits s.commit_rate s.waits s.wait_rate s.deadlocks
+    s.deadlock_rate s.restarts s.reconciliations s.reconciliation_rate
+    s.mean_duration

@@ -1,0 +1,58 @@
+(** Canonical metric names and the per-run summary every scheme reports.
+
+    All schemes increment the same counter names in their {!Dangers_sim.Metrics.t},
+    so experiments can compare them without per-scheme plumbing. *)
+
+(** {1 Counter names} *)
+
+val commits : string
+(** User (root / master / base) transactions committed. *)
+
+val waits : string
+(** Lock requests that blocked. *)
+
+val deadlocks : string
+(** Transactions killed as deadlock victims. *)
+
+val restarts : string
+(** Deadlock victims resubmitted. *)
+
+val reconciliations : string
+(** Dangerous lazy-group updates (timestamp-chain mismatches) that needed a
+    reconciliation rule, and two-tier base transactions failing acceptance. *)
+
+val replica_applied : string
+(** Replica updates applied at a non-originating node. *)
+
+val stale_discards : string
+(** Replica updates ignored because the replica already had a newer
+    timestamp (lazy-master §5). *)
+
+val lost_updates : string
+(** Updates whose effect is absent from the converged state (§6's lost
+    update problem). *)
+
+val duration_sample : string
+(** Sample-stream name for committed user-transaction durations. *)
+
+(** {1 Summary} *)
+
+type summary = {
+  scheme : string;
+  window : float;  (** measured sim-time, seconds *)
+  commits : int;
+  waits : int;
+  deadlocks : int;
+  restarts : int;
+  reconciliations : int;
+  commit_rate : float;
+  wait_rate : float;
+  deadlock_rate : float;
+  reconciliation_rate : float;
+  mean_duration : float;  (** mean committed transaction duration, seconds *)
+}
+
+val summarize : scheme:string -> Dangers_sim.Metrics.t -> summary
+(** Read the current measurement window. *)
+
+val pp_summary : Format.formatter -> summary -> unit

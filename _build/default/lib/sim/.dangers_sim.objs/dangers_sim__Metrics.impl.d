@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Dangers_util Engine Hashtbl List String

@@ -1,0 +1,117 @@
+type event = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type event_id = event
+
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable fired : int;
+  mutable live : int;
+  queue : event Heap.t;
+  mutable trace : Trace.t option;
+}
+
+let compare_events a b =
+  match Float.compare a.time b.time with
+  | 0 -> Int.compare a.seq b.seq
+  | order -> order
+
+let create () =
+  {
+    clock = 0.;
+    next_seq = 0;
+    fired = 0;
+    live = 0;
+    queue = Heap.create ~cmp:compare_events ();
+    trace = None;
+  }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  if not (Float.is_finite time) then invalid_arg "Engine.schedule_at: non-finite time";
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  let event = { time; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.queue event;
+  event
+
+let schedule t ~delay action =
+  if not (Float.is_finite delay && delay >= 0.) then
+    invalid_arg "Engine.schedule: delay must be finite and non-negative";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let cancel t event =
+  if not event.cancelled then begin
+    event.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some event ->
+      if event.cancelled then step t
+      else begin
+        t.live <- t.live - 1;
+        t.clock <- event.time;
+        t.fired <- t.fired + 1;
+        event.action ();
+        true
+      end
+
+exception Runaway of int
+
+let run ?max_events ?until t =
+  let budget = ref (match max_events with Some n -> n | None -> max_int) in
+  let tick () =
+    if !budget = 0 then
+      raise (Runaway (match max_events with Some n -> n | None -> max_int));
+    decr budget
+  in
+  match until with
+  | None ->
+      let continue = ref true in
+      while !continue do
+        tick ();
+        if not (step t) then continue := false
+      done
+  | Some deadline ->
+      let rec loop () =
+        match Heap.peek t.queue with
+        | None -> ()
+        | Some event when event.cancelled ->
+            ignore (Heap.pop t.queue);
+            loop ()
+        | Some event ->
+            if event.time <= deadline then begin
+              tick ();
+              ignore (step t);
+              loop ()
+            end
+      in
+      loop ();
+      if deadline > t.clock then t.clock <- deadline
+
+let run_for t span =
+  if not (Float.is_finite span && span >= 0.) then
+    invalid_arg "Engine.run_for: span must be finite and non-negative";
+  run t ~until:(t.clock +. span)
+
+let events_fired t = t.fired
+
+let set_tracer t tracer = t.trace <- tracer
+let tracer t = t.trace
+
+let trace t event =
+  match t.trace with
+  | Some tr -> Trace.record tr ~now:t.clock event
+  | None -> ()

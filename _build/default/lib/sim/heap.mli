@@ -1,0 +1,27 @@
+(** Array-backed binary min-heap, the event queue of the simulator.
+
+    Elements are ordered by a caller-supplied comparison. The simulator keys
+    events by [(time, sequence)] so equal-time events pop in schedule
+    order. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains a copy of the heap; the heap itself is unchanged. For tests and
+    debugging. *)

@@ -1,0 +1,69 @@
+module Stats = Dangers_util.Stats
+
+type counter = { mutable window : int; mutable lifetime : int }
+
+type t = {
+  engine : Engine.t;
+  counters : (string, counter) Hashtbl.t;
+  samples : (string, Stats.t) Hashtbl.t;
+  mutable window_start : float;
+}
+
+let create engine =
+  {
+    engine;
+    counters = Hashtbl.create 32;
+    samples = Hashtbl.create 32;
+    window_start = Engine.now engine;
+  }
+
+let counter_for t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+      let c = { window = 0; lifetime = 0 } in
+      Hashtbl.add t.counters name c;
+      c
+
+let incr_by t name n =
+  let c = counter_for t name in
+  c.window <- c.window + n;
+  c.lifetime <- c.lifetime + n
+
+let incr t name = incr_by t name 1
+
+let count t name =
+  match Hashtbl.find_opt t.counters name with Some c -> c.window | None -> 0
+
+let total_count t name =
+  match Hashtbl.find_opt t.counters name with Some c -> c.lifetime | None -> 0
+
+let window_elapsed t = Engine.now t.engine -. t.window_start
+
+let rate t name =
+  let elapsed = window_elapsed t in
+  if elapsed <= 0. then 0. else float_of_int (count t name) /. elapsed
+
+let sample t name x =
+  let stats =
+    match Hashtbl.find_opt t.samples name with
+    | Some s -> s
+    | None ->
+        let s = Stats.create () in
+        Hashtbl.add t.samples name s;
+        s
+  in
+  Stats.add stats x
+
+let sample_stats t name =
+  match Hashtbl.find_opt t.samples name with
+  | Some s -> s
+  | None -> Stats.create ()
+
+let start_window t =
+  Hashtbl.iter (fun _ c -> c.window <- 0) t.counters;
+  t.window_start <- Engine.now t.engine
+
+let counter_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.counters []
+  |> List.sort String.compare

@@ -1,0 +1,44 @@
+(** Named counters and samples tied to simulated time.
+
+    Experiments run a warmup phase and then a measured window; rates are
+    reported as events per simulated second within the window, which is what
+    the paper's per-second equations predict. *)
+
+type t
+
+val create : Engine.t -> t
+
+(** {1 Counters} *)
+
+val incr : t -> string -> unit
+val incr_by : t -> string -> int -> unit
+
+val count : t -> string -> int
+(** Count within the current window (0 for unknown names). *)
+
+val total_count : t -> string -> int
+(** Count since creation, ignoring windows. *)
+
+val rate : t -> string -> float
+(** [count / elapsed-window-time]; 0 when no time has elapsed. *)
+
+(** {1 Samples} *)
+
+val sample : t -> string -> float -> unit
+(** Record an observation (e.g. a transaction's duration) into the named
+    accumulator. *)
+
+val sample_stats : t -> string -> Dangers_util.Stats.t
+(** The accumulator for a name; an empty one for unknown names. Samples are
+    not windowed. *)
+
+(** {1 Windows} *)
+
+val start_window : t -> unit
+(** Zero all window counts and mark the current simulated time as the window
+    start. Call after warmup. *)
+
+val window_elapsed : t -> float
+
+val counter_names : t -> string list
+(** Sorted; for reporting. *)

@@ -1,0 +1,65 @@
+type event =
+  | Txn_started of { owner : int }
+  | Lock_granted of { owner : int; resource : int }
+  | Lock_waited of { owner : int; resource : int }
+  | Deadlock_victim of { owner : int; cycle : int list }
+  | Txn_committed of { owner : int }
+  | Message_sent of { src : int; dst : int }
+  | Message_delivered of { src : int; dst : int }
+  | Message_parked of { at : int }
+  | Node_connected of { node : int }
+  | Node_disconnected of { node : int }
+  | Note of string
+
+type entry = { at : float; event : event }
+
+type t = {
+  ring : entry option array;
+  mutable next : int; (* total recorded; ring slot = next mod capacity *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { ring = Array.make capacity None; next = 0 }
+
+let record t ~now event =
+  t.ring.(t.next mod Array.length t.ring) <- Some { at = now; event };
+  t.next <- t.next + 1
+
+let recorded t = t.next
+let dropped t = max 0 (t.next - Array.length t.ring)
+
+let entries t =
+  let capacity = Array.length t.ring in
+  let retained = min t.next capacity in
+  let first = t.next - retained in
+  List.init retained (fun i ->
+      match t.ring.((first + i) mod capacity) with
+      | Some entry -> entry
+      | None -> assert false)
+
+let matching t predicate =
+  List.filter (fun entry -> predicate entry.event) (entries t)
+
+let pp_event ppf = function
+  | Txn_started { owner } -> Format.fprintf ppf "txn t%d started" owner
+  | Lock_granted { owner; resource } ->
+      Format.fprintf ppf "t%d granted r%d" owner resource
+  | Lock_waited { owner; resource } ->
+      Format.fprintf ppf "t%d waits on r%d" owner resource
+  | Deadlock_victim { owner; cycle } ->
+      Format.fprintf ppf "t%d killed (cycle %s)" owner
+        (String.concat "->" (List.map string_of_int cycle))
+  | Txn_committed { owner } -> Format.fprintf ppf "txn t%d committed" owner
+  | Message_sent { src; dst } -> Format.fprintf ppf "msg n%d -> n%d sent" src dst
+  | Message_delivered { src; dst } ->
+      Format.fprintf ppf "msg n%d -> n%d delivered" src dst
+  | Message_parked { at } -> Format.fprintf ppf "msg parked at n%d" at
+  | Node_connected { node } -> Format.fprintf ppf "n%d connected" node
+  | Node_disconnected { node } -> Format.fprintf ppf "n%d disconnected" node
+  | Note text -> Format.fprintf ppf "note: %s" text
+
+let pp_entry ppf { at; event } = Format.fprintf ppf "[%10.4f] %a" at pp_event event
+
+let pp ppf t =
+  List.iter (fun entry -> Format.fprintf ppf "%a@." pp_entry entry) (entries t)

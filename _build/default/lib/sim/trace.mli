@@ -1,0 +1,46 @@
+(** Execution tracing: a bounded ring of typed simulator events.
+
+    Debugging a replication schedule from aggregate counters alone is
+    miserable; a trace shows *which* transaction waited on whom and when a
+    message actually crossed. Attach a trace to an {!Engine} with
+    {!Engine.set_tracer} and the executor and network record into it;
+    detached engines pay nothing. The ring keeps the most recent
+    [capacity] entries. *)
+
+type event =
+  | Txn_started of { owner : int }
+  | Lock_granted of { owner : int; resource : int }
+  | Lock_waited of { owner : int; resource : int }
+  | Deadlock_victim of { owner : int; cycle : int list }
+  | Txn_committed of { owner : int }
+  | Message_sent of { src : int; dst : int }
+  | Message_delivered of { src : int; dst : int }
+  | Message_parked of { at : int }
+  | Node_connected of { node : int }
+  | Node_disconnected of { node : int }
+  | Note of string  (** free-form marker from application code *)
+
+type entry = { at : float;  (** simulated seconds *) event : event }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 4096. @raise Invalid_argument if non-positive. *)
+
+val record : t -> now:float -> event -> unit
+
+val entries : t -> entry list
+(** Oldest retained first. *)
+
+val recorded : t -> int
+(** Events ever recorded (including those the ring has dropped). *)
+
+val dropped : t -> int
+
+val matching : t -> (event -> bool) -> entry list
+
+val pp_event : Format.formatter -> event -> unit
+val pp_entry : Format.formatter -> entry -> unit
+
+val pp : Format.formatter -> t -> unit
+(** The whole retained trace, one entry per line. *)

@@ -1,0 +1,1 @@
+lib/storage/oid.ml: Array Format Int

@@ -1,0 +1,1 @@
+lib/storage/store.ml: Array Float Format Oid Timestamp

@@ -1,0 +1,1 @@
+lib/storage/update_log.ml: Array List Stdlib

@@ -1,0 +1,1 @@
+lib/storage/version_vector.ml: Format Int List Map Printf Stdlib String

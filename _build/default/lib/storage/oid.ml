@@ -1,0 +1,12 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Oid.of_int: negative identifier";
+  i
+
+let to_int i = i
+let equal = Int.equal
+let compare = Int.compare
+let hash i = i
+let pp ppf i = Format.fprintf ppf "o%d" i
+let all ~db_size = Array.init db_size (fun i -> i)

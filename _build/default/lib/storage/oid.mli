@@ -1,0 +1,18 @@
+(** Object identifiers.
+
+    The model's database is a fixed set of [DB_Size] distinct objects;
+    identifiers are dense integers in [0, DB_Size). *)
+
+type t
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val all : db_size:int -> t array
+(** Every identifier of a database of the given size, in order. *)

@@ -1,0 +1,94 @@
+module type VALUE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (Value : VALUE) = struct
+  type value = Value.t
+  type entry = { mutable value : value; mutable stamp : Timestamp.t }
+  type t = { entries : entry array }
+
+  let create ~db_size ~init =
+    if db_size <= 0 then invalid_arg "Store.create: db_size must be positive";
+    {
+      entries =
+        Array.init db_size (fun i ->
+            { value = init (Oid.of_int i); stamp = Timestamp.zero });
+    }
+
+  let db_size t = Array.length t.entries
+  let entry t oid = t.entries.(Oid.to_int oid)
+  let read t oid = (entry t oid).value
+  let stamp t oid = (entry t oid).stamp
+
+  let write t oid value ts =
+    let e = entry t oid in
+    e.value <- value;
+    e.stamp <- ts
+
+  let apply_if_current t oid ~old_stamp value ts =
+    let e = entry t oid in
+    if Timestamp.equal e.stamp old_stamp then begin
+      e.value <- value;
+      e.stamp <- ts;
+      `Applied
+    end
+    else `Dangerous
+
+  let apply_if_newer t oid value ts =
+    let e = entry t oid in
+    if Timestamp.newer ts ~than:e.stamp then begin
+      e.value <- value;
+      e.stamp <- ts;
+      `Applied
+    end
+    else `Stale
+
+  let iter t f =
+    Array.iteri (fun i e -> f (Oid.of_int i) e.value e.stamp) t.entries
+
+  let fold t ~init ~f =
+    let acc = ref init in
+    iter t (fun oid value ts -> acc := f !acc oid value ts);
+    !acc
+
+  let check_same_size a b name =
+    if db_size a <> db_size b then
+      invalid_arg (name ^ ": stores of different sizes")
+
+  let divergent_oids a b =
+    check_same_size a b "Store.divergent_oids";
+    let diffs = ref [] in
+    for i = db_size a - 1 downto 0 do
+      let ea = a.entries.(i) and eb = b.entries.(i) in
+      if not (Value.equal ea.value eb.value && Timestamp.equal ea.stamp eb.stamp)
+      then diffs := Oid.of_int i :: !diffs
+    done;
+    !diffs
+
+  let content_equal a b =
+    db_size a = db_size b && divergent_oids a b = []
+
+  let copy t =
+    { entries = Array.map (fun e -> { value = e.value; stamp = e.stamp }) t.entries }
+
+  let overwrite_from t ~src =
+    check_same_size t src "Store.overwrite_from";
+    Array.iteri
+      (fun i e ->
+        let s = src.entries.(i) in
+        e.value <- s.value;
+        e.stamp <- s.stamp)
+      t.entries
+end
+
+module Float_value = struct
+  type t = float
+
+  let equal = Float.equal
+  let pp ppf v = Format.fprintf ppf "%g" v
+end
+
+module Fstore = Make (Float_value)

@@ -1,0 +1,65 @@
+(** Per-node versioned object store.
+
+    Each node replicates all [DB_Size] objects (Table 2). Every object
+    carries the timestamp of its most recent update, which is all the lazy
+    schemes need to detect dangerous updates (§4) and discard stale ones
+    (§5). The store is functorized over the value type: the simulator uses
+    the [float] instance below; richer example applications can instantiate
+    their own. *)
+
+module type VALUE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (Value : VALUE) : sig
+  type value = Value.t
+  type t
+
+  val create : db_size:int -> init:(Oid.t -> value) -> t
+  (** @raise Invalid_argument if [db_size <= 0]. *)
+
+  val db_size : t -> int
+
+  val read : t -> Oid.t -> value
+  val stamp : t -> Oid.t -> Timestamp.t
+
+  val write : t -> Oid.t -> value -> Timestamp.t -> unit
+  (** Unconditional overwrite — for the owning node's committed updates. *)
+
+  val apply_if_current : t -> Oid.t -> old_stamp:Timestamp.t -> value ->
+    Timestamp.t -> [ `Applied | `Dangerous ]
+  (** The lazy-group rule: apply only when the replica's timestamp equals the
+      update's [old_stamp]; otherwise the update is dangerous and must be
+      reconciled. *)
+
+  val apply_if_newer : t -> Oid.t -> value -> Timestamp.t ->
+    [ `Applied | `Stale ]
+  (** The lazy-master slave rule (Thomas write rule): apply only when the
+      update's timestamp is newer than the replica's. *)
+
+  val iter : t -> (Oid.t -> value -> Timestamp.t -> unit) -> unit
+  val fold : t -> init:'acc -> f:('acc -> Oid.t -> value -> Timestamp.t -> 'acc) -> 'acc
+
+  val content_equal : t -> t -> bool
+  (** Same values and timestamps at every object — the convergence test. *)
+
+  val divergent_oids : t -> t -> Oid.t list
+  (** Objects at which two replicas disagree (value or timestamp); empty iff
+      [content_equal]. @raise Invalid_argument on stores of different
+      sizes. *)
+
+  val copy : t -> t
+
+  val overwrite_from : t -> src:t -> unit
+  (** Replace all content with [src]'s — a mobile node refreshing its replica
+      from a base node. @raise Invalid_argument on different sizes. *)
+end
+
+module Float_value : VALUE with type t = float
+
+module Fstore : module type of Make (Float_value)
+(** The store instance used throughout the simulator: objects are numeric
+    values (balances, quantities, quotes). *)

@@ -1,0 +1,29 @@
+type t = { counter : int; node : int }
+
+let zero = { counter = 0; node = -1 }
+
+let compare a b =
+  match Int.compare a.counter b.counter with
+  | 0 -> Int.compare a.node b.node
+  | order -> order
+
+let equal a b = compare a b = 0
+let newer a ~than = compare a than > 0
+let pp ppf t = Format.fprintf ppf "%d@@n%d" t.counter t.node
+
+module Clock = struct
+  type ts = t
+  type nonrec t = { clock_node : int; mutable last : int }
+
+  let create ~node =
+    if node < 0 then invalid_arg "Timestamp.Clock.create: negative node id";
+    { clock_node = node; last = 0 }
+
+  let node t = t.clock_node
+
+  let tick t =
+    t.last <- t.last + 1;
+    { counter = t.last; node = t.clock_node }
+
+  let witness t ts = if ts.counter > t.last then t.last <- ts.counter
+end

@@ -1,0 +1,39 @@
+(** Update timestamps for lazy replication.
+
+    The paper's lazy-group detection rule compares "the local replica's
+    timestamp and the update's old timestamp" (§4); lazy-master slaves ignore
+    updates older than the record timestamp (§5). Both need a total order
+    that respects causality at the issuing node, so we use Lamport clocks:
+    a counter advanced on every local update and on every timestamp
+    witnessed, tie-broken by node id. *)
+
+type t = { counter : int; node : int }
+
+val zero : t
+(** Initial timestamp of every replica of every object. *)
+
+val compare : t -> t -> int
+(** Lexicographic on [(counter, node)]: a total order. *)
+
+val equal : t -> t -> bool
+val newer : t -> than:t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Per-node Lamport clock. *)
+module Clock : sig
+  type ts = t
+  type t
+
+  val create : node:int -> t
+  (** @raise Invalid_argument on a negative node id. *)
+
+  val node : t -> int
+
+  val tick : t -> ts
+  (** Advance and return a timestamp strictly newer than every timestamp this
+      clock has produced or witnessed. *)
+
+  val witness : t -> ts -> unit
+  (** Fold a received timestamp into the clock so later [tick]s sort after
+      it. *)
+end

@@ -1,0 +1,83 @@
+(* The log is a growable buffer with a [base] offset: absolute position i is
+   stored at [buffer.(i - base)]. Cursors hold absolute positions, so
+   trimming never invalidates them. *)
+
+type cursor = { mutable position : int; mutable registered : bool }
+
+type 'a t = {
+  mutable buffer : 'a option array;
+  mutable base : int;
+  mutable next : int;
+  mutable consumers : cursor list;
+}
+
+let create () = { buffer = [||]; base = 0; next = 0; consumers = [] }
+
+let stored t = t.next - t.base
+
+let ensure_capacity t =
+  let capacity = Array.length t.buffer in
+  if stored t = capacity then begin
+    let capacity' = if capacity = 0 then 16 else 2 * capacity in
+    let buffer' = Array.make capacity' None in
+    Array.blit t.buffer 0 buffer' 0 (stored t);
+    t.buffer <- buffer'
+  end
+
+let append t x =
+  ensure_capacity t;
+  t.buffer.(stored t) <- Some x;
+  t.next <- t.next + 1
+
+let length t = t.next
+
+let register t =
+  let c = { position = t.next; registered = true } in
+  t.consumers <- c :: t.consumers;
+  c
+
+let register_at_start t =
+  let c = { position = t.base; registered = true } in
+  t.consumers <- c :: t.consumers;
+  c
+
+let trim t =
+  let min_position =
+    List.fold_left
+      (fun acc c -> if c.registered then Stdlib.min acc c.position else acc)
+      t.next t.consumers
+  in
+  if min_position > t.base then begin
+    let keep = t.next - min_position in
+    let buffer' =
+      if keep = 0 then [||]
+      else Array.sub t.buffer (min_position - t.base) keep
+    in
+    t.buffer <- buffer';
+    t.base <- min_position
+  end
+
+let entry t position =
+  match t.buffer.(position - t.base) with
+  | Some x -> x
+  | None -> assert false
+
+let read_new t c =
+  if not c.registered then invalid_arg "Update_log.read_new: unregistered cursor";
+  let rec collect position acc =
+    if position >= t.next then List.rev acc
+    else collect (position + 1) (entry t position :: acc)
+  in
+  let result = collect c.position [] in
+  c.position <- t.next;
+  trim t;
+  result
+
+let pending t c =
+  if not c.registered then invalid_arg "Update_log.pending: unregistered cursor";
+  t.next - c.position
+
+let unregister t c =
+  c.registered <- false;
+  t.consumers <- List.filter (fun c' -> c' != c) t.consumers;
+  trim t

@@ -1,0 +1,38 @@
+(** Append-only update log with per-consumer cursors.
+
+    Lazy replication stores committed updates for later propagation: a
+    connected peer drains the log continuously, a disconnected mobile node
+    drains everything since its last exchange at reconnect (§4's "deferred
+    replica updates"). Entries are retained until every registered consumer
+    has read past them. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val append : 'a t -> 'a -> unit
+
+val length : 'a t -> int
+(** Entries appended since creation (including already-trimmed ones). *)
+
+type cursor
+
+val register : 'a t -> cursor
+(** A new consumer positioned at the current end of the log: it sees only
+    subsequent appends. *)
+
+val register_at_start : 'a t -> cursor
+(** A consumer that replays retained history first. Retention only covers
+    entries not yet read by all pre-existing consumers, so register
+    consumers before appending if full history matters. *)
+
+val read_new : 'a t -> cursor -> 'a list
+(** Entries appended since this cursor last read, oldest first; advances the
+    cursor and trims entries no longer needed by any consumer. *)
+
+val pending : 'a t -> cursor -> int
+(** How many entries [read_new] would return. *)
+
+val unregister : 'a t -> cursor -> unit
+(** Forget a consumer so it no longer holds back trimming. Reading from an
+    unregistered cursor raises [Invalid_argument]. *)

@@ -1,0 +1,55 @@
+module Int_map = Map.Make (Int)
+
+(* Invariant: no zero components are stored, so structural equality of the
+   maps coincides with vector equality. *)
+type t = int Int_map.t
+
+let empty = Int_map.empty
+
+let increment t ~node =
+  if node < 0 then invalid_arg "Version_vector.increment: negative node id";
+  Int_map.update node
+    (function None -> Some 1 | Some n -> Some (n + 1))
+    t
+
+let get t ~node = match Int_map.find_opt node t with Some n -> n | None -> 0
+
+let merge a b =
+  Int_map.union (fun _node x y -> Some (Stdlib.max x y)) a b
+
+type ordering = Equal | Dominates | Dominated | Concurrent
+
+let leq a b = Int_map.for_all (fun node n -> n <= get b ~node) a
+
+let compare_causal a b =
+  let a_leq_b = leq a b and b_leq_a = leq b a in
+  match (a_leq_b, b_leq_a) with
+  | true, true -> Equal
+  | false, true -> Dominates
+  | true, false -> Dominated
+  | false, false -> Concurrent
+
+let dominates_or_equal a b =
+  match compare_causal a b with
+  | Dominates | Equal -> true
+  | Dominated | Concurrent -> false
+
+let equal a b = Int_map.equal Int.equal a b
+let nodes t = Int_map.fold (fun node _ acc -> node :: acc) t [] |> List.rev
+
+let of_list pairs =
+  List.fold_left
+    (fun acc (node, n) ->
+      if node < 0 then invalid_arg "Version_vector.of_list: negative node id";
+      if n < 0 then invalid_arg "Version_vector.of_list: negative count";
+      if Int_map.mem node acc then
+        invalid_arg "Version_vector.of_list: duplicate node";
+      if n = 0 then acc else Int_map.add node n acc)
+    empty pairs
+
+let to_list t = Int_map.bindings t
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}"
+    (String.concat "; "
+       (List.map (fun (node, n) -> Printf.sprintf "n%d:%d" node n) (to_list t)))

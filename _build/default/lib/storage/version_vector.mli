@@ -1,0 +1,36 @@
+(** Version vectors, as in Microsoft Access "Wingman" replication (§6).
+
+    Access keeps a version vector with each replicated record; vectors are
+    exchanged pairwise and the causally most recent update wins, with
+    concurrent updates reported as conflicts. A vector maps node id to the
+    count of updates that node has applied to the record. *)
+
+type t
+
+val empty : t
+
+val increment : t -> node:int -> t
+(** Record one more local update by [node]. *)
+
+val get : t -> node:int -> int
+
+val merge : t -> t -> t
+(** Pointwise maximum — the join of the causal-history lattice. *)
+
+type ordering = Equal | Dominates | Dominated | Concurrent
+
+val compare_causal : t -> t -> ordering
+(** [Dominates] when the first argument's history is a strict superset. Two
+    [Concurrent] vectors are an Access-style conflict. *)
+
+val dominates_or_equal : t -> t -> bool
+val equal : t -> t -> bool
+val nodes : t -> int list
+(** Nodes with a non-zero component, ascending. *)
+
+val of_list : (int * int) list -> t
+(** @raise Invalid_argument on negative counts, negative node ids, or
+    duplicate nodes. *)
+
+val to_list : t -> (int * int) list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/txn/executor.ml: Dangers_lock Dangers_sim Fun Option Txn_id

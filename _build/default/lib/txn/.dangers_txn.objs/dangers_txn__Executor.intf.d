@@ -1,0 +1,1 @@
+lib/txn/executor.mli: Dangers_lock Dangers_sim Txn_id

@@ -1,0 +1,1 @@
+lib/txn/op.ml: Dangers_storage Float Format List

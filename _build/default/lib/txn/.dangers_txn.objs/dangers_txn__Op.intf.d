@@ -1,0 +1,1 @@
+lib/txn/op.mli: Dangers_storage Format

@@ -1,0 +1,1 @@
+lib/txn/txn_id.mli: Format

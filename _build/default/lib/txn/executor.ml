@@ -1,0 +1,72 @@
+module Engine = Dangers_sim.Engine
+module Lock_manager = Dangers_lock.Lock_manager
+module Mode = Dangers_lock.Mode
+
+type t = {
+  engine : Engine.t;
+  locks : Lock_manager.t;
+  action_time : float;
+  on_wait : unit -> unit;
+  mutable active : int;
+}
+
+type step = { resource : int; mode : Mode.t; cost : float option; work : unit -> unit }
+
+let update_step ~resource = { resource; mode = Mode.X; cost = None; work = Fun.id }
+let read_step ~resource = { resource; mode = Mode.S; cost = None; work = Fun.id }
+
+let create ?(on_wait = fun () -> ()) ~engine ~locks ~action_time () =
+  if action_time < 0. then invalid_arg "Executor.create: negative action time";
+  { engine; locks; action_time; on_wait; active = 0 }
+
+let run t ~owner ~steps ~on_commit ~on_deadlock =
+  let owner_id = Txn_id.to_int owner in
+  t.active <- t.active + 1;
+  Engine.trace t.engine (Dangers_sim.Trace.Txn_started { owner = owner_id });
+  let finish_commit () =
+    on_commit ();
+    Lock_manager.release_all t.locks ~owner:owner_id;
+    t.active <- t.active - 1;
+    Engine.trace t.engine (Dangers_sim.Trace.Txn_committed { owner = owner_id })
+  in
+  let kill cycle =
+    Lock_manager.release_all t.locks ~owner:owner_id;
+    t.active <- t.active - 1;
+    on_deadlock ~cycle
+  in
+  let rec start_step remaining =
+    match remaining with
+    | [] -> finish_commit ()
+    | step :: rest ->
+        let proceed () =
+          let cost = Option.value step.cost ~default:t.action_time in
+          ignore
+            (Engine.schedule t.engine ~delay:cost (fun () ->
+                 step.work ();
+                 start_step rest))
+        in
+        (match
+           Lock_manager.request t.locks ~owner:owner_id ~resource:step.resource
+             ~mode:step.mode ~on_grant:proceed
+         with
+        | Lock_manager.Granted ->
+            Engine.trace t.engine
+              (Dangers_sim.Trace.Lock_granted
+                 { owner = owner_id; resource = step.resource });
+            proceed ()
+        | Lock_manager.Waiting ->
+            Engine.trace t.engine
+              (Dangers_sim.Trace.Lock_waited
+                 { owner = owner_id; resource = step.resource });
+            t.on_wait ()
+        | Lock_manager.Deadlock cycle ->
+            Engine.trace t.engine
+              (Dangers_sim.Trace.Deadlock_victim { owner = owner_id; cycle });
+            t.on_wait ();
+            kill cycle)
+  in
+  start_step steps
+
+let active t = t.active
+let locks t = t.locks
+let action_time t = t.action_time

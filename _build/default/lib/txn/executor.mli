@@ -1,0 +1,65 @@
+(** Event-driven transaction executor.
+
+    Runs a transaction as the model prescribes: a sequence of actions, each
+    of which first acquires a lock on its resource and then occupies
+    Action_Time of simulated time. Waits stretch the transaction; a request
+    that closes a waits-for cycle kills it (victim = requester, matching the
+    derivation of equation (3)).
+
+    The executor is scheme-agnostic: callers provide the step list (a
+    single-node transaction has [Actions] steps; an eager-replicated one has
+    [Actions x Nodes] steps over per-node resources) and the commit/deadlock
+    continuations. *)
+
+type t
+
+val create :
+  ?on_wait:(unit -> unit) ->
+  engine:Dangers_sim.Engine.t ->
+  locks:Dangers_lock.Lock_manager.t ->
+  action_time:float ->
+  unit ->
+  t
+(** [on_wait] fires every time a request blocks (whether or not it then
+    deadlocks) — the paper's wait events. @raise Invalid_argument on a
+    negative action time. *)
+
+type step = {
+  resource : int;  (** lock to take *)
+  mode : Dangers_lock.Mode.t;
+      (** [X] for updates; [S] for reads (the model ignores read locks, but
+          §5's serializable lazy-master sends read-lock RPCs — schemes
+          choose) *)
+  cost : float option;
+      (** duration of this action; [None] = the executor's Action_Time.
+          Eager replication uses it to charge message delay on remote
+          steps (the "delays make it worse" ablation). *)
+  work : unit -> unit;
+      (** runs when the action completes (cost seconds after the grant);
+          typically buffers a write *)
+}
+
+val update_step : resource:int -> step
+(** An [X]-mode step with no work — the common case. *)
+
+val read_step : resource:int -> step
+(** An [S]-mode step with no work. *)
+
+val run :
+  t ->
+  owner:Txn_id.t ->
+  steps:step list ->
+  on_commit:(unit -> unit) ->
+  on_deadlock:(cycle:int list -> unit) ->
+  unit
+(** Start the transaction now. [on_commit] runs after the last step's work
+    with all locks still held (publish writes / trigger propagation there);
+    the locks are released immediately afterwards. On deadlock the victim's
+    locks are released first, then [on_deadlock] runs — resubmit from there
+    if desired. An empty step list commits immediately. *)
+
+val active : t -> int
+(** Transactions started but not yet committed or killed. *)
+
+val locks : t -> Dangers_lock.Lock_manager.t
+val action_time : t -> float

@@ -1,0 +1,69 @@
+module Oid = Dangers_storage.Oid
+
+type t =
+  | Read of Oid.t
+  | Assign of Oid.t * float
+  | Increment of Oid.t * float
+  | Assign_from of { target : Oid.t; source : Oid.t; offset : float }
+
+let oid = function
+  | Read oid | Assign (oid, _) | Increment (oid, _) -> oid
+  | Assign_from { target; _ } -> target
+
+let is_update = function
+  | Read _ -> false
+  | Assign _ | Increment _ | Assign_from _ -> true
+
+let no_read _ = invalid_arg "Op.apply: derived op needs ~read"
+
+let apply ?(read = no_read) ~current = function
+  | Read _ -> current
+  | Assign (_, value) -> value
+  | Increment (_, delta) -> current +. delta
+  | Assign_from { source; offset; _ } -> read source +. offset
+
+(* Objects an update reads beyond the one it writes. *)
+let extra_reads = function
+  | Read _ | Assign _ | Increment _ -> []
+  | Assign_from { source; _ } -> [ source ]
+
+(* State-effect commutativity: reads always commute; updates commute unless
+   one reads what the other writes, or they write the same object — with
+   the increment/increment exception, the whole point of §6. *)
+let commutes a b =
+  match (a, b) with
+  | Read _, _ | _, Read _ -> true
+  | _ ->
+      let read_write_conflict =
+        List.exists (Oid.equal (oid b)) (extra_reads a)
+        || List.exists (Oid.equal (oid a)) (extra_reads b)
+      in
+      if read_write_conflict then false
+      else if not (Oid.equal (oid a) (oid b)) then true
+      else
+        (match (a, b) with
+        | Increment _, Increment _ -> true
+        | (Assign _ | Assign_from _ | Increment _ | Read _), _ -> false)
+
+let all_commute xs ys =
+  List.for_all (fun x -> List.for_all (fun y -> commutes x y) ys) xs
+
+let equal a b =
+  match (a, b) with
+  | Read o1, Read o2 -> Oid.equal o1 o2
+  | Assign (o1, v1), Assign (o2, v2) -> Oid.equal o1 o2 && Float.equal v1 v2
+  | Increment (o1, d1), Increment (o2, d2) -> Oid.equal o1 o2 && Float.equal d1 d2
+  | Assign_from a, Assign_from b ->
+      Oid.equal a.target b.target && Oid.equal a.source b.source
+      && Float.equal a.offset b.offset
+  | Read _, (Assign _ | Increment _ | Assign_from _)
+  | Assign _, (Read _ | Increment _ | Assign_from _)
+  | Increment _, (Read _ | Assign _ | Assign_from _)
+  | Assign_from _, (Read _ | Assign _ | Increment _) -> false
+
+let pp ppf = function
+  | Read oid -> Format.fprintf ppf "read %a" Oid.pp oid
+  | Assign (oid, value) -> Format.fprintf ppf "%a := %g" Oid.pp oid value
+  | Increment (oid, delta) -> Format.fprintf ppf "%a += %g" Oid.pp oid delta
+  | Assign_from { target; source; offset } ->
+      Format.fprintf ppf "%a := %a %+g" Oid.pp target Oid.pp source offset

@@ -1,0 +1,44 @@
+(** Transaction operations.
+
+    The paper distinguishes record-value updates ("change account from $200
+    to $150") from transactional transformations ("debit the account by
+    $50") — §6. [Assign] is the former, [Increment] the latter; increments
+    commute with each other, which is exactly what the two-tier scheme
+    exploits to drive its reconciliation rate to zero. [Read] exists for
+    scope rules and acceptance criteria; the model itself ignores reads. *)
+
+module Oid = Dangers_storage.Oid
+
+type t =
+  | Read of Oid.t
+  | Assign of Oid.t * float
+  | Increment of Oid.t * float
+  | Assign_from of { target : Oid.t; source : Oid.t; offset : float }
+      (** [target := source + offset] — a derived write whose result
+          depends on current data, so re-executing it at the base (§7) can
+          produce a different value than the tentative run (e.g. a price
+          quote recomputed from the current catalog). The source is read
+          committed-read style, without a lock, matching the model's
+          no-read-locks assumption. *)
+
+val oid : t -> Oid.t
+(** The object written (the target, for derived writes). *)
+
+val is_update : t -> bool
+
+val apply : ?read:(Oid.t -> float) -> current:float -> t -> float
+(** The value after the operation ([Read] leaves it unchanged). [read]
+    supplies other objects' current values for derived writes; it defaults
+    to a function that raises, so plain ops never need it.
+    @raise Invalid_argument when a derived op is applied without [read]. *)
+
+val commutes : t -> t -> bool
+(** Operations on distinct objects always commute; on the same object only
+    increment/increment (and anything with a read) commutes. *)
+
+val all_commute : t list -> t list -> bool
+(** Pairwise commutativity of two op lists — the §7 design rule "the
+    programmer must design the transactions to be commutative". *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type t = int
+
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf t = Format.fprintf ppf "t%d" t
+
+module Gen = struct
+  type id = t
+  type nonrec t = { mutable next_id : int }
+
+  let create () = { next_id = 0 }
+
+  let next t =
+    let id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    id
+
+  let issued t = t.next_id
+end

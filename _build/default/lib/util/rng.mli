@@ -1,0 +1,58 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The simulator must be reproducible: the same seed yields the same event
+    trace, byte for byte. The standard-library [Random] module offers no
+    stable split, so we implement SplitMix64 (Steele, Lea & Flood, OOPSLA'14)
+    directly. Each logical stream (per node, per generator) receives its own
+    split so that adding a consumer never perturbs the draws of another. *)
+
+type t
+(** Mutable generator state. Not thread-safe; the simulator is
+    single-threaded by design. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator. Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. The derived
+    stream is statistically independent of the parent's subsequent
+    output. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound). @raise Invalid_argument
+    if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). [bound] must be finite
+    and positive. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed draw with the given mean; used for Poisson
+    arrival inter-times. [mean] must be positive. *)
+
+val poisson : t -> mean:float -> int
+(** Poisson-distributed count with the given mean (Knuth's method below mean
+    30, normal approximation above). *)
+
+val zipf : t -> n:int -> theta:float -> int
+(** [zipf t ~n ~theta] draws from [0, n) with Zipfian skew [theta]
+    (0 = uniform). Uses the rejection method of Gray et al. (SIGMOD'94
+    quickly-generating billion-record databases). Used only by the hotspot
+    workload extension; the paper's model is uniform. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val sample_without_replacement : t -> n:int -> k:int -> int array
+(** [sample_without_replacement t ~n ~k] draws [k] distinct integers from
+    [0, n), in draw order. @raise Invalid_argument if [k > n] or [k < 0]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

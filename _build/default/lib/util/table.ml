@@ -1,0 +1,98 @@
+type align = Left | Right
+type column = { header : string; align : align }
+
+let column ?(align = Right) header = { header; align }
+
+type line = Row of string list | Separator
+
+type t = {
+  caption : string option;
+  columns : column array;
+  mutable rev_lines : line list;
+}
+
+let create ?caption columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { caption; columns = Array.of_list columns; rev_lines = [] }
+
+let add_row t cells =
+  if List.length cells <> Array.length t.columns then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rev_lines <- Row cells :: t.rev_lines
+
+let add_separator t = t.rev_lines <- Separator :: t.rev_lines
+
+let pad align width s =
+  let gap = width - String.length s in
+  if gap <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+
+let pp ppf t =
+  let lines = List.rev t.rev_lines in
+  let widths = Array.map (fun c -> String.length c.header) t.columns in
+  List.iter
+    (function
+      | Separator -> ()
+      | Row cells ->
+          List.iteri
+            (fun i cell ->
+              if String.length cell > widths.(i) then
+                widths.(i) <- String.length cell)
+            cells)
+    lines;
+  let rule =
+    String.concat "-+-"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  (match t.caption with
+  | Some caption -> Format.fprintf ppf "%s@." caption
+  | None -> ());
+  let render_cells cells =
+    let rendered =
+      List.mapi (fun i cell -> pad t.columns.(i).align widths.(i) cell) cells
+    in
+    Format.fprintf ppf "%s@." (String.concat " | " rendered)
+  in
+  render_cells (Array.to_list (Array.map (fun c -> c.header) t.columns));
+  Format.fprintf ppf "%s@." rule;
+  List.iter
+    (function
+      | Separator -> Format.fprintf ppf "%s@." rule
+      | Row cells -> render_cells cells)
+    lines
+
+let to_string t = Format.asprintf "%a" pp t
+
+let to_markdown t =
+  let buffer = Buffer.create 256 in
+  (match t.caption with
+  | Some caption -> Buffer.add_string buffer ("**" ^ caption ^ "**\n\n")
+  | None -> ());
+  let headers = Array.to_list (Array.map (fun c -> c.header) t.columns) in
+  let line cells = "| " ^ String.concat " | " cells ^ " |\n" in
+  Buffer.add_string buffer (line headers);
+  Buffer.add_string buffer
+    (line
+       (Array.to_list
+          (Array.map
+             (fun c -> match c.align with Left -> ":--" | Right -> "--:")
+             t.columns)));
+  List.iter
+    (function
+      | Separator -> ()
+      | Row cells -> Buffer.add_string buffer (line cells))
+    (List.rev t.rev_lines);
+  Buffer.contents buffer
+
+let cell_float ?(digits = 4) x = Printf.sprintf "%.*f" digits x
+let cell_sci x = Printf.sprintf "%.2e" x
+let cell_int n = string_of_int n
+
+let cell_rate x =
+  let magnitude = Float.abs x in
+  if magnitude = 0. then "0"
+  else if magnitude >= 0.001 && magnitude < 100000. then cell_float ~digits:4 x
+  else cell_sci x

@@ -1,0 +1,46 @@
+(** ASCII table rendering for experiment reports.
+
+    Every experiment emits rows of named columns; this module lines them up
+    the way the paper prints its derivations: a header, aligned numeric
+    columns, and an optional caption. *)
+
+type align = Left | Right
+
+type column
+(** Column specification: header text plus alignment. *)
+
+val column : ?align:align -> string -> column
+(** Numeric columns default to [Right]; pass [~align:Left] for labels. *)
+
+type t
+
+val create : ?caption:string -> column list -> t
+(** @raise Invalid_argument on an empty column list. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the cell count differs from the column
+    count. *)
+
+val add_separator : t -> unit
+(** Insert a horizontal rule between row groups. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val to_markdown : t -> string
+(** GitHub-flavoured markdown rendering (caption as bold paragraph,
+    separators dropped) — used by the report generator. *)
+
+(** {1 Cell formatting helpers} *)
+
+val cell_float : ?digits:int -> float -> string
+(** Fixed-point with [digits] decimals (default 4). *)
+
+val cell_sci : float -> string
+(** Scientific notation with three significant digits, e.g. [1.23e-05]. *)
+
+val cell_int : int -> string
+
+val cell_rate : float -> string
+(** Adaptive: fixed-point for moderate magnitudes, scientific for extreme
+    ones — readable across the 10^6 ranges the deadlock-rate sweeps span. *)

@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Dangers_sim Dangers_txn Dangers_util Profile

@@ -1,0 +1,1 @@
+lib/workload/profile.ml: Array Dangers_analytic Dangers_storage Dangers_txn Dangers_util Hashtbl List

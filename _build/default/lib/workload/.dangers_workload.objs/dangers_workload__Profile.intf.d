@@ -1,0 +1,1 @@
+lib/workload/profile.mli: Dangers_analytic Dangers_storage Dangers_txn Dangers_util

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Dangers_analytic List Profile String

@@ -1,0 +1,53 @@
+module Engine = Dangers_sim.Engine
+module Rng = Dangers_util.Rng
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  mean_interarrival : float;
+  profile : Profile.t;
+  db_size : int;
+  submit : Dangers_txn.Op.t list -> unit;
+  mutable next_arrival : Engine.event_id option;
+  mutable stopped : bool;
+  mutable count : int;
+}
+
+let rec arm t =
+  if not t.stopped then begin
+    let gap = Rng.exponential t.rng ~mean:t.mean_interarrival in
+    t.next_arrival <-
+      Some
+        (Engine.schedule t.engine ~delay:gap (fun () ->
+             t.count <- t.count + 1;
+             t.submit (Profile.generate t.profile t.rng ~db_size:t.db_size);
+             arm t))
+  end
+
+let start ~engine ~rng ~tps ~profile ~db_size ~submit =
+  if not (tps > 0.) then invalid_arg "Generator.start: tps must be positive";
+  let t =
+    {
+      engine;
+      rng;
+      mean_interarrival = 1. /. tps;
+      profile;
+      db_size;
+      submit;
+      next_arrival = None;
+      stopped = false;
+      count = 0;
+    }
+  in
+  arm t;
+  t
+
+let stop t =
+  t.stopped <- true;
+  match t.next_arrival with
+  | Some event ->
+      Engine.cancel t.engine event;
+      t.next_arrival <- None
+  | None -> ()
+
+let generated t = t.count

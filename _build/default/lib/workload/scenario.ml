@@ -1,0 +1,97 @@
+module Params = Dangers_analytic.Params
+
+type t = {
+  name : string;
+  description : string;
+  params : Params.t;
+  profile : Profile.t;
+  initial_value : float;
+}
+
+let checkbook =
+  {
+    name = "checkbook";
+    description =
+      "Joint checking accounts replicated at two checkbooks and the bank; \
+       assignment updates collide and need reconciliation.";
+    params =
+      {
+        Params.default with
+        db_size = 100;
+        nodes = 3;
+        tps = 2.;
+        actions = 2;
+        time_between_disconnects = 120.;
+        disconnected_time = 60.;
+      };
+    profile = Profile.create ~update_kind:Profile.Assigns ~actions:2 ();
+    initial_value = 1000.;
+  }
+
+let inventory =
+  {
+    name = "inventory";
+    description =
+      "Warehouse stock adjusted by commutative increments; any application \
+       order converges to the same counts.";
+    params =
+      {
+        Params.default with
+        db_size = 500;
+        nodes = 4;
+        tps = 5.;
+        actions = 3;
+        time_between_disconnects = 300.;
+        disconnected_time = 120.;
+      };
+    profile =
+      Profile.create ~update_kind:Profile.Increments ~magnitude:10. ~actions:3 ();
+    initial_value = 10_000.;
+  }
+
+let sales =
+  {
+    name = "sales";
+    description =
+      "Disconnected salesmen write tentative orders and price quotes against \
+       a product catalog; acceptance criteria guard the reconnect replay.";
+    params =
+      {
+        Params.default with
+        db_size = 1000;
+        nodes = 5;
+        tps = 1.;
+        actions = 4;
+        time_between_disconnects = 600.;
+        disconnected_time = 3600.;
+      };
+    profile = Profile.create ~update_kind:(Profile.Mixed 0.7) ~actions:4 ();
+    initial_value = 100.;
+  }
+
+let tpcb =
+  let branches = 10 and tellers_per_branch = 10 in
+  {
+    name = "tpcb";
+    description =
+      "TPC-B-style bank: each transaction debits/credits an account and \
+       updates its teller and branch totals - commutative increments with a \
+       built-in branch hotspot.";
+    params =
+      {
+        Params.default with
+        db_size = 10_000 + 100 + 10; (* accounts + tellers + branches *)
+        nodes = 2;
+        tps = 10.;
+        actions = 3;
+      };
+    profile =
+      Profile.create
+        ~update_kind:Profile.Increments ~magnitude:100.
+        ~access:(Profile.Tpcb { branches; tellers_per_branch })
+        ~actions:3 ();
+    initial_value = 100_000.;
+  }
+
+let all = [ checkbook; inventory; sales; tpcb ]
+let find name = List.find_opt (fun s -> String.equal s.name name) all

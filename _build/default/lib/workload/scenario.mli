@@ -1,0 +1,33 @@
+(** Named workload scenarios used by the examples and integration tests.
+
+    Each bundles the paper-motivated story (checkbooks, salesmen, stock)
+    with concrete model parameters and a transaction profile. *)
+
+type t = {
+  name : string;
+  description : string;
+  params : Dangers_analytic.Params.t;
+  profile : Profile.t;
+  initial_value : float;  (** starting value of every object *)
+}
+
+val checkbook : t
+(** The paper's running example: a joint checking account replicated at
+    your checkbook, your spouse's checkbook, and the bank. Few objects,
+    assignment updates — the worst case for lazy-group. *)
+
+val inventory : t
+(** Warehouse stock counters debited/credited by increments — fully
+    commutative, the two-tier sweet spot. *)
+
+val sales : t
+(** Disconnected salesmen quoting prices against a product catalog; mixed
+    updates, long disconnects. *)
+
+val tpcb : t
+(** TPC-B-style bank (the benchmark family the paper cites for the
+    scaled-database argument): account/teller/branch increments per
+    transaction, branch rows as the built-in hotspot. *)
+
+val all : t list
+val find : string -> t option

@@ -1,0 +1,1 @@
+test/test_analytic.ml: Alcotest Dangers_analytic Dangers_util Float Format Gen List QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Dangers_experiments Dangers_util Float List Option Printf String

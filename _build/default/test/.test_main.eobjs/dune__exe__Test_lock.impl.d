@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Dangers_lock Hashtbl Int List Option QCheck QCheck_alcotest String

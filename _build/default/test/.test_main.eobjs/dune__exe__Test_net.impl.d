@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Dangers_net Dangers_sim Dangers_util List

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Dangers_util Float Fun Int Int64 List Printf QCheck QCheck_alcotest Set Test

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dangers_sim Dangers_util Int List QCheck QCheck_alcotest

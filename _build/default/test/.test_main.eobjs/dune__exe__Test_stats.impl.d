@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Dangers_util Float Gen List QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Dangers_storage Format List QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Dangers_util List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Dangers_lock Dangers_net Dangers_sim Dangers_txn Dangers_util Format List String

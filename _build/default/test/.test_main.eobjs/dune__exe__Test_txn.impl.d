@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Dangers_lock Dangers_sim Dangers_storage Dangers_txn Float List QCheck QCheck_alcotest

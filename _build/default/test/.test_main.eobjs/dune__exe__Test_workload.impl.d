@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dangers_analytic Dangers_sim Dangers_storage Dangers_txn Dangers_util Dangers_workload Float Int List

@@ -1,0 +1,231 @@
+(* Closed-form model tests: exact values and the paper's headline claims. *)
+
+module Params = Dangers_analytic.Params
+module Single_node = Dangers_analytic.Single_node
+module Eager = Dangers_analytic.Eager
+module Lazy_group = Dangers_analytic.Lazy_group
+module Lazy_master = Dangers_analytic.Lazy_master
+module Model = Dangers_analytic.Model
+module Stats = Dangers_util.Stats
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.check (Alcotest.float tol) name expected actual
+
+(* A hand-computable point: TPS=10, Actions=4, Action_Time=0.01, DB=1000,
+   Nodes=5. *)
+let p =
+  { Params.default with tps = 10.; actions = 4; action_time = 0.01;
+    db_size = 1000; nodes = 5 }
+
+let test_equation_1 () =
+  (* Transactions = 10 x 4 x 0.01 = 0.4 *)
+  checkf "concurrent transactions" 0.4 (Params.concurrent_transactions p)
+
+let test_equations_2_to_5 () =
+  (* PW = 0.4 x 16 / 2000 = 0.0032 *)
+  checkf "eq2 PW" 0.0032 (Single_node.pw p);
+  (* PD = PW^2 / Transactions = 1.024e-5 / 0.4 = 2.56e-5 *)
+  close ~tol:1e-12 "eq3 PD" 2.56e-5 (Single_node.pd p);
+  (* eq4 = TPS x A^4 / (4 DB^2) = 10 x 256 / 4e6 = 6.4e-4 *)
+  close ~tol:1e-12 "eq4" 6.4e-4 (Single_node.transaction_deadlock_rate p);
+  (* eq5 = TPS^2 x AT x A^5 / (4 DB^2) = 100 x 0.01 x 1024 / 4e6 = 2.56e-4 *)
+  close ~tol:1e-12 "eq5" 2.56e-4 (Single_node.node_deadlock_rate p)
+
+let test_equations_6_to_8 () =
+  checkf "eq6 size" 20. (Eager.transaction_size p);
+  checkf "eq6 duration" 0.2 (Eager.transaction_duration p);
+  checkf "eq6 total tps" 50. (Eager.total_tps p);
+  (* eq7 = 0.4 x 25 = 10 *)
+  checkf "eq7 total transactions" 10. (Eager.total_transactions p);
+  (* eq8 = 10 x 4 x 25 = 1000 *)
+  checkf "eq8 action rate" 1000. (Eager.action_rate p)
+
+let test_equations_9_to_12 () =
+  (* eq9 = 10 x 0.01 x 64 x 25 / 2000 = 0.08 *)
+  checkf "eq9 PW eager" 0.08 (Eager.pw p);
+  (* eq10 = 100 x 0.01 x (20)^3 / 2000 = 4 *)
+  checkf "eq10 wait rate" 4. (Eager.total_wait_rate p);
+  (* eq11 = 10 x 0.01 x 1024 x 25 / 4e6 = 6.4e-4 *)
+  close ~tol:1e-12 "eq11 PD eager" 6.4e-4 (Eager.pd p);
+  (* eq12 = 100 x 0.01 x 1024 x 125 / 4e6 = 0.032 *)
+  close ~tol:1e-12 "eq12 deadlock rate" 0.032 (Eager.total_deadlock_rate p)
+
+let test_equation_13 () =
+  (* eq13 = eq12 / nodes^2 = 0.032 / 25 *)
+  close ~tol:1e-12 "eq13" (0.032 /. 25.) (Eager.deadlock_rate_scaled_db p)
+
+let test_equation_14 () =
+  checkf "eq14 = eq10" (Eager.total_wait_rate p) (Lazy_group.reconciliation_rate p)
+
+let test_equations_15_to_18 () =
+  let p = { p with disconnected_time = 3600.; tps = 0.01; actions = 2;
+            db_size = 1_000_000; nodes = 10 } in
+  (* eq15 = 3600 x 0.01 x 2 = 72 *)
+  checkf "eq15 outbound" 72. (Lazy_group.outbound_updates p);
+  (* eq16 = 9 x 72 = 648 *)
+  checkf "eq16 inbound" 648. (Lazy_group.inbound_updates p);
+  (* eq17 = 10 x 72^2 / 1e6 = 0.05184 *)
+  close ~tol:1e-9 "eq17 collision" 0.05184 (Lazy_group.p_collision p);
+  (* eq18 = 3600 x (0.01 x 2 x 10)^2 / 1e6 = 1.44e-4 *)
+  close ~tol:1e-12 "eq18 rate" 1.44e-4 (Lazy_group.mobile_reconciliation_rate p)
+
+let test_p_collision_caps () =
+  let hot = { p with disconnected_time = 1e9 } in
+  checkf "probability capped at 1" 1.0 (Lazy_group.p_collision hot)
+
+let test_equation_19 () =
+  (* eq19 = (50)^2 x 0.01 x 1024 / 4e6 = 6.4e-3 *)
+  close ~tol:1e-12 "eq19" 6.4e-3 (Lazy_master.deadlock_rate p);
+  checkf "slave txn volume" (10. *. 5. *. 4.)
+    (Lazy_master.replica_update_transactions_per_second p)
+
+let test_headline_10x_1000x () =
+  let scale p = { p with Params.nodes = 10 * p.Params.nodes } in
+  checkf "10x nodes => 1000x eager deadlocks" 1000.
+    (Model.growth_ratio Eager.total_deadlock_rate p ~scale);
+  checkf "10x nodes => 1000x lazy-group reconciliation" 1000.
+    (Model.growth_ratio Lazy_group.reconciliation_rate p ~scale);
+  checkf "10x nodes => 100x lazy-master deadlocks" 100.
+    (Model.growth_ratio Lazy_master.deadlock_rate p ~scale);
+  (* Scaled database tames it to linear. *)
+  checkf "10x nodes, scaled DB => 10x" 10.
+    (Model.growth_ratio Eager.deadlock_rate_scaled_db p ~scale)
+
+let test_headline_txn_size_power () =
+  (* "A ten-fold increase in the transaction size increases the deadlock
+     rate by a factor of 100,000" — Actions^5. *)
+  let scale p = { p with Params.actions = 10 * p.Params.actions } in
+  checkf "10x actions => 100000x deadlocks" 100_000.
+    (Model.growth_ratio Eager.total_deadlock_rate p ~scale)
+
+let test_power_law_exponents () =
+  (* Fit the exponent of Nodes from the formulas themselves. *)
+  let points f =
+    List.map (fun n -> (float_of_int n, f { p with Params.nodes = n }))
+      [ 1; 2; 4; 8; 16 ]
+  in
+  checkf "eager deadlock is cubic" 3.
+    (Stats.loglog_slope (points Eager.total_deadlock_rate));
+  checkf "lazy-master deadlock is quadratic" 2.
+    (Stats.loglog_slope (points Lazy_master.deadlock_rate));
+  checkf "scaled-db deadlock is linear" 1.
+    (Stats.loglog_slope (points Eager.deadlock_rate_scaled_db));
+  checkf "mobile reconciliation quadratic in nodes" 2.
+    (Stats.loglog_slope (points Lazy_group.mobile_reconciliation_rate))
+
+let test_predictions_table1 () =
+  let check scheme ~txns ~owners =
+    let prediction = Model.predict scheme p in
+    checkf (Model.scheme_name scheme ^ " txns/update") txns
+      prediction.Model.transactions_per_user_update;
+    checkf (Model.scheme_name scheme ^ " owners") owners
+      prediction.Model.object_owners
+  in
+  check Model.Eager_group ~txns:1. ~owners:5.;
+  check Model.Eager_master ~txns:1. ~owners:1.;
+  check Model.Lazy_group ~txns:5. ~owners:5.;
+  check Model.Lazy_master ~txns:5. ~owners:1.;
+  check Model.Two_tier ~txns:6. ~owners:1.
+
+let test_prediction_rates_by_scheme () =
+  let eager = Model.predict Model.Eager_group p in
+  let lazy_g = Model.predict Model.Lazy_group p in
+  let lazy_m = Model.predict Model.Lazy_master p in
+  let two = Model.predict Model.Two_tier p in
+  checkf "eager deadlocks, no reconciliation" 0. eager.Model.reconciliation_rate;
+  checkb "eager deadlock positive" true (eager.Model.deadlock_rate > 0.);
+  checkf "lazy group never deadlocks in model" 0. lazy_g.Model.deadlock_rate;
+  checkb "lazy group reconciles" true (lazy_g.Model.reconciliation_rate > 0.);
+  checkf "lazy master no reconciliation" 0. lazy_m.Model.reconciliation_rate;
+  checkf "two-tier deadlock = lazy master" lazy_m.Model.deadlock_rate
+    two.Model.deadlock_rate;
+  checkb "lazy master beats eager" true
+    (lazy_m.Model.deadlock_rate < eager.Model.deadlock_rate)
+
+let test_params_validation () =
+  Alcotest.check_raises "zero db" (Invalid_argument "Params.validate: db_size must be positive")
+    (fun () -> Params.validate { p with Params.db_size = 0 });
+  Alcotest.check_raises "negative tps" (Invalid_argument "Params.validate: tps must be positive")
+    (fun () -> Params.validate { p with Params.tps = -1. })
+
+let monotonicity_props =
+  let open QCheck in
+  let param_gen =
+    Gen.map
+      (fun ((tps, actions), (db, nodes)) ->
+        { Params.default with tps = float_of_int tps; actions;
+          db_size = db; nodes })
+      Gen.(pair (pair (int_range 1 100) (int_range 1 20))
+             (pair (int_range 100 100_000) (int_range 1 64)))
+  in
+  let arb = make ~print:(fun p -> Format.asprintf "%a" Params.pp p) param_gen in
+  [
+    Test.make ~name:"model: deadlock rate increases with nodes" ~count:300 arb
+      (fun p ->
+        Eager.total_deadlock_rate { p with Params.nodes = p.Params.nodes + 1 }
+        > Eager.total_deadlock_rate p);
+    Test.make ~name:"model: deadlock rate decreases with db size" ~count:300 arb
+      (fun p ->
+        Eager.total_deadlock_rate { p with Params.db_size = 2 * p.Params.db_size }
+        < Eager.total_deadlock_rate p);
+    Test.make ~name:"model: wait rate increases with actions" ~count:300 arb
+      (fun p ->
+        Eager.total_wait_rate { p with Params.actions = p.Params.actions + 1 }
+        > Eager.total_wait_rate p);
+    Test.make ~name:"model: two-tier deadlock equals lazy-master" ~count:300 arb
+      (fun p ->
+        Float.equal
+          (Model.predict Model.Two_tier p).Model.deadlock_rate
+          (Model.predict Model.Lazy_master p).Model.deadlock_rate);
+  ]
+
+let test_sweep_tables () =
+  let module Tables = Dangers_analytic.Tables in
+  let module Table = Dangers_util.Table in
+  let rendered = Table.to_string (Tables.nodes_sweep p ~nodes:[ 1; 10 ]) in
+  checkb "sweep renders" true (String.length rendered > 100);
+  let rendered = Table.to_string (Tables.actions_sweep p ~actions:[ 2; 4 ]) in
+  checkb "actions sweep renders" true (String.length rendered > 50);
+  let rendered = Table.to_string (Tables.headline_growth p) in
+  checkb "headline renders" true (String.length rendered > 50);
+  Alcotest.check_raises "empty sweep" (Invalid_argument "Tables: empty sweep")
+    (fun () -> ignore (Tables.nodes_sweep p ~nodes:[]))
+
+let test_stability_threshold () =
+  let module Tables = Dangers_analytic.Tables in
+  (* At p: eq12 = 0.032 at 5 nodes (cubic: 2.56e-4 N^3); budget 0.01/s ->
+     N^3 <= 39.06 -> N = 3. *)
+  Alcotest.check Alcotest.int "eager threshold" 3
+    (Tables.stability_threshold p ~budget_per_second:0.01 `Eager);
+  (* eq19 = 2.56e-4 N^2; budget 0.01 -> N^2 <= 39.06 -> N = 6. *)
+  Alcotest.check Alcotest.int "lazy-master threshold" 6
+    (Tables.stability_threshold p ~budget_per_second:0.01 `Lazy_master);
+  checkb "lazy-master tolerates more nodes" true
+    (Tables.stability_threshold p ~budget_per_second:0.01 `Lazy_master
+     > Tables.stability_threshold p ~budget_per_second:0.01 `Eager);
+  Alcotest.check Alcotest.int "impossible budget" 0
+    (Tables.stability_threshold p ~budget_per_second:1e-9 `Eager)
+
+let suite =
+  [
+    Alcotest.test_case "sweep tables" `Quick test_sweep_tables;
+    Alcotest.test_case "stability threshold" `Quick test_stability_threshold;
+    Alcotest.test_case "equation 1" `Quick test_equation_1;
+    Alcotest.test_case "equations 2-5" `Quick test_equations_2_to_5;
+    Alcotest.test_case "equations 6-8" `Quick test_equations_6_to_8;
+    Alcotest.test_case "equations 9-12" `Quick test_equations_9_to_12;
+    Alcotest.test_case "equation 13" `Quick test_equation_13;
+    Alcotest.test_case "equation 14" `Quick test_equation_14;
+    Alcotest.test_case "equations 15-18" `Quick test_equations_15_to_18;
+    Alcotest.test_case "collision probability capped" `Quick test_p_collision_caps;
+    Alcotest.test_case "equation 19" `Quick test_equation_19;
+    Alcotest.test_case "headline: 10x nodes" `Quick test_headline_10x_1000x;
+    Alcotest.test_case "headline: 10x txn size" `Quick test_headline_txn_size_power;
+    Alcotest.test_case "power-law exponents" `Quick test_power_law_exponents;
+    Alcotest.test_case "table 1 predictions" `Quick test_predictions_table1;
+    Alcotest.test_case "per-scheme rates" `Quick test_prediction_rates_by_scheme;
+    Alcotest.test_case "params validation" `Quick test_params_validation;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest monotonicity_props

@@ -1,0 +1,84 @@
+(* Experiment registry and harness tests: every experiment runs in quick
+   mode, produces tables, and the deterministic (non-statistical) findings
+   hold. *)
+
+module Experiment = Dangers_experiments.Experiment
+module Registry = Dangers_experiments.Registry
+module Table = Dangers_util.Table
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let test_registry_shape () =
+  checki "twenty-two experiments" 22 (List.length Registry.all);
+  let ids = Registry.ids () in
+  checki "unique ids" (List.length ids)
+    (List.length (List.sort_uniq String.compare ids));
+  checkb "lookup case-insensitive" true (Registry.find "e3" <> None);
+  checkb "unknown id" true (Registry.find "E99" = None);
+  List.iter
+    (fun e ->
+      checkb (e.Experiment.id ^ " has a title") true
+        (String.length e.Experiment.title > 0);
+      checkb (e.Experiment.id ^ " cites the paper") true
+        (String.length e.Experiment.paper_ref > 0))
+    Registry.all
+
+(* Experiments whose findings are deterministic (exact counts, analytic
+   identities, monotone booleans) must pass even in quick mode; the
+   statistical exponent fits get the full-mode bench run instead. *)
+let deterministic = [ "T1"; "F1"; "E9"; "E10"; "E13" ]
+
+let test_quick_runs_all () =
+  List.iter
+    (fun e ->
+      let result = e.Experiment.run ~quick:true ~seed:5 in
+      Alcotest.check Alcotest.string
+        (e.Experiment.id ^ " result id matches")
+        e.Experiment.id result.Experiment.id;
+      checkb (e.Experiment.id ^ " produced tables") true
+        (result.Experiment.tables <> []);
+      List.iter
+        (fun table -> checkb "table renders" true
+            (String.length (Table.to_string table) > 0))
+        result.Experiment.tables;
+      if List.mem e.Experiment.id deterministic then
+        List.iter
+          (fun f ->
+            checkb
+              (Printf.sprintf "%s finding '%s' ok" e.Experiment.id
+                 f.Experiment.label)
+              true (Experiment.finding_ok f))
+          result.Experiment.findings)
+    Registry.all
+
+let test_experiment_determinism () =
+  (* Same seed, same findings, including the statistical ones. *)
+  let run () =
+    let e = Option.get (Registry.find "E3") in
+    let result = e.Experiment.run ~quick:true ~seed:9 in
+    List.map (fun f -> (f.Experiment.label, f.Experiment.actual))
+      result.Experiment.findings
+  in
+  checkb "identical across runs" true (run () = run ())
+
+let test_helpers () =
+  let finding expected actual tolerance =
+    { Experiment.label = "x"; expected; actual; tolerance }
+  in
+  checkb "within tolerance" true (Experiment.finding_ok (finding 3. 3.4 0.5));
+  checkb "outside tolerance" false (Experiment.finding_ok (finding 3. 3.6 0.5));
+  Alcotest.check (Alcotest.float 1e-9) "mean over seeds" 2.
+    (Experiment.mean_over_seeds ~seeds:[ 1; 2; 3 ] float_of_int);
+  checkb "fitted exponent skips non-positive" true
+    (Float.is_nan (Experiment.fitted_exponent [ (1., 0.); (2., 0.) ]));
+  Alcotest.check (Alcotest.float 1e-6) "fitted exponent" 2.
+    (Experiment.fitted_exponent [ (1., 1.); (2., 4.); (4., 16.) ])
+
+let suite =
+  [
+    Alcotest.test_case "registry shape" `Quick test_registry_shape;
+    Alcotest.test_case "quick runs all" `Slow test_quick_runs_all;
+    Alcotest.test_case "experiment determinism" `Quick test_experiment_determinism;
+    Alcotest.test_case "helpers" `Quick test_helpers;
+  ]

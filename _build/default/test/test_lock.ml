@@ -1,0 +1,263 @@
+(* Lock table, waits-for cycle detection, and lock manager tests. *)
+
+module Mode = Dangers_lock.Mode
+module Lock_table = Dangers_lock.Lock_table
+module Waits_for = Dangers_lock.Waits_for
+module Lock_manager = Dangers_lock.Lock_manager
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let granted = function Lock_table.Granted -> true | Lock_table.Queued -> false
+
+(* --- Mode --- *)
+
+let test_mode () =
+  checkb "S/S compatible" true (Mode.compatible Mode.S Mode.S);
+  checkb "S/X incompatible" false (Mode.compatible Mode.S Mode.X);
+  checkb "X/X incompatible" false (Mode.compatible Mode.X Mode.X);
+  checkb "X covers S" true (Mode.covers ~held:Mode.X ~requested:Mode.S);
+  checkb "S does not cover X" false (Mode.covers ~held:Mode.S ~requested:Mode.X)
+
+(* --- Lock table --- *)
+
+let noop () = ()
+
+let test_grant_and_conflict () =
+  let t = Lock_table.create () in
+  checkb "first X granted" true
+    (granted (Lock_table.acquire t ~owner:1 ~resource:10 ~mode:Mode.X ~on_grant:noop));
+  checkb "second X queued" false
+    (granted (Lock_table.acquire t ~owner:2 ~resource:10 ~mode:Mode.X ~on_grant:noop));
+  checkb "owner 2 waiting" true (Lock_table.is_waiting t ~owner:2);
+  Alcotest.check (Alcotest.list Alcotest.int) "blocked by holder" [ 1 ]
+    (Lock_table.blockers t ~owner:2)
+
+let test_shared_grants () =
+  let t = Lock_table.create () in
+  checkb "S granted" true
+    (granted (Lock_table.acquire t ~owner:1 ~resource:5 ~mode:Mode.S ~on_grant:noop));
+  checkb "second S granted" true
+    (granted (Lock_table.acquire t ~owner:2 ~resource:5 ~mode:Mode.S ~on_grant:noop));
+  checkb "X queued behind readers" false
+    (granted (Lock_table.acquire t ~owner:3 ~resource:5 ~mode:Mode.X ~on_grant:noop));
+  let blockers = List.sort Int.compare (Lock_table.blockers t ~owner:3) in
+  Alcotest.check (Alcotest.list Alcotest.int) "both readers block" [ 1; 2 ] blockers
+
+let test_release_wakes_fifo () =
+  let t = Lock_table.create () in
+  let woken = ref [] in
+  let wake id () = woken := id :: !woken in
+  ignore (Lock_table.acquire t ~owner:1 ~resource:7 ~mode:Mode.X ~on_grant:noop);
+  ignore (Lock_table.acquire t ~owner:2 ~resource:7 ~mode:Mode.X ~on_grant:(wake 2));
+  Lock_table.release_all t ~owner:1;
+  Alcotest.check (Alcotest.list Alcotest.int) "first waiter woken" [ 2 ] !woken;
+  checkb "2 now holds" true (Lock_table.holds t ~owner:2 ~resource:7 = Some Mode.X)
+
+let test_strict_fifo_no_overtake () =
+  (* An S request arriving behind a queued X must not overtake it. *)
+  let t = Lock_table.create () in
+  ignore (Lock_table.acquire t ~owner:1 ~resource:3 ~mode:Mode.S ~on_grant:noop);
+  checkb "X queued" false
+    (granted (Lock_table.acquire t ~owner:2 ~resource:3 ~mode:Mode.X ~on_grant:noop));
+  checkb "later S queued too" false
+    (granted (Lock_table.acquire t ~owner:3 ~resource:3 ~mode:Mode.S ~on_grant:noop));
+  Alcotest.check (Alcotest.list Alcotest.int) "S blocked by X ahead" [ 2 ]
+    (Lock_table.blockers t ~owner:3)
+
+let test_reentrant_and_upgrade () =
+  let t = Lock_table.create () in
+  ignore (Lock_table.acquire t ~owner:1 ~resource:1 ~mode:Mode.X ~on_grant:noop);
+  checkb "re-entrant X" true
+    (granted (Lock_table.acquire t ~owner:1 ~resource:1 ~mode:Mode.X ~on_grant:noop));
+  checkb "X covers S re-entrantly" true
+    (granted (Lock_table.acquire t ~owner:1 ~resource:1 ~mode:Mode.S ~on_grant:noop));
+  ignore (Lock_table.acquire t ~owner:2 ~resource:2 ~mode:Mode.S ~on_grant:noop);
+  checkb "sole-holder upgrade granted" true
+    (granted (Lock_table.acquire t ~owner:2 ~resource:2 ~mode:Mode.X ~on_grant:noop));
+  checkb "upgraded to X" true (Lock_table.holds t ~owner:2 ~resource:2 = Some Mode.X)
+
+let test_upgrade_waits_for_other_reader () =
+  let t = Lock_table.create () in
+  let upgraded = ref false in
+  ignore (Lock_table.acquire t ~owner:1 ~resource:4 ~mode:Mode.S ~on_grant:noop);
+  ignore (Lock_table.acquire t ~owner:2 ~resource:4 ~mode:Mode.S ~on_grant:noop);
+  checkb "upgrade queued" false
+    (granted
+       (Lock_table.acquire t ~owner:1 ~resource:4 ~mode:Mode.X
+          ~on_grant:(fun () -> upgraded := true)));
+  Alcotest.check (Alcotest.list Alcotest.int) "blocked by other reader" [ 2 ]
+    (Lock_table.blockers t ~owner:1);
+  Lock_table.release_all t ~owner:2;
+  checkb "upgrade completed on release" true !upgraded;
+  checkb "now X" true (Lock_table.holds t ~owner:1 ~resource:4 = Some Mode.X)
+
+let test_cancel_wait_unblocks () =
+  let t = Lock_table.create () in
+  let woken3 = ref false in
+  ignore (Lock_table.acquire t ~owner:1 ~resource:9 ~mode:Mode.X ~on_grant:noop);
+  ignore (Lock_table.acquire t ~owner:2 ~resource:9 ~mode:Mode.X ~on_grant:noop);
+  ignore
+    (Lock_table.acquire t ~owner:3 ~resource:9 ~mode:Mode.X
+       ~on_grant:(fun () -> woken3 := true));
+  Lock_table.cancel_wait t ~owner:2;
+  checkb "2 no longer waiting" false (Lock_table.is_waiting t ~owner:2);
+  Lock_table.release_all t ~owner:1;
+  checkb "3 got the lock (2 skipped)" true !woken3
+
+let test_release_all_multiple () =
+  let t = Lock_table.create () in
+  ignore (Lock_table.acquire t ~owner:1 ~resource:1 ~mode:Mode.X ~on_grant:noop);
+  ignore (Lock_table.acquire t ~owner:1 ~resource:2 ~mode:Mode.X ~on_grant:noop);
+  checki "two grants" 2 (Lock_table.grants_outstanding t);
+  Alcotest.check (Alcotest.list Alcotest.int) "held" [ 1; 2 ]
+    (Lock_table.held_resources t ~owner:1);
+  Lock_table.release_all t ~owner:1;
+  checki "no grants" 0 (Lock_table.grants_outstanding t);
+  Alcotest.check (Alcotest.list Alcotest.int) "nothing held" []
+    (Lock_table.held_resources t ~owner:1)
+
+let test_double_wait_rejected () =
+  let t = Lock_table.create () in
+  ignore (Lock_table.acquire t ~owner:1 ~resource:1 ~mode:Mode.X ~on_grant:noop);
+  ignore (Lock_table.acquire t ~owner:2 ~resource:1 ~mode:Mode.X ~on_grant:noop);
+  Alcotest.check_raises "waiting owner cannot acquire"
+    (Invalid_argument "Lock_table.acquire: owner is already waiting") (fun () ->
+      ignore (Lock_table.acquire t ~owner:2 ~resource:2 ~mode:Mode.X ~on_grant:noop))
+
+(* --- Waits-for --- *)
+
+let graph edges node = List.filter_map (fun (a, b) -> if a = node then Some b else None) edges
+
+let test_cycle_detection () =
+  let cycle2 = graph [ (1, 2); (2, 1) ] in
+  (match Waits_for.find_cycle ~successors:cycle2 ~start:1 with
+  | Some [ 1; 2 ] -> ()
+  | Some other ->
+      Alcotest.failf "unexpected cycle [%s]"
+        (String.concat ";" (List.map string_of_int other))
+  | None -> Alcotest.fail "cycle missed");
+  let chain = graph [ (1, 2); (2, 3) ] in
+  checkb "no cycle in a chain" true
+    (Waits_for.find_cycle ~successors:chain ~start:1 = None);
+  let cycle3 = graph [ (1, 2); (2, 3); (3, 1) ] in
+  (match Waits_for.find_cycle ~successors:cycle3 ~start:1 with
+  | Some [ 1; 2; 3 ] -> ()
+  | Some _ | None -> Alcotest.fail "three-cycle missed")
+
+let test_cycle_not_through_start () =
+  (* A pre-existing cycle that does not involve the start node is not the
+     start's deadlock. *)
+  let g = graph [ (1, 2); (2, 3); (3, 2) ] in
+  checkb "foreign cycle ignored" true (Waits_for.find_cycle ~successors:g ~start:1 = None)
+
+let test_reachable () =
+  let g = graph [ (1, 2); (2, 3); (2, 4) ] in
+  Alcotest.check (Alcotest.list Alcotest.int) "reachable set" [ 2; 3; 4 ]
+    (Waits_for.reachable ~successors:g ~start:1)
+
+(* --- Lock manager --- *)
+
+let test_manager_deadlock () =
+  let m = Lock_manager.create () in
+  let is_granted = function
+    | Lock_manager.Granted -> true
+    | Lock_manager.Waiting | Lock_manager.Deadlock _ -> false
+  in
+  checkb "1 gets A" true
+    (is_granted (Lock_manager.request m ~owner:1 ~resource:1 ~mode:Mode.X ~on_grant:noop));
+  checkb "2 gets B" true
+    (is_granted (Lock_manager.request m ~owner:2 ~resource:2 ~mode:Mode.X ~on_grant:noop));
+  (match Lock_manager.request m ~owner:1 ~resource:2 ~mode:Mode.X ~on_grant:noop with
+  | Lock_manager.Waiting -> ()
+  | Lock_manager.Granted | Lock_manager.Deadlock _ -> Alcotest.fail "1 should wait");
+  (match Lock_manager.request m ~owner:2 ~resource:1 ~mode:Mode.X ~on_grant:noop with
+  | Lock_manager.Deadlock cycle ->
+      checkb "cycle starts at requester" true (List.hd cycle = 2);
+      checkb "cycle contains 1" true (List.mem 1 cycle)
+  | Lock_manager.Granted | Lock_manager.Waiting -> Alcotest.fail "deadlock missed");
+  checki "one deadlock" 1 (Lock_manager.deadlocks m);
+  checki "two waits" 2 (Lock_manager.waits m);
+  (* The victim (2) aborts and releases; that grants 1's queued request. *)
+  Lock_manager.release_all m ~owner:2;
+  checkb "1 unblocked by victim's release" false
+    (Lock_table.is_waiting (Lock_manager.table m) ~owner:1);
+  checkb "1 now holds B" true
+    (Lock_table.holds (Lock_manager.table m) ~owner:1 ~resource:2 = Some Mode.X)
+
+let test_manager_three_way_cycle () =
+  let m = Lock_manager.create () in
+  ignore (Lock_manager.request m ~owner:1 ~resource:1 ~mode:Mode.X ~on_grant:noop);
+  ignore (Lock_manager.request m ~owner:2 ~resource:2 ~mode:Mode.X ~on_grant:noop);
+  ignore (Lock_manager.request m ~owner:3 ~resource:3 ~mode:Mode.X ~on_grant:noop);
+  ignore (Lock_manager.request m ~owner:1 ~resource:2 ~mode:Mode.X ~on_grant:noop);
+  ignore (Lock_manager.request m ~owner:2 ~resource:3 ~mode:Mode.X ~on_grant:noop);
+  (match Lock_manager.request m ~owner:3 ~resource:1 ~mode:Mode.X ~on_grant:noop with
+  | Lock_manager.Deadlock cycle -> checki "cycle length 3" 3 (List.length cycle)
+  | Lock_manager.Granted | Lock_manager.Waiting -> Alcotest.fail "3-cycle missed")
+
+let test_manager_reset_counters () =
+  let m = Lock_manager.create () in
+  ignore (Lock_manager.request m ~owner:1 ~resource:1 ~mode:Mode.X ~on_grant:noop);
+  ignore (Lock_manager.request m ~owner:2 ~resource:1 ~mode:Mode.X ~on_grant:noop);
+  checki "one wait" 1 (Lock_manager.waits m);
+  Lock_manager.reset_counters m;
+  checki "reset" 0 (Lock_manager.waits m)
+
+(* Property: random grant/release traffic never leaves conflicting grants. *)
+let lock_table_safety_prop =
+  QCheck.Test.make ~name:"lock table: never grants X/X on one resource" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 60)
+              (pair (int_range 0 5) (int_range 0 3)))
+    (fun script ->
+      let t = Lock_table.create () in
+      let holders : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+      let add_holder resource owner =
+        let current = Option.value ~default:[] (Hashtbl.find_opt holders resource) in
+        Hashtbl.replace holders resource (owner :: current)
+      in
+      let ok = ref true in
+      List.iter
+        (fun (owner, resource) ->
+          if Lock_table.is_waiting t ~owner then Lock_table.release_all t ~owner
+          else
+            match
+              Lock_table.acquire t ~owner ~resource ~mode:Mode.X
+                ~on_grant:(fun () -> add_holder resource owner)
+            with
+            | Lock_table.Granted -> add_holder resource owner
+            | Lock_table.Queued -> ())
+        script;
+      (* Check via the table's own view: each resource has at most one X
+         holder. *)
+      for resource = 0 to 3 do
+        let x_holders = ref 0 in
+        for owner = 0 to 5 do
+          match Lock_table.holds t ~owner ~resource with
+          | Some Mode.X -> incr x_holders
+          | Some Mode.S | None -> ()
+        done;
+        if !x_holders > 1 then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "modes" `Quick test_mode;
+    Alcotest.test_case "grant and conflict" `Quick test_grant_and_conflict;
+    Alcotest.test_case "shared grants" `Quick test_shared_grants;
+    Alcotest.test_case "release wakes FIFO" `Quick test_release_wakes_fifo;
+    Alcotest.test_case "strict FIFO no overtake" `Quick test_strict_fifo_no_overtake;
+    Alcotest.test_case "re-entrant and upgrade" `Quick test_reentrant_and_upgrade;
+    Alcotest.test_case "upgrade waits for reader" `Quick test_upgrade_waits_for_other_reader;
+    Alcotest.test_case "cancel wait unblocks" `Quick test_cancel_wait_unblocks;
+    Alcotest.test_case "release all multiple" `Quick test_release_all_multiple;
+    Alcotest.test_case "double wait rejected" `Quick test_double_wait_rejected;
+    Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+    Alcotest.test_case "foreign cycle ignored" `Quick test_cycle_not_through_start;
+    Alcotest.test_case "reachable" `Quick test_reachable;
+    Alcotest.test_case "manager two-way deadlock" `Quick test_manager_deadlock;
+    Alcotest.test_case "manager three-way cycle" `Quick test_manager_three_way_cycle;
+    Alcotest.test_case "manager reset counters" `Quick test_manager_reset_counters;
+    QCheck_alcotest.to_alcotest lock_table_safety_prop;
+  ]

@@ -1,0 +1,147 @@
+(* Delay, Network, Connectivity tests. *)
+
+module Delay = Dangers_net.Delay
+module Network = Dangers_net.Network
+module Connectivity = Dangers_net.Connectivity
+module Engine = Dangers_sim.Engine
+module Rng = Dangers_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let test_delay_models () =
+  let rng = Rng.create ~seed:1 in
+  checkf "zero" 0. (Delay.sample Delay.Zero rng);
+  checkf "constant" 0.5 (Delay.sample (Delay.Constant 0.5) rng);
+  for _ = 1 to 100 do
+    let d = Delay.sample (Delay.Uniform { lo = 1.; hi = 2. }) rng in
+    checkb "uniform in range" true (d >= 1. && d < 2.);
+    checkb "exponential non-negative" true
+      (Delay.sample (Delay.Exponential { mean = 0.3 }) rng >= 0.)
+  done;
+  Alcotest.check_raises "negative constant"
+    (Invalid_argument "Delay.Constant: negative delay") (fun () ->
+      Delay.validate (Delay.Constant (-1.)))
+
+let make_network ?(delay = Delay.Zero) ~nodes () =
+  let engine = Engine.create () in
+  let received = ref [] in
+  let network =
+    Network.create ~engine ~rng:(Rng.create ~seed:9) ~delay ~nodes
+      ~deliver:(fun ~src ~dst msg -> received := (src, dst, msg) :: !received)
+  in
+  (engine, network, received)
+
+let test_send_and_broadcast () =
+  let engine, network, received = make_network ~nodes:3 () in
+  Network.send network ~src:0 ~dst:2 "hello";
+  Network.broadcast network ~src:1 "all";
+  Engine.run engine;
+  checki "three deliveries" 3 (List.length !received);
+  checkb "direct message arrived" true (List.mem (0, 2, "hello") !received);
+  checkb "broadcast to 0" true (List.mem (1, 0, "all") !received);
+  checkb "broadcast to 2" true (List.mem (1, 2, "all") !received);
+  checki "sent counter" 3 (Network.messages_sent network);
+  checki "delivered counter" 3 (Network.messages_delivered network)
+
+let test_send_validation () =
+  let _, network, _ = make_network ~nodes:2 () in
+  Alcotest.check_raises "self send" (Invalid_argument "Network.send: src = dst")
+    (fun () -> Network.send network ~src:0 ~dst:0 "x")
+
+let test_constant_delay_timing () =
+  let engine, network, received = make_network ~delay:(Delay.Constant 2.0) ~nodes:2 () in
+  let arrival = ref nan in
+  Network.send network ~src:0 ~dst:1 "m";
+  ignore received;
+  (* Watch the clock at delivery via a fresh network with a closure. *)
+  let network2 =
+    Network.create ~engine ~rng:(Rng.create ~seed:1) ~delay:(Delay.Constant 2.0)
+      ~nodes:2
+      ~deliver:(fun ~src:_ ~dst:_ _ -> arrival := Engine.now engine)
+  in
+  Network.send network2 ~src:0 ~dst:1 "m2";
+  Engine.run engine;
+  checkf "delivered after the delay" 2.0 !arrival
+
+let test_store_and_forward () =
+  let engine, network, received = make_network ~nodes:2 () in
+  Network.set_connected network ~node:1 false;
+  Network.send network ~src:0 ~dst:1 "parked";
+  Engine.run engine;
+  checki "nothing delivered while down" 0 (List.length !received);
+  checki "one parked" 1 (Network.messages_parked network);
+  Network.set_connected network ~node:1 true;
+  Engine.run engine;
+  checki "flushed at reconnect" 1 (List.length !received);
+  checki "no parked left" 0 (Network.messages_parked network)
+
+let test_sender_down_parks () =
+  let engine, network, received = make_network ~nodes:2 () in
+  Network.set_connected network ~node:0 false;
+  Network.send network ~src:0 ~dst:1 "deferred";
+  Engine.run engine;
+  checki "held at sender" 0 (List.length !received);
+  Network.set_connected network ~node:0 true;
+  Engine.run engine;
+  checki "sent on reconnect" 1 (List.length !received)
+
+let test_connectivity_observer () =
+  let engine, network, _ = make_network ~nodes:2 () in
+  let events = ref [] in
+  Network.on_connectivity_change network (fun ~node ~connected ->
+      events := (node, connected) :: !events);
+  Network.set_connected network ~node:1 false;
+  Network.set_connected network ~node:1 false;
+  (* no-op *)
+  Network.set_connected network ~node:1 true;
+  ignore engine;
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.bool))
+    "observer saw both changes"
+    [ (1, false); (1, true) ]
+    (List.rev !events)
+
+let test_day_cycle_schedule () =
+  let engine = Engine.create () in
+  let trace = ref [] in
+  let spec = Connectivity.day_cycle ~connected:10. ~disconnected:5. in
+  let schedule =
+    Connectivity.install ~engine ~rng:(Rng.create ~seed:3) ~spec
+      ~set_connected:(fun state -> trace := (Engine.now engine, state) :: !trace)
+  in
+  Engine.run engine ~until:31.;
+  Connectivity.stop schedule;
+  (* t=0 connected, t=10 down, t=15 up, t=25 down, t=30 up. *)
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair (Alcotest.float 1e-9) Alcotest.bool))
+    "fixed alternation"
+    [ (0., true); (10., false); (15., true); (25., false); (30., true) ]
+    (List.rev !trace);
+  checki "toggles" 4 (Connectivity.toggles schedule)
+
+let test_base_node_never_disconnects () =
+  let engine = Engine.create () in
+  let changes = ref 0 in
+  let _schedule =
+    Connectivity.install ~engine ~rng:(Rng.create ~seed:4)
+      ~spec:Connectivity.base_node
+      ~set_connected:(fun _ -> incr changes)
+  in
+  Engine.run engine ~until:1000.;
+  checki "initial set only" 1 !changes;
+  checkb "spec recognized" true (Connectivity.always_connected Connectivity.base_node)
+
+let suite =
+  [
+    Alcotest.test_case "delay models" `Quick test_delay_models;
+    Alcotest.test_case "send and broadcast" `Quick test_send_and_broadcast;
+    Alcotest.test_case "send validation" `Quick test_send_validation;
+    Alcotest.test_case "constant delay timing" `Quick test_constant_delay_timing;
+    Alcotest.test_case "store and forward" `Quick test_store_and_forward;
+    Alcotest.test_case "sender down parks" `Quick test_sender_down_parks;
+    Alcotest.test_case "connectivity observer" `Quick test_connectivity_observer;
+    Alcotest.test_case "day cycle schedule" `Quick test_day_cycle_schedule;
+    Alcotest.test_case "base node never disconnects" `Quick test_base_node_never_disconnects;
+  ]

@@ -1,0 +1,73 @@
+(* Quorum_sim: eager availability under failures. *)
+
+module Params = Dangers_analytic.Params
+module Quorum = Dangers_replication.Quorum
+module Quorum_sim = Dangers_replication.Quorum_sim
+module Common = Dangers_replication.Common
+module Engine = Dangers_sim.Engine
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let params = { Params.default with nodes = 3; db_size = 100; tps = 2.; actions = 2 }
+
+let make ?(uptime = 0.9) ~seed () =
+  Quorum_sim.create ~quorum:(Quorum.majority ~n:3) ~uptime ~mean_downtime:10.
+    params ~seed
+
+let test_validation () =
+  Alcotest.check_raises "uptime out of range"
+    (Invalid_argument "Quorum_sim.create: uptime must be in (0,1)") (fun () ->
+      ignore
+        (Quorum_sim.create ~quorum:(Quorum.majority ~n:3) ~uptime:1.5
+           ~mean_downtime:10. params ~seed:1));
+  Alcotest.check_raises "replica mismatch"
+    (Invalid_argument "Quorum_sim.create: quorum replica count mismatch")
+    (fun () ->
+      ignore
+        (Quorum_sim.create ~quorum:(Quorum.majority ~n:5) ~uptime:0.9
+           ~mean_downtime:10. params ~seed:1))
+
+let test_all_up_always_available () =
+  (* Practically-always-up nodes: every update should find a quorum. *)
+  let sim =
+    Quorum_sim.create ~quorum:(Quorum.majority ~n:3) ~uptime:0.999999
+      ~mean_downtime:0.001 params ~seed:2
+  in
+  Quorum_sim.start sim;
+  Engine.run_for (Quorum_sim.base sim).Common.engine 100.;
+  Quorum_sim.stop_load sim;
+  checkb "committed plenty" true (Quorum_sim.committed sim > 300);
+  checki "never unavailable" 0 (Quorum_sim.unavailable sim);
+  checkb "consistent" true (Quorum_sim.up_replicas_consistent sim)
+
+let test_failures_cause_unavailability_and_recovery () =
+  let sim = make ~uptime:0.7 ~seed:3 () in
+  Quorum_sim.start sim;
+  Engine.run_for (Quorum_sim.base sim).Common.engine 2_000.;
+  Quorum_sim.stop_load sim;
+  checkb "some updates refused" true (Quorum_sim.unavailable sim > 0);
+  checkb "most still commit" true
+    (Quorum_sim.availability sim > 0.5 && Quorum_sim.availability sim < 1.);
+  checkb "recoveries happened" true (Quorum_sim.catch_ups sim > 0);
+  checkb "up replicas consistent at the end" true
+    (Quorum_sim.up_replicas_consistent sim)
+
+let test_availability_matches_closed_form () =
+  let sim = make ~uptime:0.9 ~seed:4 () in
+  Quorum_sim.start sim;
+  Engine.run_for (Quorum_sim.base sim).Common.engine 20_000.;
+  Quorum_sim.stop_load sim;
+  let predicted = Quorum.write_availability (Quorum.majority ~n:3) ~p_up:0.9 in
+  checkb "within 3% of the binomial prediction" true
+    (Float.abs (Quorum_sim.availability sim -. predicted) < 0.03)
+
+let suite =
+  [
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "all up, always available" `Quick test_all_up_always_available;
+    Alcotest.test_case "failures and recovery" `Quick
+      test_failures_cause_unavailability_and_recovery;
+    Alcotest.test_case "availability matches closed form" `Slow
+      test_availability_matches_closed_form;
+  ]

@@ -1,0 +1,73 @@
+(* Reconciliation rules exercised end-to-end in the running lazy-group
+   system (the unit tests cover [Reconcile.resolve]; these cover what the
+   rules do to actual replicas). *)
+
+module Params = Dangers_analytic.Params
+module Op = Dangers_txn.Op
+module Oid = Dangers_storage.Oid
+module Fstore = Dangers_storage.Store.Fstore
+module Common = Dangers_replication.Common
+module Lazy_group = Dangers_replication.Lazy_group
+module Reconcile = Dangers_replication.Reconcile
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let o n = Oid.of_int n
+
+let params = { Params.default with nodes = 2; db_size = 20; tps = 0.001 }
+
+(* Two concurrent assigns to one object; which survives depends on the
+   rule. Node 0 writes 111 (stamp 1@n0), node 1 writes 222 (stamp 1@n1,
+   the newer timestamp). *)
+let collide ~rule ~seed =
+  let sys = Lazy_group.create ~initial_value:0. ~rule params ~seed in
+  Lazy_group.submit sys ~node:0 [ Op.Assign (o 5, 111.) ];
+  Lazy_group.submit sys ~node:1 [ Op.Assign (o 5, 222.) ];
+  Common.drain (Lazy_group.base sys);
+  let stores = (Lazy_group.base sys).Common.stores in
+  (Fstore.read stores.(0) (o 5), Fstore.read stores.(1) (o 5))
+
+let test_site_priority () =
+  (* Site 0 outranks site 1: its value must win on both replicas even
+     though site 1's timestamp is newer. *)
+  let v0, v1 = collide ~rule:(Reconcile.Site_priority [| 0; 1 |]) ~seed:1 in
+  checkf "site 0 wins at node 0" 111. v0;
+  checkf "site 0 wins at node 1" 111. v1
+
+let test_value_priority_max () =
+  let v0, v1 = collide ~rule:(Reconcile.Value_priority `Max) ~seed:2 in
+  checkf "max value wins" 222. v0;
+  checkf "max value wins everywhere" 222. v1
+
+let test_value_priority_min () =
+  let v0, v1 = collide ~rule:(Reconcile.Value_priority `Min) ~seed:3 in
+  checkf "min value wins" 111. v0;
+  checkf "min value wins everywhere" 111. v1
+
+let test_ignore_rule_diverges () =
+  let v0, v1 = collide ~rule:Reconcile.Ignore ~seed:4 in
+  (* Each node keeps its own write: permanent disagreement. *)
+  checkf "node 0 keeps its write" 111. v0;
+  checkf "node 1 keeps its write" 222. v1;
+  checkb "values diverge" true (not (Float.equal v0 v1))
+
+let test_custom_rule_end_to_end () =
+  (* A merge-by-average custom rule, applied in the live system. *)
+  let average =
+    Reconcile.Custom
+      (fun ~current_value ~current_stamp:_ u ->
+        Reconcile.Merge ((current_value +. u.Reconcile.value) /. 2.))
+  in
+  let v0, v1 = collide ~rule:average ~seed:5 in
+  checkf "average at node 0" 166.5 v0;
+  checkf "average at node 1" 166.5 v1
+
+let suite =
+  [
+    Alcotest.test_case "site priority e2e" `Quick test_site_priority;
+    Alcotest.test_case "value priority max e2e" `Quick test_value_priority_max;
+    Alcotest.test_case "value priority min e2e" `Quick test_value_priority_min;
+    Alcotest.test_case "ignore rule diverges" `Quick test_ignore_rule_diverges;
+    Alcotest.test_case "custom rule e2e" `Quick test_custom_rule_end_to_end;
+  ]

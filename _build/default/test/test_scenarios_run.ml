@@ -1,0 +1,76 @@
+(* End-to-end: every named scenario runs under every scheme without
+   violating its scheme's core invariant. *)
+
+module Scenario = Dangers_workload.Scenario
+module Params = Dangers_analytic.Params
+module Fstore = Dangers_storage.Store.Fstore
+module Common = Dangers_replication.Common
+module Repl_stats = Dangers_replication.Repl_stats
+module Runs = Dangers_experiments.Runs
+module Two_tier = Dangers_core.Two_tier
+module Connectivity = Dangers_net.Connectivity
+module Lazy_group = Dangers_replication.Lazy_group
+
+let checkb = Alcotest.check Alcotest.bool
+
+(* Keep runtimes test-sized. *)
+let shrink params = { params with Params.tps = Float.min params.Params.tps 5. }
+
+let test_scenario scenario () =
+  let params = shrink scenario.Scenario.params in
+  let profile = scenario.Scenario.profile in
+  let span = 20. and warmup = 2. in
+  let eager = Runs.eager ~profile params ~seed:3 ~warmup ~span in
+  checkb "eager commits" true (eager.Repl_stats.commits > 0);
+  checkb "eager never reconciles" true (eager.Repl_stats.reconciliations = 0);
+  let lazy_m = Runs.lazy_master ~profile params ~seed:3 ~warmup ~span in
+  checkb "lazy-master commits" true (lazy_m.Repl_stats.commits > 0);
+  checkb "lazy-master never reconciles" true
+    (lazy_m.Repl_stats.reconciliations = 0);
+  let lazy_g = Runs.lazy_group ~profile params ~seed:3 ~warmup ~span in
+  checkb "lazy-group commits" true (lazy_g.Repl_stats.commits > 0);
+  (* Two-tier: run with the scenario's own mobility and verify the §7
+     guarantees hold for this workload. *)
+  let summary, sys =
+    Runs.two_tier ~profile ~initial_value:scenario.Scenario.initial_value
+      ~base_nodes:(max 1 (params.Params.nodes / 2))
+      params ~seed:3 ~warmup ~span
+  in
+  checkb "two-tier commits" true (summary.Repl_stats.commits > 0);
+  checkb "two-tier converged" true (Two_tier.converged sys);
+  checkb "two-tier base serializable" true (Two_tier.base_history_serializable sys)
+
+(* Lazy-group on the fully commutative scenarios must reach exact sums
+   under the additive rule. *)
+let test_commutative_scenarios_exact () =
+  List.iter
+    (fun scenario ->
+      let params = shrink scenario.Scenario.params in
+      let sys =
+        Lazy_group.create ~profile:scenario.Scenario.profile
+          ~initial_value:scenario.Scenario.initial_value
+          ~rule:Dangers_replication.Reconcile.Additive params ~seed:5
+      in
+      Lazy_group.start sys;
+      Dangers_sim.Engine.run_for (Lazy_group.base sys).Common.engine 20.;
+      Lazy_group.stop_load sys;
+      Lazy_group.force_sync sys;
+      let store = (Lazy_group.base sys).Common.stores.(0) in
+      let deviation =
+        Fstore.fold store ~init:0. ~f:(fun acc oid value _ ->
+            acc +. Float.abs (value -. Lazy_group.expected_sum sys oid))
+      in
+      checkb (scenario.Scenario.name ^ " exact under additive") true
+        (deviation < 1e-6))
+    [ Scenario.inventory; Scenario.tpcb ]
+
+let suite =
+  List.map
+    (fun scenario ->
+      Alcotest.test_case ("scenario " ^ scenario.Scenario.name) `Slow
+        (test_scenario scenario))
+    Scenario.all
+  @ [
+      Alcotest.test_case "commutative scenarios exact" `Slow
+        test_commutative_scenarios_exact;
+    ]

@@ -1,0 +1,176 @@
+(* Heap, Engine, and Metrics tests. *)
+
+module Heap = Dangers_sim.Heap
+module Engine = Dangers_sim.Engine
+module Metrics = Dangers_sim.Metrics
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* --- Heap --- *)
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:Int.compare () in
+  checkb "empty" true (Heap.is_empty h);
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
+  checki "length" 5 (Heap.length h);
+  Alcotest.check (Alcotest.option Alcotest.int) "peek" (Some 1) (Heap.peek h);
+  checki "pop order" 1 (Heap.pop_exn h);
+  checki "pop order" 1 (Heap.pop_exn h);
+  checki "pop order" 3 (Heap.pop_exn h);
+  checki "pop order" 4 (Heap.pop_exn h);
+  checki "pop order" 5 (Heap.pop_exn h);
+  checkb "drained" true (Heap.is_empty h)
+
+let test_heap_pop_empty () =
+  let h = Heap.create ~cmp:Int.compare () in
+  Alcotest.check (Alcotest.option Alcotest.int) "pop empty" None (Heap.pop h);
+  Alcotest.check_raises "pop_exn empty" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_heap_to_sorted_list_preserves () =
+  let h = Heap.create ~cmp:Int.compare () in
+  List.iter (Heap.push h) [ 9; 2; 7 ];
+  Alcotest.check (Alcotest.list Alcotest.int) "sorted copy" [ 2; 7; 9 ]
+    (Heap.to_sorted_list h);
+  checki "heap unchanged" 3 (Heap.length h)
+
+let heap_sort_prop =
+  QCheck.Test.make ~name:"heap: extraction is sorted" ~count:300
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare () in
+      List.iter (Heap.push h) xs;
+      let rec drain acc = match Heap.pop h with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+(* --- Engine --- *)
+
+let test_engine_ordering () =
+  let engine = Engine.create () in
+  let trace = ref [] in
+  let record tag () = trace := tag :: !trace in
+  ignore (Engine.schedule engine ~delay:2.0 (record "c"));
+  ignore (Engine.schedule engine ~delay:1.0 (record "a"));
+  ignore (Engine.schedule engine ~delay:1.0 (record "b"));
+  Engine.run engine;
+  Alcotest.check (Alcotest.list Alcotest.string) "time then FIFO order"
+    [ "a"; "b"; "c" ] (List.rev !trace);
+  checkf "clock at last event" 2.0 (Engine.now engine)
+
+let test_engine_cancel () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let event = Engine.schedule engine ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel engine event;
+  checki "pending zero after cancel" 0 (Engine.pending engine);
+  Engine.run engine;
+  checkb "cancelled never fires" false !fired
+
+let test_engine_until () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule engine ~delay:(float_of_int i) (fun () -> incr count))
+  done;
+  Engine.run engine ~until:5.5;
+  checki "five fired" 5 !count;
+  checkf "clock advanced to deadline" 5.5 (Engine.now engine);
+  Engine.run engine;
+  checki "rest fired" 10 !count
+
+let test_engine_nested_schedule () =
+  let engine = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.schedule engine ~delay:1.0 (fun () ->
+         times := Engine.now engine :: !times;
+         ignore
+           (Engine.schedule engine ~delay:0.5 (fun () ->
+                times := Engine.now engine :: !times))));
+  Engine.run engine;
+  Alcotest.check (Alcotest.list (Alcotest.float 1e-9)) "nested times"
+    [ 1.0; 1.5 ] (List.rev !times)
+
+let test_engine_past_rejected () =
+  let engine = Engine.create () in
+  ignore (Engine.schedule engine ~delay:3.0 (fun () -> ()));
+  Engine.run engine;
+  Alcotest.check_raises "past time rejected"
+    (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+      ignore (Engine.schedule_at engine ~time:1.0 (fun () -> ())))
+
+let test_engine_zero_delay_cascade () =
+  (* Zero-delay events must still run in schedule order without stalling. *)
+  let engine = Engine.create () in
+  let n = ref 0 in
+  let rec chain k = if k > 0 then
+    ignore (Engine.schedule engine ~delay:0. (fun () -> incr n; chain (k - 1)))
+  in
+  chain 100;
+  Engine.run engine;
+  checki "all fired" 100 !n;
+  checkf "clock unmoved" 0. (Engine.now engine)
+
+(* --- Metrics --- *)
+
+let test_engine_runaway_guard () =
+  let engine = Engine.create () in
+  (* A self-rescheduling zero-delay loop: without the guard this would hang. *)
+  let rec loop () = ignore (Engine.schedule engine ~delay:0. loop) in
+  loop ();
+  (try
+     Engine.run ~max_events:1000 engine;
+     Alcotest.fail "runaway not detected"
+   with Engine.Runaway n -> checki "budget reported" 1000 n);
+  (* A bounded workload under the same guard completes fine. *)
+  let engine2 = Engine.create () in
+  let fired = ref 0 in
+  for i = 1 to 50 do
+    ignore (Engine.schedule engine2 ~delay:(float_of_int i) (fun () -> incr fired))
+  done;
+  Engine.run ~max_events:1000 engine2;
+  checki "bounded run completes" 50 !fired
+
+let test_metrics_counters_and_window () =
+  let engine = Engine.create () in
+  let metrics = Metrics.create engine in
+  Metrics.incr metrics "x";
+  Metrics.incr_by metrics "x" 4;
+  checki "window count" 5 (Metrics.count metrics "x");
+  ignore (Engine.schedule engine ~delay:10. (fun () -> Metrics.incr metrics "x"));
+  Engine.run engine;
+  checki "lifetime" 6 (Metrics.total_count metrics "x");
+  checkf "rate over 10s window" 0.6 (Metrics.rate metrics "x");
+  Metrics.start_window metrics;
+  checki "window reset" 0 (Metrics.count metrics "x");
+  checki "lifetime preserved" 6 (Metrics.total_count metrics "x")
+
+let test_metrics_samples () =
+  let engine = Engine.create () in
+  let metrics = Metrics.create engine in
+  Metrics.sample metrics "d" 1.0;
+  Metrics.sample metrics "d" 3.0;
+  checkf "sample mean" 2.0 (Dangers_util.Stats.mean (Metrics.sample_stats metrics "d"));
+  checki "unknown counter" 0 (Metrics.count metrics "nope")
+
+let suite =
+  [
+    Alcotest.test_case "heap basics" `Quick test_heap_basic;
+    Alcotest.test_case "heap pop empty" `Quick test_heap_pop_empty;
+    Alcotest.test_case "heap sorted copy" `Quick test_heap_to_sorted_list_preserves;
+    QCheck_alcotest.to_alcotest heap_sort_prop;
+    Alcotest.test_case "engine ordering" `Quick test_engine_ordering;
+    Alcotest.test_case "engine cancel" `Quick test_engine_cancel;
+    Alcotest.test_case "engine until" `Quick test_engine_until;
+    Alcotest.test_case "engine nested schedule" `Quick test_engine_nested_schedule;
+    Alcotest.test_case "engine rejects past" `Quick test_engine_past_rejected;
+    Alcotest.test_case "engine zero-delay cascade" `Quick test_engine_zero_delay_cascade;
+    Alcotest.test_case "engine runaway guard" `Quick test_engine_runaway_guard;
+    Alcotest.test_case "metrics counters and window" `Quick test_metrics_counters_and_window;
+    Alcotest.test_case "metrics samples" `Quick test_metrics_samples;
+  ]

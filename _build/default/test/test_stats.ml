@@ -1,0 +1,111 @@
+module Stats = Dangers_util.Stats
+
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+let checkb = Alcotest.check Alcotest.bool
+
+let test_empty () =
+  let s = Stats.create () in
+  Alcotest.check Alcotest.int "count" 0 (Stats.count s);
+  checkf "mean" 0. (Stats.mean s);
+  checkf "variance" 0. (Stats.variance s);
+  checkf "total" 0. (Stats.total s)
+
+let test_moments () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.check Alcotest.int "count" 8 (Stats.count s);
+  checkf "mean" 5.0 (Stats.mean s);
+  (* Sample variance of this classic set: 32/7. *)
+  checkf "variance" (32. /. 7.) (Stats.variance s);
+  checkf "min" 2. (Stats.min s);
+  checkf "max" 9. (Stats.max s);
+  checkf "total" 40. (Stats.total s)
+
+let test_confidence_shrinks () =
+  let wide = Stats.create () and narrow = Stats.create () in
+  for i = 1 to 10 do
+    Stats.add wide (float_of_int (i mod 3))
+  done;
+  for i = 1 to 1000 do
+    Stats.add narrow (float_of_int (i mod 3))
+  done;
+  checkb "more samples, tighter CI" true
+    (Stats.confidence95 narrow < Stats.confidence95 wide)
+
+let test_percentile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  checkf "median" 3. (Stats.percentile xs ~p:0.5);
+  checkf "min" 1. (Stats.percentile xs ~p:0.);
+  checkf "max" 5. (Stats.percentile xs ~p:1.);
+  checkf "interpolated p25" 2. (Stats.percentile xs ~p:0.25);
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Stats.percentile: empty array") (fun () ->
+      ignore (Stats.percentile [||] ~p:0.5))
+
+let test_loglog_slope_exact () =
+  (* y = 3 x^2 has slope exactly 2 in log-log space. *)
+  let points = List.map (fun x -> (x, 3. *. (x ** 2.))) [ 1.; 2.; 4.; 8.; 16. ] in
+  checkf "slope 2" 2. (Stats.loglog_slope points)
+
+let test_loglog_slope_cubic () =
+  let points = List.map (fun x -> (x, 0.5 *. (x ** 3.))) [ 1.; 3.; 9.; 27. ] in
+  checkf "slope 3" 3. (Stats.loglog_slope points)
+
+let test_loglog_rejects () =
+  Alcotest.check_raises "non-positive rejected"
+    (Invalid_argument "Stats.loglog_slope: coordinates must be positive")
+    (fun () -> ignore (Stats.loglog_slope [ (1., 0.); (2., 1.) ]))
+
+let test_geometric_mean () =
+  checkf "gm of 2,8" 4. (Stats.geometric_mean [| 2.; 8. |]);
+  checkf "gm of equal" 5. (Stats.geometric_mean [| 5.; 5.; 5. |])
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~min:0. ~max:10. ~buckets:5 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.; 3.; 5.; 9.9; -1.; 42. ];
+  Alcotest.check Alcotest.int "count" 7 (Stats.Histogram.count h);
+  let counts = Stats.Histogram.bucket_counts h in
+  Alcotest.check (Alcotest.array Alcotest.int) "buckets"
+    [| 3; 1; 1; 0; 2 |] counts;
+  let bounds = Stats.Histogram.bucket_bounds h in
+  checkf "first lower bound" 0. (fst bounds.(0));
+  checkf "last upper bound" 10. (snd bounds.(4))
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"stats: welford mean equals arithmetic mean" ~count:300
+      (list_of_size (Gen.int_range 1 100) (float_range (-1000.) 1000.))
+      (fun xs ->
+        let s = Stats.create () in
+        List.iter (Stats.add s) xs;
+        let expected = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+        Float.abs (Stats.mean s -. expected) < 1e-6 *. (1. +. Float.abs expected));
+    Test.make ~name:"stats: variance non-negative" ~count:300
+      (list_of_size (Gen.int_range 2 100) (float_range (-100.) 100.))
+      (fun xs ->
+        let s = Stats.create () in
+        List.iter (Stats.add s) xs;
+        Stats.variance s >= 0.);
+    Test.make ~name:"stats: percentile monotone in p" ~count:200
+      (pair
+         (array_of_size (Gen.int_range 1 50) (float_range (-50.) 50.))
+         (pair (float_range 0. 1.) (float_range 0. 1.)))
+      (fun (xs, (p1, p2)) ->
+        let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+        Stats.percentile xs ~p:lo <= Stats.percentile xs ~p:hi +. 1e-9);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "moments" `Quick test_moments;
+    Alcotest.test_case "confidence shrinks" `Quick test_confidence_shrinks;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "loglog slope quadratic" `Quick test_loglog_slope_exact;
+    Alcotest.test_case "loglog slope cubic" `Quick test_loglog_slope_cubic;
+    Alcotest.test_case "loglog rejects non-positive" `Quick test_loglog_rejects;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_props

@@ -1,0 +1,228 @@
+(* Oid, Timestamp, Store, Version_vector, Update_log tests. *)
+
+module Oid = Dangers_storage.Oid
+module Timestamp = Dangers_storage.Timestamp
+module Fstore = Dangers_storage.Store.Fstore
+module Version_vector = Dangers_storage.Version_vector
+module Update_log = Dangers_storage.Update_log
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* --- Oid --- *)
+
+let test_oid () =
+  let o = Oid.of_int 5 in
+  checki "roundtrip" 5 (Oid.to_int o);
+  checkb "equal" true (Oid.equal o (Oid.of_int 5));
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Oid.of_int: negative identifier") (fun () ->
+      ignore (Oid.of_int (-1)));
+  checki "all size" 10 (Array.length (Oid.all ~db_size:10))
+
+(* --- Timestamp --- *)
+
+let test_timestamp_order () =
+  let t1 = { Timestamp.counter = 1; node = 0 } in
+  let t2 = { Timestamp.counter = 1; node = 1 } in
+  let t3 = { Timestamp.counter = 2; node = 0 } in
+  checkb "counter dominates" true (Timestamp.newer t3 ~than:t2);
+  checkb "node breaks ties" true (Timestamp.newer t2 ~than:t1);
+  checkb "zero oldest" true (Timestamp.newer t1 ~than:Timestamp.zero);
+  checkb "irreflexive" false (Timestamp.newer t1 ~than:t1)
+
+let test_clock_monotone () =
+  let clock = Timestamp.Clock.create ~node:3 in
+  let a = Timestamp.Clock.tick clock in
+  let b = Timestamp.Clock.tick clock in
+  checkb "ticks increase" true (Timestamp.newer b ~than:a);
+  checki "node recorded" 3 b.Timestamp.node
+
+let test_clock_witness () =
+  let clock = Timestamp.Clock.create ~node:0 in
+  Timestamp.Clock.witness clock { Timestamp.counter = 100; node = 9 };
+  let t = Timestamp.Clock.tick clock in
+  checkb "tick after witness is newer" true
+    (Timestamp.newer t ~than:{ Timestamp.counter = 100; node = 9 })
+
+let timestamp_total_order_prop =
+  QCheck.Test.make ~name:"timestamp: total order laws" ~count:500
+    QCheck.(triple (pair small_nat small_nat) (pair small_nat small_nat)
+              (pair small_nat small_nat))
+    (fun ((c1, n1), (c2, n2), (c3, n3)) ->
+      let a = { Timestamp.counter = c1; node = n1 } in
+      let b = { Timestamp.counter = c2; node = n2 } in
+      let c = { Timestamp.counter = c3; node = n3 } in
+      let antisym =
+        not (Timestamp.newer a ~than:b && Timestamp.newer b ~than:a)
+      in
+      let trans =
+        (not (Timestamp.newer a ~than:b && Timestamp.newer b ~than:c))
+        || Timestamp.newer a ~than:c
+      in
+      let total =
+        Timestamp.equal a b || Timestamp.newer a ~than:b || Timestamp.newer b ~than:a
+      in
+      antisym && trans && total)
+
+(* --- Store --- *)
+
+let stamp c n = { Timestamp.counter = c; node = n }
+
+let test_store_basic () =
+  let s = Fstore.create ~db_size:4 ~init:(fun _ -> 100.) in
+  checki "size" 4 (Fstore.db_size s);
+  checkf "init value" 100. (Fstore.read s (Oid.of_int 2));
+  Fstore.write s (Oid.of_int 2) 50. (stamp 1 0);
+  checkf "written" 50. (Fstore.read s (Oid.of_int 2));
+  checkb "stamp updated" true (Timestamp.equal (stamp 1 0) (Fstore.stamp s (Oid.of_int 2)))
+
+let test_store_apply_if_current () =
+  let s = Fstore.create ~db_size:2 ~init:(fun _ -> 0.) in
+  let o = Oid.of_int 0 in
+  (match Fstore.apply_if_current s o ~old_stamp:Timestamp.zero 5. (stamp 1 1) with
+  | `Applied -> ()
+  | `Dangerous -> Alcotest.fail "chain was intact");
+  (match Fstore.apply_if_current s o ~old_stamp:Timestamp.zero 9. (stamp 2 2) with
+  | `Dangerous -> ()
+  | `Applied -> Alcotest.fail "stale old stamp must be dangerous");
+  checkf "dangerous not applied" 5. (Fstore.read s o)
+
+let test_store_apply_if_newer () =
+  let s = Fstore.create ~db_size:1 ~init:(fun _ -> 0.) in
+  let o = Oid.of_int 0 in
+  (match Fstore.apply_if_newer s o 5. (stamp 5 0) with
+  | `Applied -> ()
+  | `Stale -> Alcotest.fail "newer must apply");
+  (match Fstore.apply_if_newer s o 9. (stamp 3 0) with
+  | `Stale -> ()
+  | `Applied -> Alcotest.fail "older must be discarded");
+  checkf "stale discarded" 5. (Fstore.read s o)
+
+let test_store_convergence_helpers () =
+  let a = Fstore.create ~db_size:3 ~init:(fun _ -> 0.) in
+  let b = Fstore.create ~db_size:3 ~init:(fun _ -> 0.) in
+  checkb "fresh stores equal" true (Fstore.content_equal a b);
+  Fstore.write a (Oid.of_int 1) 7. (stamp 1 0);
+  checkb "diverged" false (Fstore.content_equal a b);
+  Alcotest.check (Alcotest.list Alcotest.int) "divergent oids" [ 1 ]
+    (List.map Oid.to_int (Fstore.divergent_oids a b));
+  Fstore.overwrite_from b ~src:a;
+  checkb "overwrite converges" true (Fstore.content_equal a b);
+  let c = Fstore.copy a in
+  Fstore.write a (Oid.of_int 0) 1. (stamp 2 0);
+  checkb "copy is independent" false (Fstore.content_equal a c)
+
+(* --- Version vector --- *)
+
+let test_vv_basics () =
+  let v = Version_vector.(increment (increment empty ~node:1) ~node:1) in
+  checki "component" 2 (Version_vector.get v ~node:1);
+  checki "missing component" 0 (Version_vector.get v ~node:5);
+  Alcotest.check (Alcotest.list Alcotest.int) "nodes" [ 1 ] (Version_vector.nodes v)
+
+let test_vv_causality () =
+  let a = Version_vector.of_list [ (0, 2); (1, 1) ] in
+  let b = Version_vector.of_list [ (0, 1); (1, 1) ] in
+  let c = Version_vector.of_list [ (0, 1); (1, 2) ] in
+  let is expected actual = checkb "ordering" true (expected = actual) in
+  is Version_vector.Dominates (Version_vector.compare_causal a b);
+  is Version_vector.Dominated (Version_vector.compare_causal b a);
+  is Version_vector.Concurrent (Version_vector.compare_causal a c);
+  is Version_vector.Equal (Version_vector.compare_causal a a)
+
+let test_vv_of_list_validation () =
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Version_vector.of_list: duplicate node") (fun () ->
+      ignore (Version_vector.of_list [ (1, 1); (1, 2) ]))
+
+let vv_gen =
+  QCheck.Gen.(
+    map Version_vector.of_list
+      (map
+         (fun counts -> List.mapi (fun node n -> (node, n)) counts)
+         (list_size (int_range 0 5) (int_range 0 4))))
+
+let vv_arbitrary = QCheck.make ~print:(fun v ->
+    Format.asprintf "%a" Version_vector.pp v) vv_gen
+
+let vv_lattice_props =
+  let open QCheck in
+  [
+    Test.make ~name:"vv: merge commutative" ~count:300 (pair vv_arbitrary vv_arbitrary)
+      (fun (a, b) -> Version_vector.(equal (merge a b) (merge b a)));
+    Test.make ~name:"vv: merge associative" ~count:300
+      (triple vv_arbitrary vv_arbitrary vv_arbitrary)
+      (fun (a, b, c) ->
+        Version_vector.(equal (merge a (merge b c)) (merge (merge a b) c)));
+    Test.make ~name:"vv: merge idempotent" ~count:300 vv_arbitrary
+      (fun a -> Version_vector.(equal (merge a a) a));
+    Test.make ~name:"vv: merge dominates both" ~count:300 (pair vv_arbitrary vv_arbitrary)
+      (fun (a, b) ->
+        let m = Version_vector.merge a b in
+        Version_vector.dominates_or_equal m a
+        && Version_vector.dominates_or_equal m b);
+  ]
+
+(* --- Update log --- *)
+
+let test_update_log_cursors () =
+  let log = Update_log.create () in
+  let early = Update_log.register log in
+  Update_log.append log "a";
+  Update_log.append log "b";
+  let late = Update_log.register log in
+  Update_log.append log "c";
+  Alcotest.check (Alcotest.list Alcotest.string) "early sees all" [ "a"; "b"; "c" ]
+    (Update_log.read_new log early);
+  Alcotest.check (Alcotest.list Alcotest.string) "late sees tail" [ "c" ]
+    (Update_log.read_new log late);
+  Alcotest.check (Alcotest.list Alcotest.string) "drained" []
+    (Update_log.read_new log early);
+  checki "pending zero" 0 (Update_log.pending log late)
+
+let test_update_log_trim_and_unregister () =
+  let log = Update_log.create () in
+  let a = Update_log.register log in
+  let b = Update_log.register log in
+  for i = 1 to 100 do
+    Update_log.append log i
+  done;
+  checki "a sees 100" 100 (List.length (Update_log.read_new log a));
+  Update_log.unregister log b;
+  Alcotest.check_raises "read after unregister"
+    (Invalid_argument "Update_log.read_new: unregistered cursor") (fun () ->
+      ignore (Update_log.read_new log b));
+  Update_log.append log 101;
+  Alcotest.check (Alcotest.list Alcotest.int) "a continues" [ 101 ]
+    (Update_log.read_new log a)
+
+let test_update_log_register_at_start () =
+  let log = Update_log.create () in
+  let keeper = Update_log.register log in
+  Update_log.append log "x";
+  let replayer = Update_log.register_at_start log in
+  Alcotest.check (Alcotest.list Alcotest.string) "replays history" [ "x" ]
+    (Update_log.read_new log replayer);
+  ignore (Update_log.read_new log keeper)
+
+let suite =
+  [
+    Alcotest.test_case "oid" `Quick test_oid;
+    Alcotest.test_case "timestamp order" `Quick test_timestamp_order;
+    Alcotest.test_case "clock monotone" `Quick test_clock_monotone;
+    Alcotest.test_case "clock witness" `Quick test_clock_witness;
+    QCheck_alcotest.to_alcotest timestamp_total_order_prop;
+    Alcotest.test_case "store basics" `Quick test_store_basic;
+    Alcotest.test_case "store apply_if_current" `Quick test_store_apply_if_current;
+    Alcotest.test_case "store apply_if_newer" `Quick test_store_apply_if_newer;
+    Alcotest.test_case "store convergence helpers" `Quick test_store_convergence_helpers;
+    Alcotest.test_case "version vector basics" `Quick test_vv_basics;
+    Alcotest.test_case "version vector causality" `Quick test_vv_causality;
+    Alcotest.test_case "version vector validation" `Quick test_vv_of_list_validation;
+    Alcotest.test_case "update log cursors" `Quick test_update_log_cursors;
+    Alcotest.test_case "update log trim/unregister" `Quick test_update_log_trim_and_unregister;
+    Alcotest.test_case "update log register_at_start" `Quick test_update_log_register_at_start;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest vv_lattice_props

@@ -1,0 +1,69 @@
+(* ASCII table renderer tests. *)
+
+module Table = Dangers_util.Table
+
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let test_render_alignment () =
+  let t =
+    Table.create ~caption:"cap"
+      [ Table.column ~align:Table.Left "name"; Table.column "value" ]
+  in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "long-name"; "22" ];
+  let rendered = Table.to_string t in
+  checkb "caption present" true (contains rendered "cap");
+  checkb "left-aligned label" true (contains rendered "a        ");
+  checkb "right-aligned number" true (contains rendered "    1");
+  checkb "rule present" true (contains rendered "---------+------")
+
+let test_row_validation () =
+  let t = Table.create [ Table.column "a"; Table.column "b" ] in
+  Alcotest.check_raises "cell count mismatch"
+    (Invalid_argument "Table.add_row: cell count mismatch") (fun () ->
+      Table.add_row t [ "only-one" ]);
+  Alcotest.check_raises "empty columns"
+    (Invalid_argument "Table.create: no columns") (fun () ->
+      ignore (Table.create []))
+
+let test_separator () =
+  let t = Table.create [ Table.column "x" ] in
+  Table.add_row t [ "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "2" ];
+  let lines = String.split_on_char '\n' (Table.to_string t) in
+  let rules = List.filter (fun l -> l <> "" && String.for_all (( = ) '-') l) lines in
+  Alcotest.check Alcotest.int "two rules (header + separator)" 2 (List.length rules)
+
+let test_cells () =
+  checks "float" "3.14" (Table.cell_float ~digits:2 3.14159);
+  checks "int" "42" (Table.cell_int 42);
+  checks "sci" "1.23e-05" (Table.cell_sci 1.234e-5);
+  checks "rate zero" "0" (Table.cell_rate 0.);
+  checks "rate moderate" "12.5000" (Table.cell_rate 12.5);
+  checkb "rate tiny goes scientific" true
+    (contains (Table.cell_rate 1e-7) "e-07")
+
+let render_never_raises =
+  QCheck.Test.make ~name:"table: arbitrary cells render" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 10)
+              (pair printable_string printable_string))
+    (fun rows ->
+      let t = Table.create [ Table.column "a"; Table.column "b" ] in
+      List.iter (fun (a, b) -> Table.add_row t [ a; b ]) rows;
+      String.length (Table.to_string t) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "render and alignment" `Quick test_render_alignment;
+    Alcotest.test_case "row validation" `Quick test_row_validation;
+    Alcotest.test_case "separator" `Quick test_separator;
+    Alcotest.test_case "cell formats" `Quick test_cells;
+    QCheck_alcotest.to_alcotest render_never_raises;
+  ]

@@ -1,0 +1,118 @@
+(* Trace ring buffer and its wiring through the executor and network. *)
+
+module Trace = Dangers_sim.Trace
+module Engine = Dangers_sim.Engine
+module Executor = Dangers_txn.Executor
+module Txn_id = Dangers_txn.Txn_id
+module Lock_manager = Dangers_lock.Lock_manager
+module Network = Dangers_net.Network
+module Delay = Dangers_net.Delay
+module Rng = Dangers_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let test_ring_basics () =
+  let t = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.record t ~now:(float_of_int i) (Trace.Note (string_of_int i))
+  done;
+  checki "recorded all" 5 (Trace.recorded t);
+  checki "dropped oldest" 2 (Trace.dropped t);
+  (match Trace.entries t with
+  | [ a; b; c ] ->
+      Alcotest.check (Alcotest.float 1e-9) "oldest retained" 3. a.Trace.at;
+      Alcotest.check (Alcotest.float 1e-9) "then" 4. b.Trace.at;
+      Alcotest.check (Alcotest.float 1e-9) "newest" 5. c.Trace.at
+  | _ -> Alcotest.fail "three entries expected");
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
+      ignore (Trace.create ~capacity:0 ()))
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let test_pp_smoke () =
+  let t = Trace.create () in
+  Trace.record t ~now:0.5 (Trace.Deadlock_victim { owner = 3; cycle = [ 3; 7 ] });
+  Trace.record t ~now:0.6 (Trace.Message_sent { src = 0; dst = 1 });
+  let rendered = Format.asprintf "%a" Trace.pp t in
+  checkb "mentions the victim" true
+    (String.length rendered > 0 && contains rendered "t3 killed (cycle 3->7)")
+
+let test_executor_emits () =
+  let engine = Engine.create () in
+  let tracer = Trace.create () in
+  Engine.set_tracer engine (Some tracer);
+  let executor =
+    Executor.create ~engine ~locks:(Lock_manager.create ()) ~action_time:0.01 ()
+  in
+  let gen = Txn_id.Gen.create () in
+  let submit steps =
+    Executor.run executor ~owner:(Txn_id.Gen.next gen)
+      ~steps
+      ~on_commit:(fun () -> ())
+      ~on_deadlock:(fun ~cycle:_ -> ())
+  in
+  submit [ Executor.update_step ~resource:1 ];
+  submit [ Executor.update_step ~resource:1 ];
+  Engine.run engine;
+  let count predicate = List.length (Trace.matching tracer predicate) in
+  checki "two txns started" 2
+    (count (function Trace.Txn_started _ -> true | _ -> false));
+  checki "two commits" 2
+    (count (function Trace.Txn_committed _ -> true | _ -> false));
+  checki "one wait" 1
+    (count (function Trace.Lock_waited _ -> true | _ -> false));
+  checki "one immediate grant" 1
+    (count (function Trace.Lock_granted _ -> true | _ -> false))
+
+let test_network_emits () =
+  let engine = Engine.create () in
+  let tracer = Trace.create () in
+  Engine.set_tracer engine (Some tracer);
+  let network =
+    Network.create ~engine ~rng:(Rng.create ~seed:1) ~delay:Delay.Zero ~nodes:2
+      ~deliver:(fun ~src:_ ~dst:_ () -> ())
+  in
+  Network.set_connected network ~node:1 false;
+  Network.send network ~src:0 ~dst:1 ();
+  Network.set_connected network ~node:1 true;
+  Engine.run engine;
+  let kinds =
+    List.map
+      (fun e ->
+        match e.Trace.event with
+        | Trace.Node_disconnected _ -> "down"
+        | Trace.Message_sent _ -> "sent"
+        | Trace.Message_parked _ -> "parked"
+        | Trace.Node_connected _ -> "up"
+        | Trace.Message_delivered _ -> "delivered"
+        | _ -> "other")
+      (Trace.entries tracer)
+  in
+  Alcotest.check (Alcotest.list Alcotest.string) "lifecycle order"
+    [ "down"; "sent"; "parked"; "up"; "delivered" ]
+    kinds
+
+let test_no_tracer_no_events () =
+  let engine = Engine.create () in
+  checkb "no tracer attached" true (Engine.tracer engine = None);
+  (* Just exercising the no-op path. *)
+  Engine.trace engine (Trace.Note "ignored");
+  Engine.set_tracer engine (Some (Trace.create ()));
+  Engine.trace engine (Trace.Note "kept");
+  match Engine.tracer engine with
+  | Some t -> checki "one event" 1 (Trace.recorded t)
+  | None -> Alcotest.fail "tracer lost"
+
+let suite =
+  [
+    Alcotest.test_case "ring basics" `Quick test_ring_basics;
+    Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+    Alcotest.test_case "executor emits" `Quick test_executor_emits;
+    Alcotest.test_case "network emits" `Quick test_network_emits;
+    Alcotest.test_case "no tracer no events" `Quick test_no_tracer_no_events;
+  ]

@@ -1,0 +1,93 @@
+(* Undo-oriented lazy-group tests, and the two-tier base-history
+   serializability checker. *)
+
+module Params = Dangers_analytic.Params
+module Op = Dangers_txn.Op
+module Oid = Dangers_storage.Oid
+module Fstore = Dangers_storage.Store.Fstore
+module Engine = Dangers_sim.Engine
+module Connectivity = Dangers_net.Connectivity
+module Common = Dangers_replication.Common
+module Undo = Dangers_replication.Lazy_group_undo
+module Stats = Dangers_util.Stats
+module Two_tier = Dangers_core.Two_tier
+module Profile = Dangers_workload.Profile
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let o n = Oid.of_int n
+
+let params = { Params.default with nodes = 3; db_size = 50; tps = 1.; actions = 2 }
+
+let test_clean_txn_becomes_durable () =
+  let sys = Undo.create params ~seed:1 in
+  Undo.submit sys ~node:0 [ Op.Assign (o 3, 7.) ];
+  Common.drain (Undo.base sys);
+  checki "durable" 1 (Undo.durable sys);
+  checki "nothing outstanding" 0 (Undo.tentative_outstanding sys);
+  checki "nothing undone" 0 (Undo.undone sys);
+  Array.iter
+    (fun store -> checkf "replicated" 7. (Fstore.read store (o 3)))
+    (Undo.base sys).Common.stores;
+  (* Zero network delay: durability is immediate in sim time. *)
+  checkf "no lag when connected" 0. (Stats.mean (Undo.durability_lag sys))
+
+let test_conflict_is_undone_everywhere () =
+  let sys = Undo.create ~initial_value:100. params ~seed:2 in
+  (* Two nodes assign the same object concurrently: each NACKs the other,
+     both transactions are backed out, every replica returns to 100. *)
+  Undo.submit sys ~node:0 [ Op.Assign (o 5, 111.) ];
+  Undo.submit sys ~node:1 [ Op.Assign (o 5, 222.) ];
+  Common.drain (Undo.base sys);
+  checki "both undone" 2 (Undo.undone sys);
+  checki "none durable" 0 (Undo.durable sys);
+  Array.iter
+    (fun store -> checkf "atomically backed out" 100. (Fstore.read store (o 5)))
+    (Undo.base sys).Common.stores
+
+let test_disconnected_node_blocks_durability () =
+  let sys =
+    Undo.create
+      ~mobility:(Connectivity.day_cycle ~connected:5. ~disconnected:1000.)
+      ~mobile_nodes:[ 2 ] params ~seed:3
+  in
+  let engine = (Undo.base sys).Common.engine in
+  (* Let node 2 go down (stagger < one cycle), then commit at node 0. *)
+  Engine.run engine ~until:1010.;
+  Undo.submit sys ~node:0 [ Op.Assign (o 9, 1.) ];
+  Engine.run engine ~until:1011.;
+  checki "tentative while node 2 is away" 1 (Undo.tentative_outstanding sys);
+  checki "not durable yet" 0 (Undo.durable sys);
+  (* Let the natural reconnect happen (at most one full cycle away). *)
+  Engine.run engine ~until:2100.;
+  checki "durable after the reconnect" 1 (Undo.durable sys);
+  let lag = Stats.max (Undo.durability_lag sys) in
+  checkb "lag lasted until the reconnect (seconds, not instants)" true (lag > 1.);
+  Undo.force_sync sys
+
+let test_two_tier_base_history_serializable () =
+  let profile = Profile.create ~update_kind:(Profile.Mixed 0.5) ~actions:2 () in
+  let tt_params =
+    { Params.default with nodes = 4; db_size = 60; tps = 5.;
+      time_between_disconnects = 15.; disconnected_time = 30. }
+  in
+  let sys = Two_tier.create ~profile ~initial_value:50. ~base_nodes:2 tt_params ~seed:4 in
+  Two_tier.start sys;
+  Engine.run_for (Two_tier.base sys).Common.engine 90.;
+  Two_tier.quiesce_and_sync sys;
+  checkb "worked" true ((Two_tier.summary sys).Dangers_replication.Repl_stats.commits > 0);
+  checkb "base history is single-copy serializable" true
+    (Two_tier.base_history_serializable sys);
+  checkb "converged" true (Two_tier.converged sys)
+
+let suite =
+  [
+    Alcotest.test_case "clean txn becomes durable" `Quick test_clean_txn_becomes_durable;
+    Alcotest.test_case "conflict undone everywhere" `Quick test_conflict_is_undone_everywhere;
+    Alcotest.test_case "disconnected node blocks durability" `Quick
+      test_disconnected_node_blocks_durability;
+    Alcotest.test_case "two-tier base history serializable" `Quick
+      test_two_tier_base_history_serializable;
+  ]
