@@ -336,6 +336,106 @@ let trace_cmd =
        ~doc:"Run a short lazy-master simulation with event tracing and print              the trace.")
     Term.(const run $ params_term $ span $ last $ seed_term)
 
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let module Fuzz = Dangers_fault.Fuzz in
+  let module Fault_plan = Dangers_fault.Fault_plan in
+  let module Invariants = Dangers_fault.Invariants in
+  let fuzz_scheme_conv =
+    Arg.enum (List.map (fun s -> (Fuzz.scheme_name s, s)) Fuzz.all_schemes)
+  in
+  let level_conv =
+    Arg.enum
+      (List.map
+         (fun l -> (Fuzz.level_name l, l))
+         [ Fuzz.Clean; Fuzz.Lossless; Fuzz.Chaotic ])
+  in
+  let replay =
+    Arg.(value & flag
+         & info [ "replay" ]
+             ~doc:"Rerun one exact case (as printed by a failing fuzz run) \
+                   instead of sweeping random cases.")
+  in
+  let scheme =
+    Arg.(value & opt (some fuzz_scheme_conv) None
+         & info [ "scheme" ]
+             ~doc:"Fuzz only this scheme (default: all). Required with \
+                   $(b,--replay).")
+  in
+  let count =
+    Arg.(value & opt int 200
+         & info [ "count" ] ~doc:"Random cases per scheme.")
+  in
+  let nodes =
+    Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Replay: node count.")
+  in
+  let txns =
+    Arg.(value & opt int 50 & info [ "txns" ] ~doc:"Replay: transactions.")
+  in
+  let level =
+    Arg.(value & opt level_conv Fuzz.Chaotic
+         & info [ "level" ] ~doc:"Replay: fault level (clean, lossless, \
+                                  chaotic).")
+  in
+  let sabotage =
+    Arg.(value & flag
+         & info [ "sabotage" ]
+             ~doc:"Replay with the scheme's deliberate bug enabled, to watch \
+                   the invariant checker catch it.")
+  in
+  let run replay scheme count nodes txns level sabotage seed =
+    if replay then begin
+      match scheme with
+      | None ->
+          prerr_endline "fuzz --replay requires --scheme";
+          1
+      | Some _ when nodes < 2 ->
+          prerr_endline "fuzz --replay requires --nodes >= 2";
+          1
+      | Some _ when txns < 0 ->
+          prerr_endline "fuzz --replay requires --txns >= 0";
+          1
+      | Some scheme ->
+          let case = { Fuzz.scheme; seed; nodes; txns; level } in
+          let outcome = Fuzz.run ~sabotage case in
+          Format.printf "%s@.%a@." (Fuzz.replay_command case) Fault_plan.pp
+            outcome.Fuzz.plan;
+          Format.printf
+            "submitted %d txns, %d crash(es), %d partition(s)@."
+            outcome.Fuzz.txns_submitted outcome.Fuzz.crashes_fired
+            outcome.Fuzz.partitions_fired;
+          (match outcome.Fuzz.violations with
+          | [] ->
+              Format.printf "all invariants hold@.";
+              0
+          | violations ->
+              List.iter
+                (fun v -> Format.printf "%a@." Invariants.pp_violation v)
+                violations;
+              1)
+    end
+    else begin
+      let tests =
+        (match scheme with
+        | None -> Fuzz.tests ~count ()
+        | Some s ->
+            List.filteri
+              (fun i _ -> List.nth Fuzz.all_schemes i = s)
+              (Fuzz.tests ~count ()))
+        @ Fuzz.sabotage_tests ()
+      in
+      QCheck_base_runner.run_tests ~colors:false ~verbose:true
+        ~rand:(Random.State.make [| seed |]) tests
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Fuzz the replication schemes under fault injection, checking \
+             the paper's invariants; or replay one case deterministically.")
+    Term.(const run $ replay $ scheme $ count $ nodes $ txns $ level
+          $ sabotage $ seed_term)
+
 (* --- scenario --- *)
 
 let scenario_cmd =
@@ -388,5 +488,5 @@ let () =
        (Cmd.group ~default info
           [
             list_cmd; experiment_cmd; analytic_cmd; simulate_cmd; trace_cmd;
-            report_cmd; scenario_cmd;
+            report_cmd; scenario_cmd; fuzz_cmd;
           ]))

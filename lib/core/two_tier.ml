@@ -39,6 +39,7 @@ type t = {
   mutable rejections_rev : (Tentative.t * string) list;
   initial_value : float;
   mutable committed_rev : Op.t list list; (* base commits, newest first *)
+  unsafe_skip_acceptance : bool;
 }
 
 let base t = t.common
@@ -134,6 +135,22 @@ let run_base_transaction t ?(acceptance = Acceptance.Always)
     Executor.run t.base_executor ~owner:owner_id ~steps
       ~on_commit:(fun () ->
         let results = prospective_results t ops in
+        (* Deliberate fault for the scheme fuzzer: trust the mobile's
+           tentative results blindly instead of the base re-execution —
+           exactly the delusion §7's acceptance test exists to prevent.
+           The invariant checker must catch this. *)
+        let results =
+          if not t.unsafe_skip_acceptance then results
+          else
+            List.map
+              (fun (oid, base_value) ->
+                match
+                  List.find_opt (fun (o, _) -> Oid.equal o oid) tentative_results
+                with
+                | Some (_, tentative) -> (oid, tentative)
+                | None -> (oid, base_value))
+              results
+        in
         let outcomes =
           List.map
             (fun (oid, base_value) ->
@@ -147,7 +164,10 @@ let run_base_transaction t ?(acceptance = Acceptance.Always)
               { Acceptance.oid; tentative; base = base_value })
             results
         in
-        match Acceptance.explain acceptance outcomes with
+        match
+          (if t.unsafe_skip_acceptance then None
+           else Acceptance.explain acceptance outcomes)
+        with
         | None ->
             let updates =
               List.map
@@ -273,8 +293,8 @@ let submit t ~node ops =
   end
 
 let create ?profile ?(initial_value = 0.) ?(acceptance = Acceptance.Always)
-    ?(delay = Delay.Zero) ?mobility ?(mobile_owned_per_node = 0) ~base_nodes
-    params ~seed =
+    ?(delay = Delay.Zero) ?faults ?mobility ?(mobile_owned_per_node = 0)
+    ?(unsafe_skip_acceptance = false) ~base_nodes params ~seed =
   if base_nodes < 1 || base_nodes > params.Params.nodes then
     invalid_arg "Two_tier.create: base_nodes out of range";
   let mobile_total = params.Params.nodes - base_nodes in
@@ -322,12 +342,13 @@ let create ?profile ?(initial_value = 0.) ?(acceptance = Acceptance.Always)
       initial_value;
       committed_rev = [];
       pending_installs = [];
+      unsafe_skip_acceptance;
     }
   in
   let net =
-    Network.create ~engine:common.Common.engine
+    Network.create ?faults ~engine:common.Common.engine
       ~rng:(Rng.split common.Common.rng) ~delay ~nodes:params.Params.nodes
-      ~deliver:(fun ~src ~dst u -> deliver t ~src ~dst u)
+      ~deliver:(fun ~src ~dst u -> deliver t ~src ~dst u) ()
   in
   Network.on_connectivity_change net (fun ~node ~connected ->
       on_connectivity t ~node ~connected);
@@ -367,6 +388,9 @@ let start t = Common.start_generators t.common ~submit:(fun ~node ops -> submit 
 let stop_load t = Common.stop_generators t.common
 
 let summary t = Repl_stats.summarize ~scheme:"two-tier" t.common.Common.metrics
+
+let set_node_connected t ~node state = Network.set_connected (network t) ~node state
+let flush_node t ~node = Network.flush_node (network t) ~node
 
 let tentative_accepted t = Metrics.total_count t.common.Common.metrics "tentative_accepted"
 let tentative_rejected t = Metrics.total_count t.common.Common.metrics "tentative_rejected"

@@ -47,8 +47,10 @@ val create :
   ?initial_value:float ->
   ?acceptance:Acceptance.t ->
   ?delay:Delay.t ->
+  ?faults:Dangers_net.Network.faults ->
   ?mobility:Connectivity.spec ->
   ?mobile_owned_per_node:int ->
+  ?unsafe_skip_acceptance:bool ->
   base_nodes:int ->
   Params.t ->
   seed:int ->
@@ -56,7 +58,15 @@ val create :
 (** Defaults: [Always] acceptance, zero delay, the Table 2 day-cycle
     mobility derived from [params] (fixed phases, staggered starts), no
     mobile-mastered objects. @raise Invalid_argument if [base_nodes] is not
-    in [1, params.nodes] or mobile-owned blocks exceed the database. *)
+    in [1, params.nodes] or mobile-owned blocks exceed the database.
+
+    [faults] plugs a fault injector into the slave-update network.
+
+    [unsafe_skip_acceptance] (default false) is a DELIBERATE BUG for
+    fuzzer self-validation: the base skips the acceptance re-check and
+    blindly commits the mobile's tentative results, producing exactly the
+    base-tier delusion §7 prevents. {!base_history_serializable} must then
+    fail under concurrent load; never enable it outside tests. *)
 
 val base : t -> Common.base
 val base_count : t -> int
@@ -94,6 +104,15 @@ val rejection_log : t -> (Tentative.t * string) list
 val connect_all : t -> unit
 (** Stop the mobility schedules and reconnect every mobile (triggering
     their syncs). *)
+
+val set_node_connected : t -> node:int -> bool -> unit
+(** Drive one node's connectivity directly (the fault injector's crash /
+    restart lever). Disconnecting a mobile sends it tentative; reconnecting
+    triggers its sync, like a schedule toggle would. *)
+
+val flush_node : t -> node:int -> unit
+(** Retry the node's partition-parked slave updates
+    (see {!Dangers_net.Network.flush_node}). *)
 
 val base_history_serializable : t -> bool
 (** §7 property 2, made executable: replaying every committed base

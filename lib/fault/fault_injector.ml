@@ -1,0 +1,138 @@
+module Rng = Dangers_util.Rng
+module Engine = Dangers_sim.Engine
+module Network = Dangers_net.Network
+module Trace = Dangers_sim.Trace
+
+type t = {
+  plan : Fault_plan.t;
+  rng : Rng.t;
+  down : bool array;
+  mutable active_blocks : int array option;  (** node -> block, while split *)
+  mutable started : bool;
+  mutable engine : Engine.t option;
+  mutable scheduled : Engine.event_id list;
+  mutable set_connected : node:int -> bool -> unit;
+  mutable flush_node : node:int -> unit;
+  mutable on_crash : node:int -> unit;
+  mutable on_restart : node:int -> unit;
+  mutable crashes_fired : int;
+  mutable partitions_fired : int;
+}
+
+let nop_connect ~node:_ _ = ()
+let nop_node ~node:_ = ()
+
+let create ~plan ~rng =
+  {
+    plan;
+    rng;
+    down = Array.make plan.Fault_plan.nodes false;
+    active_blocks = None;
+    started = false;
+    engine = None;
+    scheduled = [];
+    set_connected = nop_connect;
+    flush_node = nop_node;
+    on_crash = nop_node;
+    on_restart = nop_node;
+    crashes_fired = 0;
+    partitions_fired = 0;
+  }
+
+let faults t =
+  let spec = t.plan.Fault_plan.spec in
+  {
+    Network.blocked =
+      (fun ~src ~dst ->
+        match t.active_blocks with
+        | None -> false
+        | Some blocks -> blocks.(src) <> blocks.(dst));
+    on_transmit =
+      (fun ~src:_ ~dst:_ ->
+        let p_drop = spec.Fault_plan.drop_prob in
+        let p_dup = spec.Fault_plan.dup_prob in
+        let p_delay = spec.Fault_plan.delay_prob in
+        if p_drop = 0. && p_dup = 0. && p_delay = 0. then Network.Pass
+        else begin
+          let r = Rng.float t.rng 1. in
+          if r < p_drop then Network.Drop
+          else if r < p_drop +. p_dup then Network.Duplicate
+          else if r < p_drop +. p_dup +. p_delay then
+            Network.Delay_extra
+              (Rng.float t.rng (max 1e-9 spec.Fault_plan.max_extra_delay))
+          else Network.Pass
+        end);
+  }
+
+let trace t event =
+  match t.engine with None -> () | Some engine -> Engine.trace engine event
+
+let crash t ~node =
+  if not t.down.(node) then begin
+    t.down.(node) <- true;
+    t.crashes_fired <- t.crashes_fired + 1;
+    trace t (Trace.Node_crashed { node });
+    t.set_connected ~node false;
+    t.on_crash ~node
+  end
+
+let restart t ~node =
+  if t.down.(node) then begin
+    t.down.(node) <- false;
+    trace t (Trace.Node_restarted { node });
+    t.on_restart ~node;
+    t.set_connected ~node true
+  end
+
+let flush_all t =
+  for node = 0 to t.plan.Fault_plan.nodes - 1 do
+    t.flush_node ~node
+  done
+
+let start_partition t (p : Fault_plan.partition) =
+  t.active_blocks <- Some p.Fault_plan.block_of;
+  t.partitions_fired <- t.partitions_fired + 1;
+  let distinct = Array.to_list p.Fault_plan.block_of |> List.sort_uniq compare in
+  trace t (Trace.Partition_started { blocks = List.length distinct })
+
+let heal_partition t =
+  if t.active_blocks <> None then begin
+    t.active_blocks <- None;
+    trace t Trace.Partition_healed;
+    flush_all t
+  end
+
+let start t ~engine ?(set_connected = nop_connect) ?(flush_node = nop_node)
+    ?(on_crash = nop_node) ?(on_restart = nop_node) () =
+  if t.started then invalid_arg "Fault_injector.start: already started";
+  t.started <- true;
+  t.engine <- Some engine;
+  t.set_connected <- set_connected;
+  t.flush_node <- flush_node;
+  t.on_crash <- on_crash;
+  t.on_restart <- on_restart;
+  let at time f =
+    t.scheduled <- Engine.schedule_at engine ~time f :: t.scheduled
+  in
+  List.iter
+    (fun (c : Fault_plan.crash) ->
+      at c.Fault_plan.at (fun () -> crash t ~node:c.Fault_plan.node);
+      at c.Fault_plan.up_at (fun () -> restart t ~node:c.Fault_plan.node))
+    t.plan.Fault_plan.crash_list;
+  List.iter
+    (fun (p : Fault_plan.partition) ->
+      at p.Fault_plan.starts (fun () -> start_partition t p);
+      at p.Fault_plan.heals (fun () -> heal_partition t))
+    t.plan.Fault_plan.partition_list
+
+let stop t =
+  (match t.engine with
+  | None -> ()
+  | Some engine -> List.iter (Engine.cancel engine) t.scheduled);
+  t.scheduled <- [];
+  heal_partition t;
+  Array.iteri (fun node down -> if down then restart t ~node) t.down
+
+let is_down t ~node = t.down.(node)
+let crashes_fired t = t.crashes_fired
+let partitions_fired t = t.partitions_fired

@@ -1,0 +1,52 @@
+(** Turns a {!Fault_plan} into engine events and network hooks.
+
+    One injector perturbs one system: pass {!faults} to the scheme's
+    [create ~faults], then {!start} with the scheme's control levers. The
+    injector schedules every crash, restart, partition and heal from the
+    plan on the engine, traces them, and answers liveness queries the
+    workload driver needs ({!is_down}). Message-level faults (drop,
+    duplicate, extra delay) are drawn from the injector's own RNG inside
+    the [on_transmit] hook, so the whole perturbation is a deterministic
+    function of (plan, rng). *)
+
+module Rng = Dangers_util.Rng
+module Engine = Dangers_sim.Engine
+module Network = Dangers_net.Network
+
+type t
+
+val create : plan:Fault_plan.t -> rng:Rng.t -> t
+
+val faults : t -> Network.faults
+(** Hooks to pass to [Network.create ~faults]. [blocked] reflects the
+    currently active partition (if any); [on_transmit] draws drop /
+    duplicate / extra-delay against the plan's probabilities. Usable even
+    before {!start}. *)
+
+val start :
+  t ->
+  engine:Engine.t ->
+  ?set_connected:(node:int -> bool -> unit) ->
+  ?flush_node:(node:int -> unit) ->
+  ?on_crash:(node:int -> unit) ->
+  ?on_restart:(node:int -> unit) ->
+  unit ->
+  unit
+(** Schedule the plan. A crash runs [set_connected ~node false] then
+    [on_crash] (volatile wipe); a restart runs [on_restart] (journal
+    replay) then [set_connected ~node true] (flushing parked messages). A
+    partition heal calls [flush_node] on every node so messages parked by
+    [blocked] get rerouted. All callbacks default to no-ops — a scheme
+    without a network (eager) passes only crash hooks.
+    @raise Invalid_argument if already started. *)
+
+val stop : t -> unit
+(** Cancel all not-yet-fired fault events and restore normality: heal any
+    active partition (with flushes) and restart every crashed node. Call
+    before quiescing so convergence checks see a fault-free network. *)
+
+val is_down : t -> node:int -> bool
+(** Currently crashed (between a crash and its restart). *)
+
+val crashes_fired : t -> int
+val partitions_fired : t -> int

@@ -1,0 +1,141 @@
+module Rng = Dangers_util.Rng
+
+type spec = {
+  crashes_per_node : float;
+  mean_downtime : float;
+  partitions : float;
+  mean_partition : float;
+  drop_prob : float;
+  dup_prob : float;
+  delay_prob : float;
+  max_extra_delay : float;
+}
+
+let clean =
+  {
+    crashes_per_node = 0.;
+    mean_downtime = 0.;
+    partitions = 0.;
+    mean_partition = 0.;
+    drop_prob = 0.;
+    dup_prob = 0.;
+    delay_prob = 0.;
+    max_extra_delay = 0.;
+  }
+
+let lossless =
+  {
+    crashes_per_node = 1.;
+    mean_downtime = 3.;
+    partitions = 1.;
+    mean_partition = 3.;
+    drop_prob = 0.;
+    dup_prob = 0.;
+    delay_prob = 0.3;
+    max_extra_delay = 2.;
+  }
+
+let chaotic =
+  {
+    crashes_per_node = 1.5;
+    mean_downtime = 4.;
+    partitions = 1.5;
+    mean_partition = 4.;
+    drop_prob = 0.1;
+    dup_prob = 0.1;
+    delay_prob = 0.3;
+    max_extra_delay = 2.;
+  }
+
+type crash = { node : int; at : float; up_at : float }
+type partition = { starts : float; heals : float; block_of : int array }
+
+type t = {
+  spec : spec;
+  horizon : float;
+  nodes : int;
+  crash_list : crash list;
+  partition_list : partition list;
+}
+
+let crashes_for_node rng spec ~horizon node =
+  if spec.crashes_per_node <= 0. then []
+  else begin
+    let count = Rng.poisson rng ~mean:spec.crashes_per_node in
+    let ats = List.init count (fun _ -> Rng.float rng horizon) in
+    let ats = List.sort compare ats in
+    (* Skip crashes landing inside the previous downtime window, so one
+       node's crash intervals never overlap. *)
+    let rec build last_up = function
+      | [] -> []
+      | at :: rest ->
+          if at < last_up then build last_up rest
+          else begin
+            let down =
+              if spec.mean_downtime <= 0. then 0.
+              else Rng.exponential rng ~mean:spec.mean_downtime
+            in
+            let up_at = at +. down in
+            { node; at; up_at } :: build up_at rest
+          end
+    in
+    build 0. ats
+  end
+
+let partitions_of rng spec ~horizon ~nodes =
+  if spec.partitions <= 0. then []
+  else begin
+    let count = Rng.poisson rng ~mean:spec.partitions in
+    let starts = List.sort compare (List.init count (fun _ -> Rng.float rng horizon)) in
+    let rec build last_heal = function
+      | [] -> []
+      | at :: rest ->
+          if at < last_heal then build last_heal rest
+          else begin
+            let span =
+              if spec.mean_partition <= 0. then 0.
+              else Rng.exponential rng ~mean:spec.mean_partition
+            in
+            let heals = at +. span in
+            let block_of = Array.init nodes (fun _ -> if Rng.bool rng then 1 else 0) in
+            { starts = at; heals; block_of } :: build heals rest
+          end
+    in
+    build 0. starts
+  end
+
+let generate ~rng ~nodes ?crashable ~horizon spec =
+  if nodes <= 0 then invalid_arg "Fault_plan.generate: nodes <= 0";
+  if horizon <= 0. then invalid_arg "Fault_plan.generate: horizon <= 0";
+  let crashable = match crashable with Some l -> l | None -> List.init nodes Fun.id in
+  let crash_list =
+    crashable
+    |> List.concat_map (crashes_for_node rng spec ~horizon)
+    |> List.sort (fun a b -> compare a.at b.at)
+  in
+  let partition_list = partitions_of rng spec ~horizon ~nodes in
+  { spec; horizon; nodes; crash_list; partition_list }
+
+let lossless_messages t = t.spec.drop_prob = 0. && t.spec.dup_prob = 0.
+let crash_free t = t.crash_list = []
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>plan over %.1fs, %d nodes:" t.horizon t.nodes;
+  Format.fprintf ppf "@ msg faults: drop=%.2f dup=%.2f delay=%.2f(max %.1fs)"
+    t.spec.drop_prob t.spec.dup_prob t.spec.delay_prob t.spec.max_extra_delay;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@ crash n%d at %.3fs, up at %.3fs" c.node c.at
+        c.up_at)
+    t.crash_list;
+  List.iter
+    (fun p ->
+      let members b =
+        Array.to_seq p.block_of |> Seq.mapi (fun i x -> (i, x))
+        |> Seq.filter_map (fun (i, x) -> if x = b then Some (string_of_int i) else None)
+        |> List.of_seq |> String.concat ","
+      in
+      Format.fprintf ppf "@ partition {%s}|{%s} %.3fs..%.3fs" (members 0)
+        (members 1) p.starts p.heals)
+    t.partition_list;
+  Format.fprintf ppf "@]"

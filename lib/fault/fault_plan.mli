@@ -1,0 +1,72 @@
+(** Seeded fault schedules.
+
+    A plan is everything a fuzzing run needs to perturb a scheme: when each
+    node crashes and comes back, when the network partitions and heals, and
+    the per-message fault probabilities. Plans are generated from an
+    explicit RNG so a failing run's plan can be regenerated exactly from
+    the printed seed; {!Fault_injector} turns a plan into engine events and
+    {!Dangers_net.Network} hooks. *)
+
+module Rng = Dangers_util.Rng
+
+type spec = {
+  crashes_per_node : float;  (** expected crash count per crashable node *)
+  mean_downtime : float;  (** mean seconds a crashed node stays down *)
+  partitions : float;  (** expected partition episodes over the horizon *)
+  mean_partition : float;  (** mean seconds a partition lasts *)
+  drop_prob : float;  (** P(message lost) at each transmission *)
+  dup_prob : float;  (** P(message duplicated) *)
+  delay_prob : float;  (** P(extra latency added) — reordering *)
+  max_extra_delay : float;  (** extra latency is uniform in [0, this] *)
+}
+
+val clean : spec
+(** No faults at all: the control group. *)
+
+val lossless : spec
+(** Crashes, partitions and message reordering, but no drops and no
+    duplicates — every message is eventually delivered exactly once, the
+    regime under which the lazy schemes must still converge. *)
+
+val chaotic : spec
+(** Everything, including drops and duplicates. *)
+
+type crash = {
+  node : int;
+  at : float;  (** crash instant *)
+  up_at : float;  (** restart instant; intervals for one node never overlap *)
+}
+
+type partition = {
+  starts : float;
+  heals : float;
+  block_of : int array;  (** node -> block id; different blocks can't talk *)
+}
+
+type t = {
+  spec : spec;
+  horizon : float;
+  nodes : int;
+  crash_list : crash list;  (** sorted by [at] *)
+  partition_list : partition list;  (** sorted, non-overlapping *)
+}
+
+val generate :
+  rng:Rng.t -> nodes:int -> ?crashable:int list -> horizon:float -> spec -> t
+(** Sample a plan. Crash counts are Poisson per crashable node (default:
+    every node), crash instants uniform over the horizon, downtimes
+    exponential; overlapping crash windows for one node are merged by
+    skipping the later crash. Partition episodes are likewise Poisson,
+    truncated so they never overlap each other, each splitting the nodes
+    into two random blocks. @raise Invalid_argument if [nodes <= 0] or
+    [horizon <= 0.]. *)
+
+val lossless_messages : t -> bool
+(** No drops and no duplicates: every send is delivered exactly once (after
+    reconnects/heals), so exact-sum convergence invariants apply. *)
+
+val crash_free : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Compact, deterministic rendering — printed alongside the seed when a
+    fuzz case fails. *)

@@ -1,0 +1,140 @@
+module Op = Dangers_txn.Op
+module Oid = Dangers_storage.Oid
+module Fstore = Dangers_storage.Store.Fstore
+module Common = Dangers_replication.Common
+module Eager_impl = Dangers_replication.Eager_impl
+module Lazy_group = Dangers_replication.Lazy_group
+module Reconcile = Dangers_replication.Reconcile
+module Two_tier = Dangers_core.Two_tier
+module Params = Dangers_analytic.Params
+
+type violation = { invariant : string; detail : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "@[<hov 2>[%s]@ %s@]" v.invariant v.detail
+
+let close ~tol a b = Float.abs (a -. b) <= tol *. Float.max 1. (Float.abs b)
+
+(* Serial replay of a committed history on one fresh logical database. *)
+let replay ~db_size ~initial_value history =
+  let db = Array.make db_size initial_value in
+  List.iter
+    (fun (_node, ops) ->
+      List.iter
+        (fun op ->
+          if Op.is_update op then begin
+            let i = Oid.to_int (Op.oid op) in
+            let read oid = db.(Oid.to_int oid) in
+            db.(i) <- Op.apply ~read ~current:db.(i) op
+          end)
+        ops)
+    history;
+  db
+
+let eager_one_copy_serializable sys ~history =
+  let base = Eager_impl.base sys in
+  let params = base.Common.params in
+  let expected =
+    replay ~db_size:params.Params.db_size
+      ~initial_value:base.Common.initial_value history
+  in
+  let violations = ref [] in
+  let push invariant detail = violations := { invariant; detail } :: !violations in
+  Array.iteri
+    (fun node store ->
+      (* Exact: the serial replay applies the same ops in the same commit
+         order the scheme did, so even float sums agree bit-for-bit. *)
+      Array.iteri
+        (fun i want ->
+          let got = Fstore.read store (Oid.of_int i) in
+          if not (close ~tol:1e-9 got want) then
+            push "eager-1SR"
+              (Format.sprintf
+                 "node %d object %d = %.9g but serial replay of %d txns \
+                  gives %.9g"
+                 node i got (List.length history) want))
+        expected;
+      if node > 0 && not (Fstore.content_equal base.Common.stores.(0) store)
+      then
+        push "eager-replicas-equal"
+          (Format.sprintf "node %d replica differs from node 0" node))
+    base.Common.stores;
+  List.rev !violations
+
+let lazy_group_converged sys ~exact_sums =
+  let base = Lazy_group.base sys in
+  let params = base.Common.params in
+  let violations = ref [] in
+  let push invariant detail = violations := { invariant; detail } :: !violations in
+  let d = Lazy_group.divergence sys in
+  if d <> 0 then
+    push "lazy-group-convergence"
+      (Format.sprintf
+         "%d (replica, object) pairs still differ from node 0 after drain" d);
+  if exact_sums then
+    Array.iteri
+      (fun node store ->
+        for i = 0 to params.Params.db_size - 1 do
+          let oid = Oid.of_int i in
+          let want = Lazy_group.expected_sum sys oid in
+          let got = Fstore.read store oid in
+          if not (close ~tol:1e-6 got want) then
+            push "lazy-group-lossless-sum"
+              (Format.sprintf
+                 "node %d object %d = %.9g but committed increments sum to \
+                  %.9g (an update's effect was lost or double-counted)"
+                 node i got want)
+        done)
+      base.Common.stores;
+  List.rev !violations
+
+let two_tier_base_consistent ?(check_convergence = true) sys =
+  let violations = ref [] in
+  if not (Two_tier.base_history_serializable sys) then
+    violations :=
+      {
+        invariant = "two-tier-base-1SR";
+        detail =
+          "replaying the committed base history does not reproduce the \
+           master state: the base tier is delusional";
+      }
+      :: !violations;
+  if check_convergence && not (Two_tier.converged sys) then
+    violations :=
+      {
+        invariant = "two-tier-converged";
+        detail =
+          "after quiesce_and_sync some replica (base, mobile master or \
+           tentative version) differs from the master database";
+      }
+      :: !violations;
+  List.rev !violations
+
+let two_tier_commutative_no_reconciliation sys =
+  let rejected = Two_tier.tentative_rejected sys in
+  if rejected = 0 then []
+  else begin
+    let sample =
+      match Two_tier.rejection_log sys with
+      | (_, reason) :: _ -> ": " ^ reason
+      | [] -> ""
+    in
+    [
+      {
+        invariant = "two-tier-commutative-zero-reconciliation";
+        detail =
+          Format.sprintf
+            "%d tentative transaction(s) rejected despite a fully \
+             commutative workload%s"
+            rejected sample;
+      };
+    ]
+  end
+
+let recovery_journals recoveries =
+  List.concat_map
+    (fun r ->
+      List.map
+        (fun detail -> { invariant = "recovery-journal-complete"; detail })
+        (Recovery.violations r))
+    recoveries

@@ -1,0 +1,54 @@
+(** The paper's correctness claims, made machine-checkable.
+
+    Each check runs after the system has quiesced (load stopped, faults
+    stopped, nodes reconnected, engine drained) and returns the list of
+    violations — empty means the invariant holds. The fuzzer asserts
+    emptiness over random workloads x fault plans; a deliberately broken
+    scheme (e.g. {!Dangers_core.Two_tier.create}[ ~unsafe_skip_acceptance])
+    must produce a non-empty list, which is how the checker checks itself. *)
+
+module Op = Dangers_txn.Op
+module Eager_impl = Dangers_replication.Eager_impl
+module Lazy_group = Dangers_replication.Lazy_group
+module Two_tier = Dangers_core.Two_tier
+
+type violation = { invariant : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val eager_one_copy_serializable :
+  Eager_impl.t -> history:(int * Op.t list) list -> violation list
+(** §3: eager replication "provides single-copy serializability". Replaying
+    [history] (the committed transactions in commit order, captured via
+    [Eager_impl.create ~on_commit]) serially on one fresh database must
+    reproduce every node's replica exactly; the replicas must also agree
+    with each other. *)
+
+val lazy_group_converged : Lazy_group.t -> exact_sums:bool -> violation list
+(** §4/§6: after faults cease and parked updates drain, all replicas
+    converge ([divergence = 0]). With [exact_sums] (commutative increment
+    workload under the [Additive] rule and a lossless fault plan) every
+    replica must additionally equal initial + the sum of committed deltas —
+    no update's effect lost — within floating-point tolerance, since
+    reordering changes the summation order. *)
+
+val two_tier_base_consistent :
+  ?check_convergence:bool -> Two_tier.t -> violation list
+(** §7: the base tier is never delusional. Call after
+    [Two_tier.quiesce_and_sync]: the committed base history must replay to
+    the master state ([base_history_serializable]) — master writes are
+    synchronous, so this holds under {e any} message faults — and every
+    replica (base stores, mobile master and tentative versions) must equal
+    it ([converged]). Slave updates are fire-and-forget, so pass
+    [~check_convergence:false] when the plan drops messages: a dropped
+    slave update is legitimately never recovered. *)
+
+val two_tier_commutative_no_reconciliation : Two_tier.t -> violation list
+(** §7's punchline: with commutative (positive-increment) transactions and
+    an acceptance criterion they always satisfy, no tentative transaction
+    is ever rejected — the reconciliation count is zero even under
+    disconnects, crashes and message faults. *)
+
+val recovery_journals : Recovery.t list -> violation list
+(** Every crash's journal-completeness check passed: replaying a node's
+    durable write journal reproduces its pre-crash store. *)

@@ -56,10 +56,15 @@ let rec arm t ~connected =
       t.next_event <-
         Some
           (Engine.schedule t.engine ~delay:span (fun () ->
-               let connected' = not connected in
-               t.toggle_count <- t.toggle_count + 1;
-               t.set_connected connected';
-               arm t ~connected:connected'))
+               (* [stop] cancels this event, but guard anyway: a stop racing
+                  an in-flight toggle (e.g. issued from another event at the
+                  same timestamp) must never fire a late [set_connected]. *)
+               if not t.stopped then begin
+                 let connected' = not connected in
+                 t.toggle_count <- t.toggle_count + 1;
+                 t.set_connected connected';
+                 arm t ~connected:connected'
+               end))
     else t.next_event <- None
   end
 

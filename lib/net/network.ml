@@ -3,11 +3,25 @@ module Rng = Dangers_util.Rng
 
 type 'msg parked = { p_src : int; p_dst : int; p_msg : 'msg }
 
+type fault_action = Pass | Drop | Duplicate | Delay_extra of float
+
+type faults = {
+  blocked : src:int -> dst:int -> bool;
+  on_transmit : src:int -> dst:int -> fault_action;
+}
+
+let no_faults =
+  {
+    blocked = (fun ~src:_ ~dst:_ -> false);
+    on_transmit = (fun ~src:_ ~dst:_ -> Pass);
+  }
+
 type 'msg t = {
   engine : Engine.t;
   rng : Rng.t;
   delay : Delay.t;
   node_count : int;
+  faults : faults;
   connected : bool array;
   parked : 'msg parked Queue.t array; (* indexed by the disconnected endpoint *)
   deliver : src:int -> dst:int -> 'msg -> unit;
@@ -15,9 +29,11 @@ type 'msg t = {
   mutable sent : int;
   mutable delivered : int;
   mutable parked_count : int;
+  mutable dropped : int;
+  mutable duplicated : int;
 }
 
-let create ~engine ~rng ~delay ~nodes ~deliver =
+let create ?(faults = no_faults) ~engine ~rng ~delay ~nodes ~deliver () =
   if nodes <= 0 then invalid_arg "Network.create: nodes must be positive";
   Delay.validate delay;
   {
@@ -25,6 +41,7 @@ let create ~engine ~rng ~delay ~nodes ~deliver =
     rng;
     delay;
     node_count = nodes;
+    faults;
     connected = Array.make nodes true;
     parked = Array.init nodes (fun _ -> Queue.create ());
     deliver;
@@ -32,6 +49,8 @@ let create ~engine ~rng ~delay ~nodes ~deliver =
     sent = 0;
     delivered = 0;
     parked_count = 0;
+    dropped = 0;
+    duplicated = 0;
   }
 
 let nodes t = t.node_count
@@ -49,7 +68,9 @@ let park t ~at message =
   t.parked_count <- t.parked_count + 1
 
 (* Arrival: if the destination went down while the message was in flight, it
-   parks there and is re-delivered after the reconnect flush. *)
+   parks there and is re-delivered after the reconnect flush. A partition
+   that started mid-flight does not stop an arrival: the message was already
+   on the wire. *)
 let arrive t ({ p_src; p_dst; p_msg } as message) =
   if t.connected.(p_dst) then begin
     t.delivered <- t.delivered + 1;
@@ -59,9 +80,34 @@ let arrive t ({ p_src; p_dst; p_msg } as message) =
   end
   else park t ~at:p_dst message
 
-let transmit t message =
-  let delay = Delay.sample t.delay t.rng in
+let schedule_arrival t message ~extra =
+  let delay = Delay.sample t.delay t.rng +. extra in
   ignore (Engine.schedule t.engine ~delay (fun () -> arrive t message))
+
+(* Put a message on the wire, consulting the per-message fault hook. *)
+let transmit t ({ p_src; p_dst; _ } as message) =
+  match t.faults.on_transmit ~src:p_src ~dst:p_dst with
+  | Pass -> schedule_arrival t message ~extra:0.
+  | Drop ->
+      t.dropped <- t.dropped + 1;
+      Engine.trace t.engine
+        (Dangers_sim.Trace.Message_dropped { src = p_src; dst = p_dst })
+  | Duplicate ->
+      t.duplicated <- t.duplicated + 1;
+      Engine.trace t.engine
+        (Dangers_sim.Trace.Message_duplicated { src = p_src; dst = p_dst });
+      schedule_arrival t message ~extra:0.;
+      schedule_arrival t message ~extra:0.
+  | Delay_extra extra -> schedule_arrival t message ~extra:(Float.max 0. extra)
+
+(* Decide where a message goes right now: onto the wire, or parked at a
+   down or partitioned endpoint. Partition-blocked messages wait at the
+   sender and are retried by [flush_node] after the partition heals. *)
+let route t ({ p_src; p_dst; _ } as message) =
+  if not t.connected.(p_src) then park t ~at:p_src message
+  else if not t.connected.(p_dst) then park t ~at:p_dst message
+  else if t.faults.blocked ~src:p_src ~dst:p_dst then park t ~at:p_src message
+  else transmit t message
 
 let send t ~src ~dst msg =
   check_node t src "Network.send";
@@ -69,15 +115,27 @@ let send t ~src ~dst msg =
   if src = dst then invalid_arg "Network.send: src = dst";
   t.sent <- t.sent + 1;
   Engine.trace t.engine (Dangers_sim.Trace.Message_sent { src; dst });
-  let message = { p_src = src; p_dst = dst; p_msg = msg } in
-  if not t.connected.(src) then park t ~at:src message
-  else if not t.connected.(dst) then park t ~at:dst message
-  else transmit t message
+  route t { p_src = src; p_dst = dst; p_msg = msg }
 
 let broadcast t ~src msg =
   for dst = 0 to t.node_count - 1 do
     if dst <> src then send t ~src ~dst msg
   done
+
+(* Drain a node's parked queue and re-route everything; a message may park
+   again immediately (other endpoint down, or still partitioned). *)
+let reroute_parked t ~node =
+  let queue = t.parked.(node) in
+  let backlog = Queue.length queue in
+  for _ = 1 to backlog do
+    let message = Queue.pop queue in
+    t.parked_count <- t.parked_count - 1;
+    route t message
+  done
+
+let flush_node t ~node =
+  check_node t node "Network.flush_node";
+  if t.connected.(node) then reroute_parked t ~node
 
 let set_connected t ~node state =
   check_node t node "Network.set_connected";
@@ -86,18 +144,7 @@ let set_connected t ~node state =
     Engine.trace t.engine
       (if state then Dangers_sim.Trace.Node_connected { node }
        else Dangers_sim.Trace.Node_disconnected { node });
-    if state then begin
-      let queue = t.parked.(node) in
-      let backlog = Queue.length queue in
-      for _ = 1 to backlog do
-        let message = Queue.pop queue in
-        t.parked_count <- t.parked_count - 1;
-        (* A flushed message may still face a down peer at the other end. *)
-        let other = if message.p_src = node then message.p_dst else message.p_src in
-        if t.connected.(other) then transmit t message
-        else park t ~at:other message
-      done
-    end;
+    if state then reroute_parked t ~node;
     List.iter (fun observer -> observer ~node ~connected:state) t.observers
   end
 
@@ -106,3 +153,5 @@ let on_connectivity_change t observer = t.observers <- observer :: t.observers
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered
 let messages_parked t = t.parked_count
+let messages_dropped t = t.dropped
+let messages_duplicated t = t.duplicated

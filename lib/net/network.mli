@@ -5,16 +5,42 @@
     endpoints are connected. Messages involving a disconnected endpoint are
     parked and flushed when that node reconnects; this models the paper's
     mobile pattern of exchanging deferred replica updates at reconnect
-    (§2, §4). Base nodes simply never disconnect. *)
+    (§2, §4). Base nodes simply never disconnect.
+
+    A {!faults} hook lets a fault injector perturb delivery: drop, duplicate
+    or delay individual messages, and block (partition) pairs of nodes.
+    Without hooks the network is loss-free and duplicate-free. *)
 
 type 'msg t
 
+(** {1 Fault hooks} *)
+
+type fault_action =
+  | Pass  (** deliver normally *)
+  | Drop  (** lose the message (counted and traced) *)
+  | Duplicate  (** put two copies in flight, each with its own delay *)
+  | Delay_extra of float  (** add this much latency (reordering) *)
+
+type faults = {
+  blocked : src:int -> dst:int -> bool;
+      (** partition test, consulted at transmission time; blocked messages
+          park at the sender and are retried by {!flush_node} *)
+  on_transmit : src:int -> dst:int -> fault_action;
+      (** per-message perturbation, consulted each time a message is put on
+          the wire (including reconnect flushes) *)
+}
+
+val no_faults : faults
+(** Never blocks, always [Pass] — the default. *)
+
 val create :
+  ?faults:faults ->
   engine:Dangers_sim.Engine.t ->
   rng:Dangers_util.Rng.t ->
   delay:Delay.t ->
   nodes:int ->
   deliver:(src:int -> dst:int -> 'msg -> unit) ->
+  unit ->
   'msg t
 (** All nodes start connected. @raise Invalid_argument if [nodes <= 0] or
     the delay model is invalid. *)
@@ -35,6 +61,11 @@ val set_connected : 'msg t -> node:int -> bool -> unit
     run after the flush is scheduled. Setting the current state is a
     no-op. *)
 
+val flush_node : 'msg t -> node:int -> unit
+(** Re-route the node's parked messages without a connectivity change —
+    called by the fault injector after a partition heals, since heals do not
+    toggle [set_connected]. A no-op on a disconnected node. *)
+
 val on_connectivity_change : 'msg t -> (node:int -> connected:bool -> unit) -> unit
 
 (** {1 Counters} *)
@@ -43,3 +74,9 @@ val messages_sent : 'msg t -> int
 val messages_delivered : 'msg t -> int
 val messages_parked : 'msg t -> int
 (** Currently parked (waiting for a reconnect). *)
+
+val messages_dropped : 'msg t -> int
+(** Lost to injected faults. *)
+
+val messages_duplicated : 'msg t -> int
+(** Extra copies put in flight by injected faults. *)

@@ -20,12 +20,13 @@ type t = {
   delay_rng : Rng.t;
   delay : Dangers_net.Delay.t;
   ownership : ownership;
+  on_commit : (node:int -> Op.t list -> unit) option;
 }
 
 let scheme_name = function Group -> "eager-group" | Master -> "eager-master"
 
-let create ?profile ?initial_value ?(delay = Dangers_net.Delay.Zero) ownership
-    params ~seed =
+let create ?profile ?initial_value ?(delay = Dangers_net.Delay.Zero) ?on_commit
+    ownership params ~seed =
   Dangers_net.Delay.validate delay;
   let common = Common.make ?profile ?initial_value params ~seed in
   let locks = Lock_manager.create () in
@@ -42,6 +43,7 @@ let create ?profile ?initial_value ?(delay = Dangers_net.Delay.Zero) ownership
     delay_rng = Rng.split common.Common.rng;
     delay;
     ownership;
+    on_commit;
   }
 
 let base t = t.common
@@ -114,7 +116,8 @@ let submit t ~node ops =
     Executor.run t.executor ~owner ~steps
       ~on_commit:(fun () ->
         apply_everywhere t ~origin:node ops;
-        Common.commit_duration common ~started)
+        Common.commit_duration common ~started;
+        match t.on_commit with Some f -> f ~node ops | None -> ())
       ~on_deadlock:(fun ~cycle:_ ->
         Metrics.incr metrics Repl_stats.deadlocks;
         Metrics.incr metrics Repl_stats.restarts;

@@ -26,11 +26,17 @@ type t
 
 val create :
   ?profile:Profile.t -> ?initial_value:float ->
-  ?delay:Dangers_net.Delay.t -> ownership -> Params.t -> seed:int -> t
+  ?delay:Dangers_net.Delay.t ->
+  ?on_commit:(node:int -> Op.t list -> unit) ->
+  ownership -> Params.t -> seed:int -> t
 (** [delay] charges each *remote* update step its sampled message delay on
     top of Action_Time — the paper's "if message delays were added ...
     transactions would hold resources much longer" ablation. Default
-    [Zero], the model's assumption. *)
+    [Zero], the model's assumption.
+
+    [on_commit] observes every committed transaction in commit order — the
+    serial history witness the fault fuzzer replays to check one-copy
+    serializability. *)
 
 val base : t -> Common.base
 val ownership : t -> ownership

@@ -169,7 +169,7 @@ let submit t ~node ops =
   attempt ()
 
 let create ?profile ?initial_value ?(rule = Reconcile.Timestamp_priority)
-    ?(delay = Delay.Zero) ?mobility ?mobile_nodes params ~seed =
+    ?(delay = Delay.Zero) ?faults ?mobility ?mobile_nodes params ~seed =
   let common = Common.make ?profile ?initial_value params ~seed in
   let executors =
     Array.init params.Params.nodes (fun _ ->
@@ -193,9 +193,9 @@ let create ?profile ?initial_value ?(rule = Reconcile.Timestamp_priority)
     }
   in
   let network =
-    Network.create ~engine:common.Common.engine
+    Network.create ?faults ~engine:common.Common.engine
       ~rng:(Rng.split common.Common.rng) ~delay ~nodes:params.Params.nodes
-      ~deliver:(fun ~src ~dst updates -> deliver t ~src ~dst updates)
+      ~deliver:(fun ~src ~dst updates -> deliver t ~src ~dst updates) ()
   in
   t.network <- Some network;
   (match mobility with
@@ -247,6 +247,8 @@ let divergence t =
   !count
 
 let is_connected t ~node = Network.is_connected (network t) ~node
+let set_node_connected t ~node state = Network.set_connected (network t) ~node state
+let flush_node t ~node = Network.flush_node (network t) ~node
 
 let force_sync t =
   List.iter (Engine.cancel t.common.Common.engine) t.pending_installs;

@@ -23,6 +23,7 @@ module Op = Dangers_txn.Op
 module Oid = Dangers_storage.Oid
 module Connectivity = Dangers_net.Connectivity
 module Delay = Dangers_net.Delay
+module Network = Dangers_net.Network
 
 type t
 
@@ -31,6 +32,7 @@ val create :
   ?initial_value:float ->
   ?rule:Reconcile.rule ->
   ?delay:Delay.t ->
+  ?faults:Network.faults ->
   ?mobility:Connectivity.spec ->
   ?mobile_nodes:int list ->
   Params.t ->
@@ -63,6 +65,14 @@ val divergence : t -> int
     converging rule; grows without bound under [Reconcile.Ignore]. *)
 
 val is_connected : t -> node:int -> bool
+
+val set_node_connected : t -> node:int -> bool -> unit
+(** Drive a node's connectivity directly — the fault injector's crash /
+    restart lever (a [mobility] spec does the same through a schedule). *)
+
+val flush_node : t -> node:int -> unit
+(** Retry the node's partition-parked messages (see {!Network.flush_node}). *)
+
 val force_sync : t -> unit
 (** Testing/diagnosis helper: reconnect everyone and drain the engine
     (generators must be stopped), so all parked updates apply. *)

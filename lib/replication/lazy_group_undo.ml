@@ -202,7 +202,7 @@ let create ?profile ?initial_value ?mobility ?mobile_nodes params ~seed =
     Network.create ~engine:common.Common.engine
       ~rng:(Rng.split common.Common.rng) ~delay:Delay.Zero
       ~nodes:params.Params.nodes
-      ~deliver:(fun ~src ~dst message -> deliver t ~src ~dst message)
+      ~deliver:(fun ~src ~dst message -> deliver t ~src ~dst message) ()
   in
   t.network <- Some net;
   (match mobility with

@@ -137,7 +137,7 @@ let create ?profile ?initial_value ?(delay = Delay.Zero)
     Some
       (Network.create ~engine:common.Common.engine
          ~rng:(Rng.split common.Common.rng) ~delay ~nodes:params.Params.nodes
-         ~deliver:(fun ~src ~dst u -> deliver t ~src ~dst u));
+         ~deliver:(fun ~src ~dst u -> deliver t ~src ~dst u) ());
   t
 
 let start t = Common.start_generators t.common ~submit:(fun ~node ops -> submit t ~node ops)

@@ -61,6 +61,10 @@ let rec step t =
   | Some event ->
       if event.cancelled then step t
       else begin
+        (* Mark fired events as no longer live so a later [cancel] (e.g. a
+           schedule stopped from inside its own callback) stays a no-op
+           instead of corrupting the live count. *)
+        event.cancelled <- true;
         t.live <- t.live - 1;
         t.clock <- event.time;
         t.fired <- t.fired + 1;

@@ -9,6 +9,12 @@ type event =
   | Message_parked of { at : int }
   | Node_connected of { node : int }
   | Node_disconnected of { node : int }
+  | Message_dropped of { src : int; dst : int }
+  | Message_duplicated of { src : int; dst : int }
+  | Node_crashed of { node : int }
+  | Node_restarted of { node : int }
+  | Partition_started of { blocks : int }
+  | Partition_healed
   | Note of string
 
 type entry = { at : float; event : event }
@@ -57,6 +63,15 @@ let pp_event ppf = function
   | Message_parked { at } -> Format.fprintf ppf "msg parked at n%d" at
   | Node_connected { node } -> Format.fprintf ppf "n%d connected" node
   | Node_disconnected { node } -> Format.fprintf ppf "n%d disconnected" node
+  | Message_dropped { src; dst } ->
+      Format.fprintf ppf "msg n%d -> n%d dropped" src dst
+  | Message_duplicated { src; dst } ->
+      Format.fprintf ppf "msg n%d -> n%d duplicated" src dst
+  | Node_crashed { node } -> Format.fprintf ppf "n%d crashed" node
+  | Node_restarted { node } -> Format.fprintf ppf "n%d restarted" node
+  | Partition_started { blocks } ->
+      Format.fprintf ppf "partition into %d blocks" blocks
+  | Partition_healed -> Format.fprintf ppf "partition healed"
   | Note text -> Format.fprintf ppf "note: %s" text
 
 let pp_entry ppf { at; event } = Format.fprintf ppf "[%10.4f] %a" at pp_event event

@@ -18,6 +18,14 @@ type event =
   | Message_parked of { at : int }
   | Node_connected of { node : int }
   | Node_disconnected of { node : int }
+  | Message_dropped of { src : int; dst : int }
+      (** lost in flight by an injected fault *)
+  | Message_duplicated of { src : int; dst : int }
+      (** a second copy was put in flight by an injected fault *)
+  | Node_crashed of { node : int }
+  | Node_restarted of { node : int }
+  | Partition_started of { blocks : int }  (** number of partition blocks *)
+  | Partition_healed
   | Note of string  (** free-form marker from application code *)
 
 type entry = { at : float;  (** simulated seconds *) event : event }

@@ -8,7 +8,11 @@ end
 module Make (Value : VALUE) = struct
   type value = Value.t
   type entry = { mutable value : value; mutable stamp : Timestamp.t }
-  type t = { entries : entry array }
+
+  type t = {
+    entries : entry array;
+    mutable observers : (Oid.t -> value -> Timestamp.t -> unit) list;
+  }
 
   let create ~db_size ~init =
     if db_size <= 0 then invalid_arg "Store.create: db_size must be positive";
@@ -16,23 +20,32 @@ module Make (Value : VALUE) = struct
       entries =
         Array.init db_size (fun i ->
             { value = init (Oid.of_int i); stamp = Timestamp.zero });
+      observers = [];
     }
 
   let db_size t = Array.length t.entries
   let entry t oid = t.entries.(Oid.to_int oid)
   let read t oid = (entry t oid).value
   let stamp t oid = (entry t oid).stamp
+  let on_write t f = t.observers <- f :: t.observers
+
+  let notify t oid value ts =
+    match t.observers with
+    | [] -> ()
+    | observers -> List.iter (fun f -> f oid value ts) observers
 
   let write t oid value ts =
     let e = entry t oid in
     e.value <- value;
-    e.stamp <- ts
+    e.stamp <- ts;
+    notify t oid value ts
 
   let apply_if_current t oid ~old_stamp value ts =
     let e = entry t oid in
     if Timestamp.equal e.stamp old_stamp then begin
       e.value <- value;
       e.stamp <- ts;
+      notify t oid value ts;
       `Applied
     end
     else `Dangerous
@@ -42,6 +55,7 @@ module Make (Value : VALUE) = struct
     if Timestamp.newer ts ~than:e.stamp then begin
       e.value <- value;
       e.stamp <- ts;
+      notify t oid value ts;
       `Applied
     end
     else `Stale
@@ -72,7 +86,11 @@ module Make (Value : VALUE) = struct
     db_size a = db_size b && divergent_oids a b = []
 
   let copy t =
-    { entries = Array.map (fun e -> { value = e.value; stamp = e.stamp }) t.entries }
+    {
+      entries =
+        Array.map (fun e -> { value = e.value; stamp = e.stamp }) t.entries;
+      observers = [];
+    }
 
   let overwrite_from t ~src =
     check_same_size t src "Store.overwrite_from";
@@ -80,7 +98,8 @@ module Make (Value : VALUE) = struct
       (fun i e ->
         let s = src.entries.(i) in
         e.value <- s.value;
-        e.stamp <- s.stamp)
+        e.stamp <- s.stamp;
+        notify t (Oid.of_int i) s.value s.stamp)
       t.entries
 end
 

@@ -29,6 +29,13 @@ module Make (Value : VALUE) : sig
   val write : t -> Oid.t -> value -> Timestamp.t -> unit
   (** Unconditional overwrite — for the owning node's committed updates. *)
 
+  val on_write : t -> (Oid.t -> value -> Timestamp.t -> unit) -> unit
+  (** Register an observer fired after every state change ([write], a
+      successful [apply_if_current]/[apply_if_newer], and each object of an
+      [overwrite_from]). The fault-injection recovery journal uses this to
+      capture a node's durable write history; a store without observers
+      pays nothing. Observers do not survive [copy]. *)
+
   val apply_if_current : t -> Oid.t -> old_stamp:Timestamp.t -> value ->
     Timestamp.t -> [ `Applied | `Dangerous ]
   (** The lazy-group rule: apply only when the replica's timestamp equals the

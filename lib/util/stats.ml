@@ -54,6 +54,12 @@ let loglog_slope points =
   in
   let n = List.length usable in
   if n < 2 then invalid_arg "Stats.loglog_slope: need at least two points";
+  (* All-equal x must be rejected up front: the summed denominator below
+     can round to a tiny nonzero value and yield a garbage slope. *)
+  (match usable with
+  | (x0, _) :: rest when List.for_all (fun (x, _) -> x = x0) rest ->
+      invalid_arg "Stats.loglog_slope: degenerate x values"
+  | _ -> ());
   let nf = float_of_int n in
   let sx = List.fold_left (fun a (x, _) -> a +. x) 0. usable in
   let sy = List.fold_left (fun a (_, y) -> a +. y) 0. usable in

@@ -39,7 +39,8 @@ val percentile : float array -> p:float -> float
 val loglog_slope : (float * float) list -> float
 (** Least-squares slope of [log y] against [log x] — the measured growth
     exponent of a power law. Points with non-positive coordinates are
-    rejected with [Invalid_argument]; fewer than two points likewise. *)
+    rejected with [Invalid_argument]; fewer than two points, or points all
+    sharing one x (a vertical line has no slope), likewise. *)
 
 val geometric_mean : float array -> float
 (** Geometric mean of positive values. @raise Invalid_argument if empty or

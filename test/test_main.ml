@@ -22,4 +22,5 @@ let () =
       ("scenarios-e2e", Test_scenarios_run.suite);
       ("coverage", Test_coverage_gaps.suite);
       ("rules-e2e", Test_rules_e2e.suite);
+      ("fault", Test_fault.suite);
     ]

@@ -30,6 +30,7 @@ let make_network ?(delay = Delay.Zero) ~nodes () =
   let network =
     Network.create ~engine ~rng:(Rng.create ~seed:9) ~delay ~nodes
       ~deliver:(fun ~src ~dst msg -> received := (src, dst, msg) :: !received)
+      ()
   in
   (engine, network, received)
 
@@ -60,6 +61,7 @@ let test_constant_delay_timing () =
     Network.create ~engine ~rng:(Rng.create ~seed:1) ~delay:(Delay.Constant 2.0)
       ~nodes:2
       ~deliver:(fun ~src:_ ~dst:_ _ -> arrival := Engine.now engine)
+      ()
   in
   Network.send network2 ~src:0 ~dst:1 "m2";
   Engine.run engine;
@@ -133,6 +135,94 @@ let test_base_node_never_disconnects () =
   checki "initial set only" 1 !changes;
   checkb "spec recognized" true (Connectivity.always_connected Connectivity.base_node)
 
+let test_stop_cancels_inflight_toggle () =
+  let engine = Engine.create () in
+  let trace = ref [] in
+  let spec = Connectivity.day_cycle ~connected:10. ~disconnected:5. in
+  let schedule =
+    Connectivity.install ~engine ~rng:(Rng.create ~seed:3) ~spec
+      ~set_connected:(fun state -> trace := (Engine.now engine, state) :: !trace)
+  in
+  (* Run past the first toggle; the next one (t=15) is already armed on the
+     heap when we stop. It must never fire — neither the scheduled event
+     nor any toggle it would have re-armed. *)
+  Engine.run engine ~until:12.;
+  Connectivity.stop schedule;
+  let frozen = !trace in
+  Engine.run engine;
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair (Alcotest.float 1e-9) Alcotest.bool))
+    "no late toggle after stop" frozen !trace;
+  checki "toggle count frozen" 1 (Connectivity.toggles schedule);
+  (* Stopping twice stays quiet. *)
+  Connectivity.stop schedule;
+  Engine.run engine ~until:100.;
+  checki "still frozen" 1 (Connectivity.toggles schedule)
+
+let faulty_network ~faults ~nodes () =
+  let engine = Engine.create () in
+  let received = ref [] in
+  let network =
+    Network.create ~faults ~engine ~rng:(Rng.create ~seed:9)
+      ~delay:Delay.Zero ~nodes
+      ~deliver:(fun ~src ~dst msg ->
+        received := (src, dst, msg, Engine.now engine) :: !received)
+      ()
+  in
+  (engine, network, received)
+
+let test_fault_hook_drop_and_duplicate () =
+  (* Drop every 0->1 message, duplicate every 1->0 message. *)
+  let faults =
+    {
+      Network.no_faults with
+      on_transmit =
+        (fun ~src ~dst:_ -> if src = 0 then Network.Drop else Network.Duplicate);
+    }
+  in
+  let engine, network, received = faulty_network ~faults ~nodes:2 () in
+  Network.send network ~src:0 ~dst:1 "lost";
+  Network.send network ~src:1 ~dst:0 "twice";
+  Engine.run engine;
+  checki "only the duplicated message arrives" 2 (List.length !received);
+  checkb "dropped one never lands" false
+    (List.exists (fun (_, _, m, _) -> m = "lost") !received);
+  checki "drop counted" 1 (Network.messages_dropped network);
+  checki "duplicate counted" 1 (Network.messages_duplicated network);
+  checki "delivered counts both copies" 2 (Network.messages_delivered network)
+
+let test_fault_hook_extra_delay () =
+  let faults =
+    {
+      Network.no_faults with
+      on_transmit = (fun ~src:_ ~dst:_ -> Network.Delay_extra 3.);
+    }
+  in
+  let engine, network, received = faulty_network ~faults ~nodes:2 () in
+  Network.send network ~src:0 ~dst:1 "late";
+  Engine.run engine;
+  match !received with
+  | [ (_, _, _, at) ] -> checkf "extra latency applied" 3. at
+  | l -> Alcotest.failf "expected one delivery, got %d" (List.length l)
+
+let test_fault_hook_blocked_parks_until_flush () =
+  let cut = ref true in
+  let faults =
+    { Network.no_faults with blocked = (fun ~src:_ ~dst:_ -> !cut) }
+  in
+  let engine, network, received = faulty_network ~faults ~nodes:2 () in
+  Network.send network ~src:0 ~dst:1 "held";
+  Engine.run engine;
+  checki "blocked message parks at the sender" 1
+    (Network.messages_parked network);
+  checki "nothing delivered" 0 (List.length !received);
+  (* Heal without any connectivity change: only flush_node reroutes. *)
+  cut := false;
+  Network.flush_node network ~node:0;
+  Engine.run engine;
+  checki "flush delivers it" 1 (List.length !received);
+  checki "park emptied" 0 (Network.messages_parked network)
+
 let suite =
   [
     Alcotest.test_case "delay models" `Quick test_delay_models;
@@ -144,4 +234,12 @@ let suite =
     Alcotest.test_case "connectivity observer" `Quick test_connectivity_observer;
     Alcotest.test_case "day cycle schedule" `Quick test_day_cycle_schedule;
     Alcotest.test_case "base node never disconnects" `Quick test_base_node_never_disconnects;
+    Alcotest.test_case "stop cancels in-flight toggle" `Quick
+      test_stop_cancels_inflight_toggle;
+    Alcotest.test_case "fault hook drop and duplicate" `Quick
+      test_fault_hook_drop_and_duplicate;
+    Alcotest.test_case "fault hook extra delay" `Quick
+      test_fault_hook_extra_delay;
+    Alcotest.test_case "fault hook blocked parks" `Quick
+      test_fault_hook_blocked_parks_until_flush;
   ]

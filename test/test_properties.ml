@@ -37,6 +37,7 @@ let network_conservation =
           ~nodes:4
           ~deliver:(fun ~src:_ ~dst:_ id ->
             Hashtbl.replace received id (1 + Option.value ~default:0 (Hashtbl.find_opt received id)))
+          ()
       in
       let sent = ref 0 in
       List.iteri

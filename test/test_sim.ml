@@ -116,6 +116,53 @@ let test_engine_zero_delay_cascade () =
   checki "all fired" 100 !n;
   checkf "clock unmoved" 0. (Engine.now engine)
 
+let test_engine_cancel_stops_runaway_chain () =
+  (* A self-rescheduling chain is the canonical Runaway source; cancelling
+     its current link must break the loop so the same budget that would
+     have tripped the guard now drains cleanly. *)
+  let engine = Engine.create () in
+  let current = ref None in
+  let links = ref 0 in
+  let rec loop () =
+    incr links;
+    current := Some (Engine.schedule engine ~delay:0.01 loop)
+  in
+  loop ();
+  ignore
+    (Engine.schedule engine ~delay:1.005 (fun () ->
+         Option.iter (Engine.cancel engine) !current));
+  (* Without the cancel this loop would fire ~100_000 events and raise. *)
+  Engine.run ~max_events:1000 engine;
+  checki "chain stopped at the cancel point" 101 !links;
+  checki "queue drained" 0 (Engine.pending engine)
+
+let test_engine_cancelled_not_counted () =
+  let engine = Engine.create () in
+  let e1 = Engine.schedule engine ~delay:1. (fun () -> ()) in
+  ignore (Engine.schedule engine ~delay:2. (fun () -> ()));
+  ignore (Engine.schedule engine ~delay:6. (fun () -> ()));
+  let before = Engine.events_fired engine in
+  Engine.cancel engine e1;
+  Engine.run engine ~until:3.;
+  checki "cancelled event not in events_fired" 1
+    (Engine.events_fired engine - before);
+  checkf "until still honoured" 3. (Engine.now engine);
+  checki "later event still queued" 1 (Engine.pending engine)
+
+let test_engine_cancel_after_fire_noop () =
+  let engine = Engine.create () in
+  let fired = ref [] in
+  let e1 = Engine.schedule engine ~delay:1. (fun () -> fired := 1 :: !fired) in
+  ignore (Engine.schedule engine ~delay:2. (fun () -> fired := 2 :: !fired));
+  Engine.run engine ~until:1.5;
+  (* e1 has fired; cancelling its stale handle must not disturb the queue. *)
+  Engine.cancel engine e1;
+  Engine.cancel engine e1;
+  checki "pending untouched" 1 (Engine.pending engine);
+  Engine.run engine;
+  Alcotest.check (Alcotest.list Alcotest.int) "second event unaffected"
+    [ 1; 2 ] (List.rev !fired)
+
 (* --- Metrics --- *)
 
 let test_engine_runaway_guard () =
@@ -171,6 +218,12 @@ let suite =
     Alcotest.test_case "engine rejects past" `Quick test_engine_past_rejected;
     Alcotest.test_case "engine zero-delay cascade" `Quick test_engine_zero_delay_cascade;
     Alcotest.test_case "engine runaway guard" `Quick test_engine_runaway_guard;
+    Alcotest.test_case "engine cancel stops runaway chain" `Quick
+      test_engine_cancel_stops_runaway_chain;
+    Alcotest.test_case "engine cancelled not counted" `Quick
+      test_engine_cancelled_not_counted;
+    Alcotest.test_case "engine cancel after fire no-op" `Quick
+      test_engine_cancel_after_fire_noop;
     Alcotest.test_case "metrics counters and window" `Quick test_metrics_counters_and_window;
     Alcotest.test_case "metrics samples" `Quick test_metrics_samples;
   ]

@@ -94,6 +94,51 @@ let qcheck_props =
       (fun (xs, (p1, p2)) ->
         let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
         Stats.percentile xs ~p:lo <= Stats.percentile xs ~p:hi +. 1e-9);
+    Test.make ~name:"stats: percentile of a single point is that point"
+      ~count:300
+      (pair (float_range (-1e6) 1e6) (float_range 0. 1.))
+      (fun (x, p) -> Stats.percentile [| x |] ~p = x);
+    Test.make ~name:"stats: percentile hits min at p=0 and max at p=1"
+      ~count:300
+      (array_of_size (Gen.int_range 1 60) (float_range (-1e3) 1e3))
+      (fun xs ->
+        let sorted = Array.copy xs in
+        Array.sort compare sorted;
+        Stats.percentile xs ~p:0. = sorted.(0)
+        && Stats.percentile xs ~p:1. = sorted.(Array.length xs - 1));
+    Test.make ~name:"stats: loglog_slope rejects duplicate x" ~count:200
+      (pair (float_range 0.1 100.)
+         (list_of_size (Gen.int_range 2 10) (float_range 0.1 100.)))
+      (fun (x, ys) ->
+        (* Shrinking may drop below the generator's minimum length. *)
+        QCheck.assume (List.length ys >= 2);
+        (* Every point shares one x: the fit is a vertical line. *)
+        try
+          ignore (Stats.loglog_slope (List.map (fun y -> (x, y)) ys));
+          false
+        with Invalid_argument m -> m = "Stats.loglog_slope: degenerate x values");
+    Test.make ~name:"stats: loglog_slope unchanged by doubling the sample"
+      ~count:200
+      (list_of_size (Gen.int_range 2 20)
+         (pair (float_range 0.1 100.) (float_range 0.1 100.)))
+      (fun points ->
+        let xs = List.map fst points in
+        QCheck.assume (List.exists (fun x -> x <> List.hd xs) (List.tl xs));
+        let s1 = Stats.loglog_slope points in
+        let s2 = Stats.loglog_slope (points @ points) in
+        Float.abs (s1 -. s2) <= 1e-6 *. (1. +. Float.abs s1));
+    Test.make ~name:"stats: histogram saturates out-of-range into end buckets"
+      ~count:300
+      (list_of_size (Gen.int_range 0 100) (float_range (-2.) 3.))
+      (fun xs ->
+        let h = Stats.Histogram.create ~min:0. ~max:1. ~buckets:4 in
+        List.iter (Stats.Histogram.add h) xs;
+        let counts = Stats.Histogram.bucket_counts h in
+        let below = List.length (List.filter (fun x -> x < 0.) xs) in
+        let above = List.length (List.filter (fun x -> x >= 1.) xs) in
+        Array.fold_left ( + ) 0 counts = List.length xs
+        && counts.(0) >= below
+        && counts.(Array.length counts - 1) >= above);
   ]
 
 let suite =

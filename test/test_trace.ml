@@ -75,7 +75,7 @@ let test_network_emits () =
   Engine.set_tracer engine (Some tracer);
   let network =
     Network.create ~engine ~rng:(Rng.create ~seed:1) ~delay:Delay.Zero ~nodes:2
-      ~deliver:(fun ~src:_ ~dst:_ () -> ())
+      ~deliver:(fun ~src:_ ~dst:_ () -> ()) ()
   in
   Network.set_connected network ~node:1 false;
   Network.send network ~src:0 ~dst:1 ();
