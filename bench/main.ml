@@ -10,7 +10,13 @@
    artifact), plus component benchmarks for the substrates the simulator
    is built from.
 
-   Flags: --bench-only skips part 1, --tables-only skips part 2. *)
+   Part 3 times the multicore sweep runner: the quick-mode experiment
+   registry serially and at the machine's recommended domain count, checks
+   the exports are byte-identical, and writes the numbers to
+   BENCH_sweep.json for tooling to pick up.
+
+   Flags: --bench-only skips part 1, --tables-only skips parts 2 and 3,
+   --sweep-only runs only part 3. *)
 
 open Bechamel
 open Toolkit
@@ -126,27 +132,18 @@ let component_tests =
    of each scheme at a common parameter point. *)
 let scheme_tests =
   let module Params = Dangers_analytic.Params in
-  let module Runs = Dangers_experiments.Runs in
+  let module Scheme = Dangers_experiments.Scheme in
   let params =
     { Params.default with db_size = 400; nodes = 3; tps = 5.; actions = 4 }
   in
-  let sim name f = Test.make ~name:("scheme/" ^ name ^ "-5-sim-seconds")
-      (Staged.stage f)
-  in
-  [
-    sim "eager-group" (fun () ->
-        ignore (Runs.eager params ~seed:1 ~warmup:0. ~span:5.));
-    sim "eager-master" (fun () ->
-        ignore
-          (Runs.eager ~ownership:Dangers_replication.Eager_impl.Master params
-             ~seed:1 ~warmup:0. ~span:5.));
-    sim "lazy-group" (fun () ->
-        ignore (Runs.lazy_group params ~seed:1 ~warmup:0. ~span:5.));
-    sim "lazy-master" (fun () ->
-        ignore (Runs.lazy_master params ~seed:1 ~warmup:0. ~span:5.));
-    sim "two-tier" (fun () ->
-        ignore (Runs.two_tier ~base_nodes:1 params ~seed:1 ~warmup:0. ~span:5.));
-  ]
+  let spec = Scheme.spec ~base_nodes:1 params in
+  List.map
+    (fun scheme ->
+      Test.make
+        ~name:("scheme/" ^ Scheme.name scheme ^ "-5-sim-seconds")
+        (Staged.stage (fun () ->
+             ignore (Scheme.run scheme spec ~seed:1 ~warmup:0. ~span:5.))))
+    Scheme.all
 
 let run_benchmarks () =
   print_endline "";
@@ -193,8 +190,60 @@ let run_benchmarks () =
         (Test.elements test))
     tests
 
+(* --- Part 3: multicore sweep runner --- *)
+
+let bench_sweep () =
+  let module Sweep = Dangers_runner.Sweep in
+  let module Export = Dangers_runner.Export in
+  let module Task_pool = Dangers_runner.Task_pool in
+  print_endline "";
+  print_endline
+    "======================================================================";
+  print_endline " Part 3: sweep runner - serial vs multicore, identical output";
+  print_endline
+    "======================================================================";
+  let tasks = Sweep.experiment_tasks ~quick:true Registry.all ~seeds:[ 42 ] in
+  let timed jobs =
+    let t0 = Unix.gettimeofday () in
+    let items = Sweep.run ~jobs tasks in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, Export.to_jsonl (List.map Export.record_of_item items))
+  in
+  let jobs = Task_pool.default_jobs () in
+  let serial_seconds, serial_out = timed 1 in
+  let parallel_seconds, parallel_out = timed jobs in
+  let identical = String.equal serial_out parallel_out in
+  let speedup = serial_seconds /. parallel_seconds in
+  let json =
+    Export.(
+      json_to_string
+        (Obj
+           [
+             ("benchmark", Str "sweep-quick-experiment-registry");
+             ("tasks", Num (float_of_int (List.length tasks)));
+             ("host_cores", Num (float_of_int jobs));
+             ("jobs", Num (float_of_int jobs));
+             ("serial_seconds", json_of_float serial_seconds);
+             ("parallel_seconds", json_of_float parallel_seconds);
+             ("speedup", json_of_float speedup);
+             ("identical", Bool identical);
+           ]))
+  in
+  let oc = open_out "BENCH_sweep.json" in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Printf.printf
+    "%d tasks: %.2fs at --jobs 1, %.2fs at --jobs %d (%.2fx), outputs %s\n\
+     wrote BENCH_sweep.json\n\
+     %!"
+    (List.length tasks) serial_seconds parallel_seconds jobs speedup
+    (if identical then "byte-identical" else "DIFFER");
+  if not identical then exit 1
+
 let () =
   let bench_only = Array.exists (String.equal "--bench-only") Sys.argv in
   let tables_only = Array.exists (String.equal "--tables-only") Sys.argv in
-  if not bench_only then regenerate_all ();
-  if not tables_only then run_benchmarks ()
+  let sweep_only = Array.exists (String.equal "--sweep-only") Sys.argv in
+  if (not bench_only) && not sweep_only then regenerate_all ();
+  if (not tables_only) && not sweep_only then run_benchmarks ();
+  if not tables_only then bench_sweep ()

@@ -1,8 +1,10 @@
 (* The `dangers` command-line interface.
 
    Subcommands:
-     list                      enumerate experiments
+     list                      enumerate experiments and schemes
      experiment [IDS..]        regenerate paper tables/figures
+     sweep [IDS..]             run an (experiment | scheme) x seed grid on a
+                               Domain pool and export the results
      analytic                  print the closed-form predictions for a
                                parameter point (all schemes)
      simulate                  run one replication scheme under load and
@@ -14,7 +16,10 @@ module Model = Dangers_analytic.Model
 module Table = Dangers_util.Table
 module Experiment = Dangers_experiments.Experiment
 module Registry = Dangers_experiments.Registry
-module Runs = Dangers_experiments.Runs
+module Scheme = Dangers_experiments.Scheme
+module Sweep = Dangers_runner.Sweep
+module Export = Dangers_runner.Export
+module Task_pool = Dangers_runner.Task_pool
 module Repl_stats = Dangers_replication.Repl_stats
 module Scenario = Dangers_workload.Scenario
 module Connectivity = Dangers_net.Connectivity
@@ -70,6 +75,24 @@ let params_term =
 let seed_term =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
+let jobs_term =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ]
+           ~doc:"Worker domains for independent simulation tasks. Results \
+                 are byte-identical at any value; only wall-clock changes. \
+                 0 means one per core.")
+
+let resolve_jobs jobs = if jobs = 0 then Task_pool.default_jobs () else jobs
+
+(* Scheme-specific post-run facts, one line, stable order. *)
+let pp_diagnostics ppf outcome =
+  match outcome.Scheme.diagnostics with
+  | [] -> ()
+  | diags ->
+      Format.fprintf ppf "diagnostics:";
+      List.iter (fun (k, v) -> Format.fprintf ppf " %s=%g" k v) diags;
+      Format.fprintf ppf "@."
+
 (* --- list --- *)
 
 let list_cmd =
@@ -79,9 +102,15 @@ let list_cmd =
         Printf.printf "%-4s %-55s [%s]\n" e.Experiment.id e.Experiment.title
           e.Experiment.paper_ref)
       Registry.all;
+    print_newline ();
+    print_endline "replication schemes (for simulate/sweep --scheme):";
+    List.iter
+      (fun s -> Printf.printf "%-13s %s\n" (Scheme.name s) (Scheme.doc s))
+      Scheme.all;
     0
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the paper experiments.")
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the paper experiments and the scheme registry.")
     Term.(const run $ const ())
 
 (* --- experiment --- *)
@@ -94,7 +123,7 @@ let experiment_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Shorter runs, fewer seeds.")
   in
-  let run ids quick seed =
+  let run ids quick seed jobs =
     let selected =
       match ids with
       | [] -> Ok Registry.all
@@ -110,17 +139,18 @@ let experiment_cmd =
         prerr_endline ("known ids: " ^ String.concat " " (Registry.ids ()));
         1
     | Ok experiments ->
-        List.iter
-          (fun e ->
-            let result = e.Experiment.run ~quick ~seed in
-            Format.printf "%a@." Experiment.pp_result result)
-          experiments;
+        Sweep.experiment_tasks ~quick experiments ~seeds:[ seed ]
+        |> Sweep.run ~jobs:(resolve_jobs jobs)
+        |> List.iter (function
+             | Sweep.Experiment_item { result; _ } ->
+                 Format.printf "%a@." Experiment.pp_result result
+             | Sweep.Scheme_item _ -> assert false);
         0
   in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate the paper's tables and figures (analytic vs measured).")
-    Term.(const run $ ids $ quick $ seed_term)
+    Term.(const run $ ids $ quick $ seed_term $ jobs_term)
 
 (* --- analytic --- *)
 
@@ -193,71 +223,155 @@ let analytic_cmd =
 
 (* --- simulate --- *)
 
+(* Scheme names come from the registry, so `--scheme` can never go stale
+   against the schemes the repo actually implements; an unknown name lists
+   the valid ones. *)
 let scheme_conv =
-  Arg.enum
-    [
-      ("eager-group", `Eager_group);
-      ("eager-master", `Eager_master);
-      ("lazy-group", `Lazy_group);
-      ("lazy-master", `Lazy_master);
-      ("lazy-undo", `Lazy_undo);
-      ("two-tier", `Two_tier);
-    ]
+  let parse name =
+    match Scheme.find name with
+    | Some scheme -> Ok scheme
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown scheme %s (valid schemes: %s)" name
+               (String.concat ", " (Scheme.names ()))))
+  in
+  let print ppf scheme = Format.pp_print_string ppf (Scheme.name scheme) in
+  Arg.conv (parse, print)
 
 let simulate_cmd =
   let scheme =
-    Arg.(value & opt scheme_conv `Lazy_master
-         & info [ "scheme" ] ~doc:"Replication scheme to simulate.")
+    Arg.(value & opt scheme_conv (Scheme.named "lazy-master")
+         & info [ "scheme" ]
+             ~doc:"Replication scheme to simulate (see `dangers list`).")
   in
   let span =
     Arg.(value & opt float 120. & info [ "span" ] ~doc:"Measured seconds.")
   in
   let run params scheme span seed =
-    Params.validate params;
-    let warmup = 5. in
-    let summary =
-      match scheme with
-      | `Eager_group ->
-          Runs.eager ~ownership:Dangers_replication.Eager_impl.Group params
-            ~seed ~warmup ~span
-      | `Eager_master ->
-          Runs.eager ~ownership:Dangers_replication.Eager_impl.Master params
-            ~seed ~warmup ~span
-      | `Lazy_group -> Runs.lazy_group params ~seed ~warmup ~span
-      | `Lazy_master -> Runs.lazy_master params ~seed ~warmup ~span
-      | `Lazy_undo ->
-          let module Undo = Dangers_replication.Lazy_group_undo in
-          let module Stats = Dangers_util.Stats in
-          let sys = Undo.create params ~seed in
-          Undo.start sys;
-          Dangers_replication.Common.measure (Undo.base sys) ~warmup ~span;
-          Undo.stop_load sys;
-          Undo.force_sync sys;
-          Format.printf
-            "lazy-undo: durable=%d undone=%d tentative-outstanding=%d \
-             mean durability lag=%.4fs@."
-            (Undo.durable sys) (Undo.undone sys)
-            (Undo.tentative_outstanding sys)
-            (Stats.mean (Undo.durability_lag sys));
-          Repl_stats.summarize ~scheme:"lazy-undo" (Undo.base sys).Dangers_replication.Common.metrics
-      | `Two_tier ->
-          let base_nodes = max 1 (params.Params.nodes / 2) in
-          let summary, sys =
-            Runs.two_tier ~base_nodes params ~seed ~warmup ~span
-          in
-          Format.printf
-            "two-tier: tentative accepted=%d rejected=%d converged=%b@."
-            (Dangers_core.Two_tier.tentative_accepted sys)
-            (Dangers_core.Two_tier.tentative_rejected sys)
-            (Dangers_core.Two_tier.converged sys);
-          summary
+    let outcome =
+      Scheme.run_outcome scheme (Scheme.spec params) ~seed ~warmup:5. ~span
     in
-    Format.printf "%a@." Repl_stats.pp_summary summary;
+    Format.printf "%a@." Repl_stats.pp_summary outcome.Scheme.summary;
+    Format.printf "%a" pp_diagnostics outcome;
     0
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one scheme under generator load.")
     Term.(const run $ params_term $ scheme $ span $ seed_term)
+
+(* --- sweep --- *)
+
+let format_conv =
+  Arg.enum [ ("table", `Table); ("json", `Json); ("csv", `Csv) ]
+
+let print_items_table items =
+  List.iter
+    (function
+      | Sweep.Experiment_item { result; _ } ->
+          Format.printf "%a@." Experiment.pp_result result
+      | Sweep.Scheme_item { outcome; seed; _ } ->
+          Format.printf "seed %d: %a@.%a@." seed Repl_stats.pp_summary
+            outcome.Scheme.summary pp_diagnostics outcome)
+    items
+
+let sweep_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID"
+         ~doc:"Experiment ids to sweep (default: the full registry, unless \
+               $(b,--scheme) is given).")
+  in
+  let schemes =
+    Arg.(value & opt_all string []
+         & info [ "scheme" ]
+             ~doc:"Sweep this replication scheme at the given parameter \
+                   point instead of (or besides) experiments. Repeatable; \
+                   $(b,all) selects every registered scheme.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Shorter runs, fewer seeds.")
+  in
+  let seeds =
+    Arg.(value & opt int 1
+         & info [ "seeds" ]
+             ~doc:"Seeds per task: SEED, SEED+101, SEED+202, ...")
+  in
+  let span =
+    Arg.(value & opt float 120.
+         & info [ "span" ] ~doc:"Measured seconds per scheme run.")
+  in
+  let format =
+    Arg.(value & opt format_conv `Table
+         & info [ "format" ] ~doc:"Output format: table, json (JSONL), csv.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write the output to FILE.")
+  in
+  let run params ids schemes quick nseeds span format out seed jobs =
+    let scheme_names =
+      if List.mem "all" schemes then Scheme.names () else schemes
+    in
+    let unknown_ids = List.filter (fun id -> Registry.find id = None) ids in
+    let unknown_schemes =
+      List.filter (fun s -> Scheme.find s = None) scheme_names
+    in
+    if unknown_ids <> [] then begin
+      prerr_endline
+        ("unknown experiment ids: " ^ String.concat ", " unknown_ids);
+      prerr_endline ("known ids: " ^ String.concat " " (Registry.ids ()));
+      1
+    end
+    else if unknown_schemes <> [] then begin
+      prerr_endline
+        ("unknown schemes: " ^ String.concat ", " unknown_schemes);
+      prerr_endline
+        ("known schemes: " ^ String.concat " " (Scheme.names ()));
+      1
+    end
+    else begin
+      Params.validate params;
+      let seeds = List.init (max 1 nseeds) (fun i -> seed + (101 * i)) in
+      let experiments =
+        match (ids, scheme_names) with
+        | [], [] -> Registry.all
+        | [], _ :: _ -> []
+        | ids, _ -> List.filter_map Registry.find ids
+      in
+      let tasks =
+        Sweep.experiment_tasks ~quick experiments ~seeds
+        @ Sweep.scheme_tasks ~span ~seeds ~specs:[ Scheme.spec params ]
+            scheme_names
+      in
+      let items = Sweep.run ~jobs:(resolve_jobs jobs) tasks in
+      let emit text =
+        match out with
+        | None -> print_string text
+        | Some file ->
+            let oc = open_out file in
+            output_string oc text;
+            close_out oc
+      in
+      (match format with
+      | `Table -> (
+          print_items_table items;
+          match out with
+          | None -> ()
+          | Some file ->
+              emit (Export.to_jsonl (List.map Export.record_of_item items));
+              Printf.printf "wrote %s (JSONL)\n" file)
+      | `Json -> emit (Export.to_jsonl (List.map Export.record_of_item items))
+      | `Csv -> emit (Export.to_csv (List.map Export.record_of_item items)));
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run an (experiment | scheme) x seed grid on a multicore task \
+             pool. Results are in task order and byte-identical at any \
+             $(b,--jobs).")
+    Term.(const run $ params_term $ ids $ schemes $ quick $ seeds $ span
+          $ format $ out $ seed_term $ jobs_term)
 
 (* --- report --- *)
 
@@ -443,7 +557,7 @@ let scenario_cmd =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"NAME" ~doc:"Scenario: checkbook, inventory, sales.")
   in
-  let run name seed =
+  let run name seed jobs =
     match Scenario.find name with
     | None ->
         prerr_endline
@@ -455,25 +569,37 @@ let scenario_cmd =
           scenario.Scenario.description Params.pp scenario.Scenario.params;
         let params = scenario.Scenario.params in
         let profile = scenario.Scenario.profile in
-        let span = 120. in
-        let print summary = Format.printf "%a@.@." Repl_stats.pp_summary summary in
-        print (Runs.eager ~profile params ~seed ~warmup:5. ~span);
-        print (Runs.lazy_group ~profile params ~seed ~warmup:5. ~span);
-        print (Runs.lazy_master ~profile params ~seed ~warmup:5. ~span);
-        let summary, sys =
-          Runs.two_tier ~profile
-            ~initial_value:scenario.Scenario.initial_value
-            ~base_nodes:(max 1 (params.Params.nodes / 2))
-            params ~seed ~warmup:5. ~span
+        let span = 120. and warmup = 5. in
+        let spec = Scheme.spec ~profile params in
+        let two_tier_spec =
+          Scheme.spec ~profile ~initial_value:scenario.Scenario.initial_value
+            params
         in
-        print summary;
-        Format.printf "two-tier converged: %b@."
-          (Dangers_core.Two_tier.converged sys);
+        let tasks =
+          List.map
+            (fun (scheme, spec) ->
+              Sweep.Scheme_task { scheme; spec; seed; warmup; span })
+            [
+              ("eager-group", spec);
+              ("lazy-group", spec);
+              ("lazy-master", spec);
+              ("two-tier", two_tier_spec);
+            ]
+        in
+        Sweep.run ~jobs:(resolve_jobs jobs) tasks
+        |> List.iter (function
+             | Sweep.Scheme_item { scheme; outcome; _ } ->
+                 Format.printf "%a@.@." Repl_stats.pp_summary
+                   outcome.Scheme.summary;
+                 if String.equal scheme "two-tier" then
+                   Format.printf "two-tier converged: %b@."
+                     (Scheme.diagnostic outcome "converged" = Some 1.)
+             | Sweep.Experiment_item _ -> assert false);
         0
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run a named workload scenario across schemes.")
-    Term.(const run $ scenario_name $ seed_term)
+    Term.(const run $ scenario_name $ seed_term $ jobs_term)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -487,6 +613,6 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [
-            list_cmd; experiment_cmd; analytic_cmd; simulate_cmd; trace_cmd;
-            report_cmd; scenario_cmd; fuzz_cmd;
+            list_cmd; experiment_cmd; sweep_cmd; analytic_cmd; simulate_cmd;
+            trace_cmd; report_cmd; scenario_cmd; fuzz_cmd;
           ]))

@@ -10,7 +10,7 @@ module Model = Dangers_analytic.Model
 module Table = Dangers_util.Table
 module Repl_stats = Dangers_replication.Repl_stats
 module Eager_impl = Dangers_replication.Eager_impl
-module Runs = Dangers_experiments.Runs
+module Scheme = Dangers_experiments.Scheme
 module Connectivity = Dangers_net.Connectivity
 
 let () =
@@ -48,20 +48,22 @@ let () =
         Table.cell_rate summary.Repl_stats.reconciliation_rate;
       ]
   in
-  add Model.Eager_group
-    (Runs.eager ~ownership:Eager_impl.Group params ~seed ~warmup ~span);
-  add Model.Eager_master
-    (Runs.eager ~ownership:Eager_impl.Master params ~seed ~warmup ~span);
-  add Model.Lazy_group (Runs.lazy_group params ~seed ~warmup ~span);
-  add Model.Lazy_master (Runs.lazy_master params ~seed ~warmup ~span);
-  let summary, sys =
-    Runs.two_tier ~mobility:Connectivity.base_node
-      ~base_nodes:(max 1 (nodes / 2)) params ~seed ~warmup ~span
+  let spec = Scheme.spec params in
+  let run name = Scheme.run_named name spec ~seed ~warmup ~span in
+  add Model.Eager_group (run "eager-group");
+  add Model.Eager_master (run "eager-master");
+  add Model.Lazy_group (run "lazy-group");
+  add Model.Lazy_master (run "lazy-master");
+  let two_tier =
+    Scheme.run_outcome_named "two-tier"
+      (Scheme.spec ~mobility:Connectivity.base_node
+         ~base_nodes:(max 1 (nodes / 2)) params)
+      ~seed ~warmup ~span
   in
-  add Model.Two_tier summary;
+  add Model.Two_tier two_tier.Scheme.summary;
   Format.printf "%a@." Table.pp table;
   Format.printf
     "two-tier converged: %b (the model's reconciliation column for \
      lazy-group is equation 14; the measured column counts dangerous \
      timestamp chains)@."
-    (Dangers_core.Two_tier.converged sys)
+    (Scheme.diagnostic two_tier "converged" = Some 1.)

@@ -21,7 +21,7 @@ module Common = Dangers_replication.Common
 module Repl_stats = Dangers_replication.Repl_stats
 module Lazy_group = Dangers_replication.Lazy_group
 module Reconcile = Dangers_replication.Reconcile
-module Runs = Dangers_experiments.Runs
+module Scheme = Dangers_experiments.Scheme
 module Two_tier = Dangers_core.Two_tier
 
 let () =
@@ -54,19 +54,23 @@ let () =
     { params with nodes = 4; time_between_disconnects = 20.;
       disconnected_time = 40. }
   in
-  let summary, tt =
-    Runs.two_tier ~profile ~initial_value:scenario.Scenario.initial_value
-      ~base_nodes:2 tt_params ~seed:13 ~warmup:5. ~span:120.
+  let tt =
+    Scheme.run_outcome_named "two-tier"
+      (Scheme.spec ~profile ~initial_value:scenario.Scenario.initial_value
+         ~base_nodes:2 tt_params)
+      ~seed:13 ~warmup:5. ~span:120.
+  in
+  let diag key =
+    match Scheme.diagnostic tt key with Some v -> int_of_float v | None -> 0
   in
   Printf.printf
     "two-tier, mobile tellers offline 2/3 of the time: %d base commits, %d \
      tentative, %d rejected, converged=%b, serializable=%b\n"
-    summary.Repl_stats.commits
-    (Dangers_sim.Metrics.total_count (Two_tier.base tt).Common.metrics
-       "tentative_commits")
-    (Two_tier.tentative_rejected tt)
-    (Two_tier.converged tt)
-    (Two_tier.base_history_serializable tt);
+    tt.Scheme.summary.Repl_stats.commits
+    (diag "tentative_commits")
+    (diag "tentative_rejected")
+    (diag "converged" = 1)
+    (diag "base_serializable" = 1);
 
   (* 3. The hotspot in one line: waits with 10 branches vs 200. *)
   let waits branches =
@@ -79,7 +83,9 @@ let () =
         ~access:(Profile.Tpcb { branches; tellers_per_branch = 10 })
         ~actions:3 ()
     in
-    (Runs.eager ~profile:hot_profile hot_params ~seed:13 ~warmup:5. ~span:60.)
+    (Scheme.run_named "eager-group"
+       (Scheme.spec ~profile:hot_profile hot_params)
+       ~seed:13 ~warmup:5. ~span:60.)
       .Repl_stats.wait_rate
   in
   Printf.printf

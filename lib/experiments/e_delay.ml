@@ -20,7 +20,7 @@ let experiment =
     paper_ref = "Sections 3-4 (Message_Delay ignored by the model)";
     run =
       (fun ~quick ~seed ->
-        let seeds = Runs.seeds ~quick ~base:seed in
+        let seeds = Scheme.seeds ~quick ~base:seed in
         let span = if quick then 80. else 300. in
         let delays = if quick then [ 0.; 0.02 ] else [ 0.; 0.005; 0.02; 0.05 ] in
         let table =
@@ -46,10 +46,14 @@ let experiment =
                 Experiment.mean_over_seeds ~seeds (fun seed -> f (run ~seed))
               in
               let eager ~seed =
-                Runs.eager ~delay base ~seed ~warmup:5. ~span
+                Scheme.run_named "eager-group"
+                  (Scheme.spec ~delay base)
+                  ~seed ~warmup:5. ~span
               in
               let lazy_group ~seed =
-                Runs.lazy_group ~delay base ~seed ~warmup:5. ~span
+                Scheme.run_named "lazy-group"
+                  (Scheme.spec ~delay base)
+                  ~seed ~warmup:5. ~span
               in
               let duration = mean (fun s -> s.Repl_stats.mean_duration) eager in
               let waits = mean (fun s -> s.Repl_stats.wait_rate) eager in

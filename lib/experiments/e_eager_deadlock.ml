@@ -12,7 +12,7 @@ let base = { Params.default with db_size = 400; tps = 5.; actions = 4 }
 
 let measure params ~seeds ~span =
   let summaries =
-    List.map (fun seed -> Runs.eager params ~seed ~warmup:5. ~span) seeds
+    List.map (fun seed -> Scheme.run_named "eager-group" (Scheme.spec params) ~seed ~warmup:5. ~span) seeds
   in
   let mean f =
     List.fold_left (fun acc s -> acc +. f s) 0. summaries
@@ -79,7 +79,7 @@ let experiment =
     paper_ref = "Section 3, equations (9)-(12)";
     run =
       (fun ~quick ~seed ->
-        let seeds = Runs.seeds ~quick ~base:seed in
+        let seeds = Scheme.seeds ~quick ~base:seed in
         let span = if quick then 80. else 300. in
         let nodes_values = if quick then [ 2; 4 ] else [ 2; 3; 4; 6 ] in
         let table, points = sweep ~nodes_values ~seeds ~span () in

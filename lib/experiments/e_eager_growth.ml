@@ -37,7 +37,7 @@ let experiment =
           List.map
             (fun nodes ->
               let params = { base with nodes } in
-              let summary = Runs.eager params ~seed ~warmup:5. ~span in
+              let summary = Scheme.run_named "eager-group" (Scheme.spec params) ~seed ~warmup:5. ~span in
               Table.add_row table
                 [
                   Table.cell_int nodes;

@@ -40,7 +40,7 @@ let experiment =
             ]
         in
         let run params =
-          Runs.eager params ~seed ~warmup:5. ~span |> fun summary ->
+          Scheme.run_named "eager-group" (Scheme.spec params) ~seed ~warmup:5. ~span |> fun summary ->
           measured_action_rate summary ~params
         in
         let add name params note_model =

@@ -20,7 +20,7 @@ let experiment =
     paper_ref = "Section 2, Table 2 (equi-probable access assumption)";
     run =
       (fun ~quick ~seed ->
-        let seeds = Runs.seeds ~quick ~base:seed in
+        let seeds = Scheme.seeds ~quick ~base:seed in
         let span = if quick then 80. else 300. in
         let thetas = if quick then [ 0.; 0.9 ] else [ 0.; 0.5; 0.9; 1.2 ] in
         let table =
@@ -47,7 +47,7 @@ let experiment =
               let profile = Profile.create ~access ~actions:base.Params.actions () in
               let mean f =
                 Experiment.mean_over_seeds ~seeds (fun seed ->
-                    f (Runs.eager ~profile base ~seed ~warmup:5. ~span))
+                    f (Scheme.run_named "eager-group" (Scheme.spec ~profile base) ~seed ~warmup:5. ~span))
               in
               let waits = mean (fun s -> s.Repl_stats.wait_rate) in
               let deadlocks = mean (fun s -> s.Repl_stats.deadlock_rate) in

@@ -21,7 +21,7 @@ let experiment =
     paper_ref = "Section 4, equation (14)";
     run =
       (fun ~quick ~seed ->
-        let seeds = Runs.seeds ~quick ~base:seed in
+        let seeds = Scheme.seeds ~quick ~base:seed in
         let span = if quick then 80. else 300. in
         let nodes_values = if quick then [ 2; 4 ] else [ 2; 3; 4; 6 ] in
         let table =
@@ -43,7 +43,7 @@ let experiment =
               let params = { base with nodes } in
               let summaries =
                 List.map
-                  (fun seed -> Runs.lazy_group params ~seed ~warmup:5. ~span)
+                  (fun seed -> Scheme.run_named "lazy-group" (Scheme.spec params) ~seed ~warmup:5. ~span)
                   seeds
               in
               let mean f =

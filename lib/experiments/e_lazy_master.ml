@@ -22,7 +22,7 @@ let experiment =
     paper_ref = "Section 5, equation (19)";
     run =
       (fun ~quick ~seed ->
-        let seeds = Runs.seeds ~quick ~base:seed in
+        let seeds = Scheme.seeds ~quick ~base:seed in
         let span = if quick then 80. else 400. in
         let nodes_values = if quick then [ 2; 4 ] else [ 2; 3; 4; 6 ] in
         let table =
@@ -43,7 +43,7 @@ let experiment =
               let params = { hot with nodes } in
               let mean f =
                 Experiment.mean_over_seeds ~seeds (fun seed ->
-                    f (Runs.lazy_master params ~seed ~warmup:5. ~span))
+                    f (Scheme.run_named "lazy-master" (Scheme.spec params) ~seed ~warmup:5. ~span))
               in
               let deadlocks = mean (fun s -> s.Repl_stats.deadlock_rate) in
               let waits = mean (fun s -> s.Repl_stats.wait_rate) in
@@ -71,12 +71,12 @@ let experiment =
         let mild_params = { mild with nodes = big } in
         let eager_deadlocks =
           Experiment.mean_over_seeds ~seeds (fun seed ->
-              (Runs.eager mild_params ~seed ~warmup:5. ~span)
+              (Scheme.run_named "eager-group" (Scheme.spec mild_params) ~seed ~warmup:5. ~span)
                 .Repl_stats.deadlock_rate)
         in
         let lm_mild_deadlocks =
           Experiment.mean_over_seeds ~seeds (fun seed ->
-              (Runs.lazy_master mild_params ~seed ~warmup:5. ~span)
+              (Scheme.run_named "lazy-master" (Scheme.spec mild_params) ~seed ~warmup:5. ~span)
                 .Repl_stats.deadlock_rate)
         in
         let table_order =

@@ -35,7 +35,7 @@ let experiment =
     paper_ref = "Section 4, equations (15)-(18)";
     run =
       (fun ~quick ~seed ->
-        let seeds = Runs.seeds ~quick ~base:seed in
+        let seeds = Scheme.seeds ~quick ~base:seed in
         let disconnect_values =
           if quick then [ 25.; 100. ] else [ 12.5; 25.; 50.; 100. ]
         in
@@ -66,7 +66,7 @@ let experiment =
               in
               let rate =
                 Experiment.mean_over_seeds ~seeds (fun seed ->
-                    (Runs.lazy_group ~mobility ~mobile_nodes:[ 0 ] params ~seed
+                    (Scheme.run_named "lazy-group" (Scheme.spec ~mobility ~mobile_nodes:[ 0 ] params) ~seed
                        ~warmup:cycle ~span)
                       .Repl_stats.reconciliation_rate)
               in

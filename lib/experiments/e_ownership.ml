@@ -20,7 +20,7 @@ let experiment =
     paper_ref = "Section 3 (object-master remark; eq 12 footnote)";
     run =
       (fun ~quick ~seed ->
-        let seeds = Runs.seeds ~quick ~base:seed in
+        let seeds = Scheme.seeds ~quick ~base:seed in
         let span = if quick then 80. else 300. in
         let db_sizes = if quick then [ 40; 400 ] else [ 40; 100; 400; 1600 ] in
         let table =
@@ -39,13 +39,14 @@ let experiment =
           List.map
             (fun db_size ->
               let params = { base with db_size } in
-              let rate ownership =
+              let rate scheme =
                 Experiment.mean_over_seeds ~seeds (fun seed ->
-                    (Runs.eager ~ownership params ~seed ~warmup:5. ~span)
+                    (Scheme.run_named scheme (Scheme.spec params) ~seed
+                       ~warmup:5. ~span)
                       .Repl_stats.deadlock_rate)
               in
-              let group = rate Eager_impl.Group in
-              let master = rate Eager_impl.Master in
+              let group = rate "eager-group" in
+              let master = rate "eager-master" in
               Table.add_row table
                 [
                   Table.cell_int db_size;

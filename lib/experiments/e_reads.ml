@@ -35,7 +35,7 @@ let experiment =
           List.map
             (fun reads ->
               let profile = Profile.create ~reads ~actions:base.Params.actions () in
-              let summary = Runs.eager ~profile base ~seed ~warmup:5. ~span in
+              let summary = Scheme.run_named "eager-group" (Scheme.spec ~profile base) ~seed ~warmup:5. ~span in
               (* updates lock all replicas (2 x 3 steps); reads lock the
                  local copy only (1 step each). *)
               let model =

@@ -11,7 +11,7 @@ let experiment =
     paper_ref = "Section 3, equation (13)";
     run =
       (fun ~quick ~seed ->
-        let seeds = Runs.seeds ~quick ~base:seed in
+        let seeds = Scheme.seeds ~quick ~base:seed in
         let span = if quick then 80. else 300. in
         let nodes_values = if quick then [ 2; 4 ] else [ 2; 3; 4; 6 ] in
         let table, points =

@@ -12,10 +12,10 @@ let base = { Params.default with nodes = 1; db_size = 200; tps = 20.; actions = 
 
 let measure params ~seeds ~span =
   let wait seed =
-    (Runs.eager params ~seed ~warmup:5. ~span).Repl_stats.wait_rate
+    (Scheme.run_named "eager-group" (Scheme.spec params) ~seed ~warmup:5. ~span).Repl_stats.wait_rate
   in
   let deadlock seed =
-    (Runs.eager params ~seed:(seed + 7) ~warmup:5. ~span).Repl_stats.deadlock_rate
+    (Scheme.run_named "eager-group" (Scheme.spec params) ~seed:(seed + 7) ~warmup:5. ~span).Repl_stats.deadlock_rate
   in
   ( Experiment.mean_over_seeds ~seeds wait,
     Experiment.mean_over_seeds ~seeds deadlock )
@@ -58,7 +58,7 @@ let experiment =
     paper_ref = "Section 3, equations (1)-(5)";
     run =
       (fun ~quick ~seed ->
-        let seeds = Runs.seeds ~quick ~base:seed in
+        let seeds = Scheme.seeds ~quick ~base:seed in
         let span = if quick then 60. else 300. in
         let tps_values = if quick then [ 20.; 40. ] else [ 10.; 20.; 40.; 80. ] in
         let tps_table, tps_points =

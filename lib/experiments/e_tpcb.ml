@@ -53,7 +53,7 @@ let experiment =
     paper_ref = "Section 3 (TPC-A/B/C reference for equation 13)";
     run =
       (fun ~quick ~seed ->
-        let seeds = Runs.seeds ~quick ~base:seed in
+        let seeds = Scheme.seeds ~quick ~base:seed in
         let span = if quick then 80. else 300. in
         let branch_counts = if quick then [ 10; 100 ] else [ 5; 10; 50; 200 ] in
         let table =
@@ -80,7 +80,7 @@ let experiment =
               in
               let measured =
                 Experiment.mean_over_seeds ~seeds (fun seed ->
-                    (Runs.eager ~profile params ~seed ~warmup:5. ~span)
+                    (Scheme.run_named "eager-group" (Scheme.spec ~profile params) ~seed ~warmup:5. ~span)
                       .Repl_stats.wait_rate)
               in
               Table.add_row table

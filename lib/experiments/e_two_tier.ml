@@ -29,15 +29,15 @@ let connected_deadlock_rates ~seeds ~span =
       let params = { base with nodes; tps = 10.; db_size = 200 } in
       let two_tier =
         Experiment.mean_over_seeds ~seeds (fun seed ->
-            let summary, _ =
-              Runs.two_tier ~mobility:Connectivity.base_node
-                ~base_nodes:(nodes / 2) params ~seed ~warmup:5. ~span
-            in
-            summary.Repl_stats.deadlock_rate)
+            (Scheme.run_named "two-tier"
+               (Scheme.spec ~mobility:Connectivity.base_node
+                  ~base_nodes:(nodes / 2) params)
+               ~seed ~warmup:5. ~span)
+              .Repl_stats.deadlock_rate)
       in
       let lazy_master =
         Experiment.mean_over_seeds ~seeds (fun seed ->
-            (Runs.lazy_master params ~seed ~warmup:5. ~span)
+            (Scheme.run_named "lazy-master" (Scheme.spec params) ~seed ~warmup:5. ~span)
               .Repl_stats.deadlock_rate)
       in
       (nodes, Lazy_master_eq.deadlock_rate params, two_tier, lazy_master))
@@ -57,11 +57,19 @@ let mobile_run ~profile ~acceptance ~dt ~seed ~cycles =
     }
   in
   let span = float_of_int cycles *. (dt +. 10.) in
-  let _, sys =
-    Runs.two_tier ~profile ~acceptance ~initial_value:10_000. ~base_nodes:2
-      params ~seed ~warmup:(dt +. 10.) ~span
-  in
-  sys
+  Scheme.run_outcome_named "two-tier"
+    (Scheme.spec ~profile ~acceptance ~initial_value:10_000. ~base_nodes:2
+       params)
+    ~seed ~warmup:(dt +. 10.) ~span
+
+(* Diagnostics are 0/1-encoded counters; see Scheme.Two_tier. *)
+let diag outcome key =
+  match Scheme.diagnostic outcome key with
+  | Some v -> v
+  | None -> invalid_arg ("two-tier outcome lacks diagnostic " ^ key)
+
+let diag_int outcome key = int_of_float (diag outcome key)
+let diag_flag outcome key = diag outcome key = 1.
 
 let experiment =
   {
@@ -70,7 +78,7 @@ let experiment =
     paper_ref = "Section 7 (protocol properties 1-5)";
     run =
       (fun ~quick ~seed ->
-        let seeds = Runs.seeds ~quick ~base:seed in
+        let seeds = Scheme.seeds ~quick ~base:seed in
         let span = if quick then 80. else 300. in
         let cycles = if quick then 10 else 30 in
         (* (a) connected behaviour *)
@@ -102,14 +110,11 @@ let experiment =
         let commutative_profile =
           Profile.create ~update_kind:Profile.Increments ~actions:2 ()
         in
-        let sys_b =
+        let out_b =
           mobile_run ~profile:commutative_profile ~acceptance:Acceptance.Always
             ~dt:40. ~seed ~cycles
         in
-        let tentative_b =
-          Metrics.total_count (Two_tier.base sys_b).Common.metrics
-            "tentative_commits"
-        in
+        let tentative_b = diag_int out_b "tentative_commits" in
         let table_b =
           Table.create
             ~caption:
@@ -121,11 +126,17 @@ let experiment =
         in
         Table.add_row table_b [ "tentative transactions"; Table.cell_int tentative_b ];
         Table.add_row table_b
-          [ "accepted at base"; Table.cell_int (Two_tier.tentative_accepted sys_b) ];
+          [
+            "accepted at base";
+            Table.cell_int (diag_int out_b "tentative_accepted");
+          ];
         Table.add_row table_b
-          [ "rejected"; Table.cell_int (Two_tier.tentative_rejected sys_b) ];
+          [ "rejected"; Table.cell_int (diag_int out_b "tentative_rejected") ];
         Table.add_row table_b
-          [ "converged after sync"; (if Two_tier.converged sys_b then "yes" else "NO") ];
+          [
+            "converged after sync";
+            (if diag_flag out_b "converged" then "yes" else "NO");
+          ];
         (* (c) non-commutative + strict acceptance, sweeping the
            disconnected period *)
         let table_c =
@@ -149,16 +160,13 @@ let experiment =
         let reject_fractions =
           List.map
             (fun dt ->
-              let sys =
+              let out =
                 mobile_run ~profile:drift_profile
                   ~acceptance:Acceptance.Exact_match ~dt ~seed:(seed + 31)
                   ~cycles
               in
-              let tentative =
-                Metrics.total_count (Two_tier.base sys).Common.metrics
-                  "tentative_commits"
-              in
-              let rejected = Two_tier.tentative_rejected sys in
+              let tentative = diag_int out "tentative_commits" in
+              let rejected = diag_int out "tentative_rejected" in
               let fraction =
                 if tentative = 0 then 0.
                 else float_of_int rejected /. float_of_int tentative
@@ -169,9 +177,9 @@ let experiment =
                   Table.cell_int tentative;
                   Table.cell_int rejected;
                   Table.cell_float ~digits:4 fraction;
-                  (if Two_tier.converged sys then "yes" else "NO");
+                  (if diag_flag out "converged" then "yes" else "NO");
                 ];
-              (dt, fraction, Two_tier.converged sys))
+              (dt, fraction, diag_flag out "converged"))
             dts
         in
         let _, first_fraction, _ = List.nth reject_fractions 0 in
@@ -196,13 +204,13 @@ let experiment =
                 Experiment_.label =
                   "commutative design: rejected tentative transactions";
                 expected = 0.;
-                actual = float_of_int (Two_tier.tentative_rejected sys_b);
+                actual = diag out_b "tentative_rejected";
                 tolerance = 0.;
               };
               {
                 Experiment_.label = "commutative design: converged (1 = yes)";
                 expected = 1.;
-                actual = (if Two_tier.converged sys_b then 1. else 0.);
+                actual = diag out_b "converged";
                 tolerance = 0.;
               };
               {

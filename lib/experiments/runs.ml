@@ -5,38 +5,30 @@ module Reconcile = Dangers_replication.Reconcile
 module Connectivity = Dangers_net.Connectivity
 module Common = Dangers_replication.Common
 module Eager_impl = Dangers_replication.Eager_impl
-module Lazy_group = Dangers_replication.Lazy_group
-module Lazy_master = Dangers_replication.Lazy_master
 module Two_tier = Dangers_core.Two_tier
 
 let eager ?(ownership = Eager_impl.Group) ?profile ?delay params ~seed ~warmup
     ~span =
-  let sys = Eager_impl.create ?profile ?delay ownership params ~seed in
-  Eager_impl.start sys;
-  Common.measure (Eager_impl.base sys) ~warmup ~span;
-  let summary = Eager_impl.summary sys in
-  Eager_impl.stop_load sys;
-  summary
+  let name =
+    match ownership with
+    | Eager_impl.Group -> "eager-group"
+    | Eager_impl.Master -> "eager-master"
+  in
+  Scheme.run_named name
+    (Scheme.spec ?profile ?delay params)
+    ~seed ~warmup ~span
 
 let lazy_group ?profile ?rule ?delay ?mobility ?mobile_nodes params ~seed
     ~warmup ~span =
-  let sys =
-    Lazy_group.create ?profile ?rule ?delay ?mobility ?mobile_nodes params ~seed
-  in
-  Lazy_group.start sys;
-  Common.measure (Lazy_group.base sys) ~warmup ~span;
-  let summary = Lazy_group.summary sys in
-  Lazy_group.stop_load sys;
-  summary
+  Scheme.run_named "lazy-group"
+    (Scheme.spec ?profile ?rule ?delay ?mobility ?mobile_nodes params)
+    ~seed ~warmup ~span
 
 let lazy_master ?profile params ~seed ~warmup ~span =
-  let sys = Lazy_master.create ?profile params ~seed in
-  Lazy_master.start sys;
-  Common.measure (Lazy_master.base sys) ~warmup ~span;
-  let summary = Lazy_master.summary sys in
-  Lazy_master.stop_load sys;
-  summary
+  Scheme.run_named "lazy-master" (Scheme.spec ?profile params) ~seed ~warmup
+    ~span
 
+(* Returns the quiesced system, which Scheme.run cannot: kept direct. *)
 let two_tier ?profile ?acceptance ?mobility ?initial_value ~base_nodes params
     ~seed ~warmup ~span =
   let sys =
@@ -49,5 +41,4 @@ let two_tier ?profile ?acceptance ?mobility ?initial_value ~base_nodes params
   Two_tier.quiesce_and_sync sys;
   (summary, sys)
 
-let seeds ~quick ~base =
-  if quick then [ base ] else [ base; base + 101; base + 202 ]
+let seeds = Scheme.seeds

@@ -1,4 +1,8 @@
-(** Shared measurement drills for the scheme-backed experiments. *)
+(** Deprecated per-scheme entry points.
+
+    Superseded by the {!Scheme} registry, which exposes every simulator
+    behind one interface; these wrappers remain so out-of-tree callers keep
+    compiling. Each forwards to the matching registry entry. *)
 
 module Params = Dangers_analytic.Params
 module Profile = Dangers_workload.Profile
@@ -11,8 +15,10 @@ val eager :
   ?profile:Profile.t ->
   ?delay:Dangers_net.Delay.t ->
   Params.t -> seed:int -> warmup:float -> span:float -> Repl_stats.summary
-(** Run the eager simulator under generator load for [warmup + span]
-    simulated seconds and return the measured-window summary. *)
+[@@alert
+  deprecated
+    "Use Scheme.run_named \"eager-group\" / \"eager-master\" (the Scheme \
+     registry)."]
 
 val lazy_group :
   ?profile:Profile.t ->
@@ -21,10 +27,14 @@ val lazy_group :
   ?mobility:Connectivity.spec ->
   ?mobile_nodes:int list ->
   Params.t -> seed:int -> warmup:float -> span:float -> Repl_stats.summary
+[@@alert
+  deprecated "Use Scheme.run_named \"lazy-group\" (the Scheme registry)."]
 
 val lazy_master :
   ?profile:Profile.t ->
   Params.t -> seed:int -> warmup:float -> span:float -> Repl_stats.summary
+[@@alert
+  deprecated "Use Scheme.run_named \"lazy-master\" (the Scheme registry)."]
 
 val two_tier :
   ?profile:Profile.t ->
@@ -34,9 +44,10 @@ val two_tier :
   base_nodes:int ->
   Params.t -> seed:int -> warmup:float -> span:float ->
   Repl_stats.summary * Dangers_core.Two_tier.t
-(** Also returns the quiesced system so callers can inspect acceptance
-    counters and convergence. The summary is taken at the end of the
-    measured window, before the final sync. *)
+[@@alert
+  deprecated
+    "Use Scheme.run_outcome_named \"two-tier\" (the Scheme registry); the \
+     system's counters are in the outcome's diagnostics."]
 
 val seeds : quick:bool -> base:int -> int list
-(** Three seeds normally, one in quick mode, derived from [base]. *)
+(** Alias of {!Scheme.seeds}. *)

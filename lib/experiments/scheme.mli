@@ -1,0 +1,129 @@
+(** The unified replication-scheme API.
+
+    Every simulator the repo knows how to drive — the two eager variants
+    (§3), lazy group (§4), lazy master (§5), the undo-oriented lazy-group
+    variant §7 rejects, and the two-tier scheme (§7) — is registered here
+    behind one first-class-module interface. The CLI, the experiments, the
+    scenarios, the sweep runner and the benchmarks all iterate over this
+    registry instead of hard-coding per-scheme entry points, so adding a
+    scheme is one [register]-style list entry, not five call-site edits.
+
+    A {!spec} is the union of every knob any scheme accepts; each scheme's
+    [configure] picks out the knobs it understands and ignores the rest
+    (exactly as the old per-scheme optional-argument soup did implicitly).
+    [run] is deterministic: equal [(spec, seed, warmup, span)] give equal
+    summaries, which is what lets the multicore sweep runner promise
+    byte-identical output at any [--jobs]. *)
+
+module Params = Dangers_analytic.Params
+module Profile = Dangers_workload.Profile
+module Repl_stats = Dangers_replication.Repl_stats
+module Reconcile = Dangers_replication.Reconcile
+module Connectivity = Dangers_net.Connectivity
+module Delay = Dangers_net.Delay
+module Acceptance = Dangers_core.Acceptance
+
+(** {1 Run specification} *)
+
+type spec = {
+  params : Params.t;
+  profile : Profile.t option;  (** workload shape; default [Profile.of_params] *)
+  delay : Delay.t option;  (** message delay (eager, lazy-*, two-tier) *)
+  rule : Reconcile.rule option;  (** reconciliation rule (lazy-group) *)
+  mobility : Connectivity.spec option;  (** connect/disconnect cycling *)
+  mobile_nodes : int list option;  (** which nodes cycle (lazy-group, undo) *)
+  acceptance : Acceptance.t option;  (** acceptance criterion (two-tier) *)
+  initial_value : float option;  (** starting value of every object *)
+  base_nodes : int option;
+      (** two-tier base-tier size; default [max 1 (nodes / 2)] *)
+}
+
+val spec :
+  ?profile:Profile.t ->
+  ?delay:Delay.t ->
+  ?rule:Reconcile.rule ->
+  ?mobility:Connectivity.spec ->
+  ?mobile_nodes:int list ->
+  ?acceptance:Acceptance.t ->
+  ?initial_value:float ->
+  ?base_nodes:int ->
+  Params.t ->
+  spec
+(** [spec params] with every knob left to the scheme's default. *)
+
+(** {1 Outcomes} *)
+
+type outcome = {
+  summary : Repl_stats.summary;
+  diagnostics : (string * float) list;
+      (** scheme-specific post-run facts (e.g. two-tier
+          ["tentative_rejected"], lazy-undo ["mean_durability_lag"]),
+          in a stable order; booleans encoded as 0/1. *)
+}
+
+val diagnostic : outcome -> string -> float option
+
+(** {1 The scheme interface} *)
+
+module type SCHEME = sig
+  type config
+
+  val name : string
+  (** Registry key, also the CLI spelling ("eager-group", "two-tier", ...). *)
+
+  val doc : string
+  (** One-line description for [--help] and listings. *)
+
+  val configure : spec -> config
+  (** Capture the knobs this scheme understands; inapplicable knobs are
+      ignored. @raise Invalid_argument on invalid parameters. *)
+
+  val run_outcome :
+    config -> seed:int -> warmup:float -> span:float -> outcome
+  (** Build a fresh system, drive it under generator load for
+      [warmup + span] simulated seconds and summarise the measured window.
+      Deterministic in [(config, seed)]. *)
+
+  val run :
+    config -> seed:int -> warmup:float -> span:float -> Repl_stats.summary
+  (** [run] is [run_outcome]'s summary. *)
+end
+
+type t = (module SCHEME)
+
+(** {1 Registry} *)
+
+val all : t list
+(** Every scheme, in presentation order. *)
+
+val name : t -> string
+val doc : t -> string
+
+val names : unit -> string list
+
+val find : string -> t option
+(** Case-insensitive lookup by [name]. *)
+
+val named : string -> t
+(** Like {!find}. @raise Invalid_argument on an unknown name, listing the
+    valid ones. *)
+
+val run :
+  t -> spec -> seed:int -> warmup:float -> span:float -> Repl_stats.summary
+
+val run_outcome :
+  t -> spec -> seed:int -> warmup:float -> span:float -> outcome
+
+val run_named :
+  string -> spec -> seed:int -> warmup:float -> span:float ->
+  Repl_stats.summary
+(** @raise Invalid_argument on an unknown name, listing the valid ones. *)
+
+val run_outcome_named :
+  string -> spec -> seed:int -> warmup:float -> span:float -> outcome
+(** @raise Invalid_argument on an unknown name, listing the valid ones. *)
+
+(** {1 Seed derivation} *)
+
+val seeds : quick:bool -> base:int -> int list
+(** Three seeds normally, one in quick mode, derived from [base]. *)

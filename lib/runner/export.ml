@@ -1,0 +1,464 @@
+module Experiment = Dangers_experiments.Experiment
+module Repl_stats = Dangers_replication.Repl_stats
+
+(* --- JSON --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+(* Shortest decimal that parses back to the same double. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec to_buf buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> Buffer.add_string buf (float_repr f)
+  | Str s -> escape_string buf s
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buf buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf key;
+          Buffer.add_char buf ':';
+          to_buf buf value)
+        fields;
+      Buffer.add_char buf '}'
+
+let json_to_string j =
+  let buf = Buffer.create 256 in
+  to_buf buf j;
+  Buffer.contents buf
+
+(* Recursive-descent parser over a string. *)
+type cursor = { input : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.input then Some c.input.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance c;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect c ch =
+  match peek c with
+  | Some got when got = ch -> advance c
+  | Some got -> parse_error "expected %c at offset %d, got %c" ch c.pos got
+  | None -> parse_error "expected %c at offset %d, got end of input" ch c.pos
+
+let literal c word value =
+  if
+    c.pos + String.length word <= String.length c.input
+    && String.sub c.input c.pos (String.length word) = word
+  then begin
+    c.pos <- c.pos + String.length word;
+    value
+  end
+  else parse_error "bad literal at offset %d" c.pos
+
+let parse_string_body c =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> parse_error "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some '"' -> advance c; Buffer.add_char buf '"'; loop ()
+        | Some '\\' -> advance c; Buffer.add_char buf '\\'; loop ()
+        | Some '/' -> advance c; Buffer.add_char buf '/'; loop ()
+        | Some 'n' -> advance c; Buffer.add_char buf '\n'; loop ()
+        | Some 'r' -> advance c; Buffer.add_char buf '\r'; loop ()
+        | Some 't' -> advance c; Buffer.add_char buf '\t'; loop ()
+        | Some 'b' -> advance c; Buffer.add_char buf '\b'; loop ()
+        | Some 'f' -> advance c; Buffer.add_char buf '\012'; loop ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.input then
+              parse_error "truncated \\u escape";
+            let code = int_of_string ("0x" ^ String.sub c.input c.pos 4) in
+            c.pos <- c.pos + 4;
+            (* We only ever emit \u00xx for control characters; decode the
+               Latin-1 range and refuse the rest rather than mis-encode. *)
+            if code < 0x100 then Buffer.add_char buf (Char.chr code)
+            else parse_error "unsupported \\u escape %04x" code;
+            loop ()
+        | _ -> parse_error "bad escape at offset %d" c.pos)
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let number_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek c with Some ch -> number_char ch | None -> false) do
+    advance c
+  done;
+  let s = String.sub c.input start (c.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> Num f
+  | None -> parse_error "bad number %S at offset %d" s start
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_error "unexpected end of input"
+  | Some '"' ->
+      advance c;
+      Str (parse_string_body c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        Arr []
+      end
+      else
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              items (v :: acc)
+          | Some ']' ->
+              advance c;
+              Arr (List.rev (v :: acc))
+          | _ -> parse_error "expected , or ] at offset %d" c.pos
+        in
+        items []
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else
+        let field () =
+          skip_ws c;
+          expect c '"';
+          let key = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          (key, parse_value c)
+        in
+        let rec fields acc =
+          let f = field () in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              fields (f :: acc)
+          | Some '}' ->
+              advance c;
+              Obj (List.rev (f :: acc))
+          | _ -> parse_error "expected , or } at offset %d" c.pos
+        in
+        fields []
+  | Some _ -> parse_number c
+
+let json_of_string input =
+  let c = { input; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length input then
+    parse_error "trailing garbage at offset %d" c.pos;
+  v
+
+let json_of_float f =
+  if Float.is_nan f then Str "nan"
+  else if f = Float.infinity then Str "inf"
+  else if f = Float.neg_infinity then Str "-inf"
+  else Num f
+
+let float_of_json = function
+  | Num f -> f
+  | Str "nan" -> Float.nan
+  | Str "inf" -> Float.infinity
+  | Str "-inf" -> Float.neg_infinity
+  | j -> parse_error "expected a float, got %s" (json_to_string j)
+
+(* --- export records --- *)
+
+type record =
+  | Experiment_record of {
+      id : string;
+      title : string;
+      seed : int;
+      findings : Experiment.finding list;
+      notes : string list;
+    }
+  | Scheme_record of {
+      scheme : string;
+      seed : int;
+      summary : Repl_stats.summary;
+      diagnostics : (string * float) list;
+    }
+
+let record_of_item = function
+  | Sweep.Experiment_item { seed; result } ->
+      Experiment_record
+        {
+          id = result.Experiment.id;
+          title = result.Experiment.title;
+          seed;
+          findings = result.Experiment.findings;
+          notes = result.Experiment.notes;
+        }
+  | Sweep.Scheme_item { scheme; seed; outcome } ->
+      Scheme_record
+        {
+          scheme;
+          seed;
+          summary = outcome.Dangers_experiments.Scheme.summary;
+          diagnostics = outcome.Dangers_experiments.Scheme.diagnostics;
+        }
+
+let int_ i = Num (float_of_int i)
+
+let finding_to_json (f : Experiment.finding) =
+  Obj
+    [
+      ("label", Str f.Experiment.label);
+      ("expected", json_of_float f.Experiment.expected);
+      ("actual", json_of_float f.Experiment.actual);
+      ("tolerance", json_of_float f.Experiment.tolerance);
+      ("ok", Bool (Experiment.finding_ok f));
+    ]
+
+let summary_to_json (s : Repl_stats.summary) =
+  Obj
+    [
+      ("scheme", Str s.Repl_stats.scheme);
+      ("window", json_of_float s.Repl_stats.window);
+      ("commits", int_ s.Repl_stats.commits);
+      ("waits", int_ s.Repl_stats.waits);
+      ("deadlocks", int_ s.Repl_stats.deadlocks);
+      ("restarts", int_ s.Repl_stats.restarts);
+      ("reconciliations", int_ s.Repl_stats.reconciliations);
+      ("commit_rate", json_of_float s.Repl_stats.commit_rate);
+      ("wait_rate", json_of_float s.Repl_stats.wait_rate);
+      ("deadlock_rate", json_of_float s.Repl_stats.deadlock_rate);
+      ("reconciliation_rate", json_of_float s.Repl_stats.reconciliation_rate);
+      ("mean_duration", json_of_float s.Repl_stats.mean_duration);
+    ]
+
+let to_json = function
+  | Experiment_record { id; title; seed; findings; notes } ->
+      Obj
+        [
+          ("kind", Str "experiment");
+          ("id", Str id);
+          ("title", Str title);
+          ("seed", int_ seed);
+          ("findings", Arr (List.map finding_to_json findings));
+          ("notes", Arr (List.map (fun n -> Str n) notes));
+        ]
+  | Scheme_record { scheme; seed; summary; diagnostics } ->
+      Obj
+        [
+          ("kind", Str "scheme-run");
+          ("scheme", Str scheme);
+          ("seed", int_ seed);
+          ("summary", summary_to_json summary);
+          ( "diagnostics",
+            Obj (List.map (fun (k, v) -> (k, json_of_float v)) diagnostics) );
+        ]
+
+let member key = function
+  | Obj fields -> (
+      match List.assoc_opt key fields with
+      | Some v -> v
+      | None -> parse_error "missing field %S" key)
+  | j -> parse_error "expected an object, got %s" (json_to_string j)
+
+let string_of = function
+  | Str s -> s
+  | j -> parse_error "expected a string, got %s" (json_to_string j)
+
+let int_of = function
+  | Num f when Float.is_integer f -> int_of_float f
+  | j -> parse_error "expected an integer, got %s" (json_to_string j)
+
+let list_of = function
+  | Arr items -> items
+  | j -> parse_error "expected an array, got %s" (json_to_string j)
+
+let finding_of_json j =
+  {
+    Experiment.label = string_of (member "label" j);
+    expected = float_of_json (member "expected" j);
+    actual = float_of_json (member "actual" j);
+    tolerance = float_of_json (member "tolerance" j);
+  }
+
+let summary_of_json j =
+  {
+    Repl_stats.scheme = string_of (member "scheme" j);
+    window = float_of_json (member "window" j);
+    commits = int_of (member "commits" j);
+    waits = int_of (member "waits" j);
+    deadlocks = int_of (member "deadlocks" j);
+    restarts = int_of (member "restarts" j);
+    reconciliations = int_of (member "reconciliations" j);
+    commit_rate = float_of_json (member "commit_rate" j);
+    wait_rate = float_of_json (member "wait_rate" j);
+    deadlock_rate = float_of_json (member "deadlock_rate" j);
+    reconciliation_rate = float_of_json (member "reconciliation_rate" j);
+    mean_duration = float_of_json (member "mean_duration" j);
+  }
+
+let of_json j =
+  match string_of (member "kind" j) with
+  | "experiment" ->
+      Experiment_record
+        {
+          id = string_of (member "id" j);
+          title = string_of (member "title" j);
+          seed = int_of (member "seed" j);
+          findings = List.map finding_of_json (list_of (member "findings" j));
+          notes = List.map string_of (list_of (member "notes" j));
+        }
+  | "scheme-run" ->
+      Scheme_record
+        {
+          scheme = string_of (member "scheme" j);
+          seed = int_of (member "seed" j);
+          summary = summary_of_json (member "summary" j);
+          diagnostics =
+            (match member "diagnostics" j with
+            | Obj fields ->
+                List.map (fun (k, v) -> (k, float_of_json v)) fields
+            | j -> parse_error "expected an object, got %s" (json_to_string j));
+        }
+  | kind -> parse_error "unknown record kind %S" kind
+
+let to_jsonl records =
+  String.concat ""
+    (List.map (fun r -> json_to_string (to_json r) ^ "\n") records)
+
+let of_jsonl input =
+  String.split_on_char '\n' input
+  |> List.filter (fun line -> String.trim line <> "")
+  |> List.map (fun line -> of_json (json_of_string line))
+
+(* --- CSV --- *)
+
+let csv_cell s =
+  if String.exists (function ',' | '"' | '\n' -> true | _ -> false) s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv_header =
+  [
+    "kind"; "id"; "seed"; "label"; "expected"; "actual"; "tolerance"; "ok";
+    "scheme"; "window"; "commits"; "commit_rate"; "waits"; "wait_rate";
+    "deadlocks"; "deadlock_rate"; "restarts"; "reconciliations";
+    "reconciliation_rate"; "mean_duration"; "diagnostics";
+  ]
+
+let to_csv records =
+  let buf = Buffer.create 1024 in
+  let row cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+    Buffer.add_char buf '\n'
+  in
+  row csv_header;
+  let blank n = List.init n (fun _ -> "") in
+  List.iter
+    (function
+      | Experiment_record { id; seed; findings; _ } ->
+          List.iter
+            (fun (f : Experiment.finding) ->
+              row
+                ([
+                   "finding"; id; string_of_int seed; f.Experiment.label;
+                   float_repr f.Experiment.expected;
+                   float_repr f.Experiment.actual;
+                   float_repr f.Experiment.tolerance;
+                   (if Experiment.finding_ok f then "true" else "false");
+                 ]
+                @ blank 13))
+            findings
+      | Scheme_record { scheme; seed; summary = s; diagnostics } ->
+          row
+            ([ "summary"; ""; string_of_int seed ]
+            @ blank 5
+            @ [
+                scheme;
+                float_repr s.Repl_stats.window;
+                string_of_int s.Repl_stats.commits;
+                float_repr s.Repl_stats.commit_rate;
+                string_of_int s.Repl_stats.waits;
+                float_repr s.Repl_stats.wait_rate;
+                string_of_int s.Repl_stats.deadlocks;
+                float_repr s.Repl_stats.deadlock_rate;
+                string_of_int s.Repl_stats.restarts;
+                string_of_int s.Repl_stats.reconciliations;
+                float_repr s.Repl_stats.reconciliation_rate;
+                float_repr s.Repl_stats.mean_duration;
+                String.concat ";"
+                  (List.map
+                     (fun (k, v) -> k ^ "=" ^ float_repr v)
+                     diagnostics);
+              ]))
+    records;
+  Buffer.contents buf

@@ -1,0 +1,75 @@
+(** Structured result export: sweep items as JSONL or CSV.
+
+    The JSON encoder/decoder is deliberately tiny and dependency-free (the
+    container bakes in no JSON library) but complete for the subset we
+    emit: objects, arrays, strings, bools, null and doubles. Floats print
+    with the shortest representation that parses back exactly, so a JSONL
+    file round-trips: [to_jsonl (of_jsonl s) = s]. Non-finite floats
+    (fitted exponents can be [nan]) are encoded as the strings ["nan"],
+    ["inf"], ["-inf"]. *)
+
+module Experiment = Dangers_experiments.Experiment
+module Repl_stats = Dangers_replication.Repl_stats
+
+(** {1 JSON} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+val json_to_string : json -> string
+(** Single-line (JSONL-safe) rendering. *)
+
+val json_of_string : string -> json
+(** @raise Parse_error on malformed input or trailing garbage. *)
+
+val json_of_float : float -> json
+(** [Num] for finite floats, [Str "nan"]/[Str "inf"]/[Str "-inf"] else. *)
+
+val float_of_json : json -> float
+(** Inverse of {!json_of_float}. @raise Parse_error otherwise. *)
+
+(** {1 Export records}
+
+    The flat, stable schema written to disk — presentation-only payload
+    (tables) is dropped, findings and summaries are kept. *)
+
+type record =
+  | Experiment_record of {
+      id : string;
+      title : string;
+      seed : int;
+      findings : Experiment.finding list;
+      notes : string list;
+    }
+  | Scheme_record of {
+      scheme : string;
+      seed : int;
+      summary : Repl_stats.summary;
+      diagnostics : (string * float) list;
+    }
+
+val record_of_item : Sweep.item -> record
+
+val to_json : record -> json
+val of_json : json -> record
+(** @raise Parse_error on a JSON value that is not a record. *)
+
+(** {1 Files} *)
+
+val to_jsonl : record list -> string
+(** One record per line, trailing newline. *)
+
+val of_jsonl : string -> record list
+(** Blank lines are skipped. @raise Parse_error on a bad line. *)
+
+val to_csv : record list -> string
+(** One row per experiment finding ([kind=finding]) and per scheme-run
+    summary ([kind=summary]), under a single wide header; cells that do
+    not apply to the row's kind are empty. Notes are JSONL-only. *)

@@ -1,0 +1,52 @@
+module Experiment = Dangers_experiments.Experiment
+module Registry = Dangers_experiments.Registry
+module Scheme = Dangers_experiments.Scheme
+
+type task =
+  | Experiment_task of { id : string; quick : bool; seed : int }
+  | Scheme_task of {
+      scheme : string;
+      spec : Scheme.spec;
+      seed : int;
+      warmup : float;
+      span : float;
+    }
+
+type item =
+  | Experiment_item of { seed : int; result : Experiment.result }
+  | Scheme_item of { scheme : string; seed : int; outcome : Scheme.outcome }
+
+let experiment_tasks ?(quick = false) experiments ~seeds =
+  List.concat_map
+    (fun (e : Experiment.t) ->
+      List.map
+        (fun seed -> Experiment_task { id = e.Experiment.id; quick; seed })
+        seeds)
+    experiments
+
+let scheme_tasks ?(warmup = 5.) ?(span = 120.) ~seeds ~specs names =
+  List.concat_map
+    (fun scheme ->
+      List.concat_map
+        (fun spec ->
+          List.map
+            (fun seed -> Scheme_task { scheme; spec; seed; warmup; span })
+            seeds)
+        specs)
+    names
+
+let run_task = function
+  | Experiment_task { id; quick; seed } -> (
+      match Registry.find id with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Sweep.run_task: unknown experiment %S (valid: %s)"
+               id
+               (String.concat ", " (Registry.ids ())))
+      | Some e -> Experiment_item { seed; result = e.Experiment.run ~quick ~seed })
+  | Scheme_task { scheme; spec; seed; warmup; span } ->
+      let outcome = Scheme.run_outcome_named scheme spec ~seed ~warmup ~span in
+      Scheme_item { scheme; seed; outcome }
+
+let run ?(jobs = 1) tasks =
+  Array.to_list (Task_pool.map ~jobs ~f:run_task (Array.of_list tasks))

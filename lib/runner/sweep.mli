@@ -1,0 +1,47 @@
+(** The sweep task model: what the multicore runner executes.
+
+    A sweep is a list of independent tasks — reproduce one experiment at
+    one seed, or run one replication scheme at one grid point and seed —
+    executed by {!Task_pool} and collected back in task order. Because
+    each task carries its own seed and builds its own simulator, the item
+    list for a given task list is identical at any [jobs]. *)
+
+module Experiment = Dangers_experiments.Experiment
+module Scheme = Dangers_experiments.Scheme
+
+type task =
+  | Experiment_task of { id : string; quick : bool; seed : int }
+      (** Reproduce the registered experiment [id]. *)
+  | Scheme_task of {
+      scheme : string;  (** a {!Scheme} registry name *)
+      spec : Scheme.spec;  (** the grid point *)
+      seed : int;
+      warmup : float;
+      span : float;
+    }
+
+type item =
+  | Experiment_item of { seed : int; result : Experiment.result }
+  | Scheme_item of { scheme : string; seed : int; outcome : Scheme.outcome }
+
+val experiment_tasks :
+  ?quick:bool -> Experiment.t list -> seeds:int list -> task list
+(** One task per (experiment, seed), experiments outermost. [quick]
+    defaults to false. *)
+
+val scheme_tasks :
+  ?warmup:float ->
+  ?span:float ->
+  seeds:int list ->
+  specs:Scheme.spec list ->
+  string list ->
+  task list
+(** One task per (scheme name, spec, seed), schemes outermost. Defaults:
+    5 s warmup, 120 s span. *)
+
+val run_task : task -> item
+(** @raise Invalid_argument on an unknown experiment id or scheme name. *)
+
+val run : ?jobs:int -> task list -> item list
+(** Execute every task on up to [jobs] domains (default 1) and return the
+    items in task order — byte-identical to a serial run. *)

@@ -1,0 +1,42 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* The queue is just a cursor into the task array; contention on it is a
+   couple of ns per task, negligible next to a simulation run. *)
+type queue = { mutex : Mutex.t; mutable next : int }
+
+let take queue ~limit =
+  Mutex.lock queue.mutex;
+  let i = queue.next in
+  if i < limit then queue.next <- i + 1;
+  Mutex.unlock queue.mutex;
+  if i < limit then Some i else None
+
+let map ~jobs ~f tasks =
+  let n = Array.length tasks in
+  if jobs <= 1 || n <= 1 then Array.map f tasks
+  else begin
+    let results = Array.make n None in
+    let queue = { mutex = Mutex.create (); next = 0 } in
+    let worker () =
+      let rec loop () =
+        match take queue ~limit:n with
+        | None -> ()
+        | Some i ->
+            let r =
+              try Ok (f tasks.(i))
+              with e -> Error (e, Printexc.get_raw_backtrace ())
+            in
+            results.(i) <- Some r;
+            loop ()
+      in
+      loop ()
+    in
+    let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false (* every index was handed out and joined *))
+      results
+  end

@@ -1,0 +1,22 @@
+(** A Domain-based task pool for independent simulation tasks.
+
+    Workers are OCaml 5 domains pulling task indices off a mutex-protected
+    queue; results land in a slot array indexed by task, so the output
+    order is the input order no matter which domain ran what, or when.
+    Combined with per-task RNG seeding (every simulation derives all of
+    its randomness from the seed stored in the task itself) this makes a
+    parallel run's results byte-identical to a serial run's.
+
+    Tasks must be independent: they may not share mutable state. Every
+    simulator in this repo qualifies — a run builds its own engine, stores
+    and RNG from scratch. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the hardware's parallelism. *)
+
+val map : jobs:int -> f:('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs ~f tasks] applies [f] to every task on up to [jobs] domains
+    and returns the results in task order. [jobs <= 1] runs inline with no
+    domains at all. If any task raises, the exception of the
+    lowest-indexed failing task is re-raised (with its backtrace) after
+    all workers have finished. *)

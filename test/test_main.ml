@@ -23,4 +23,5 @@ let () =
       ("coverage", Test_coverage_gaps.suite);
       ("rules-e2e", Test_rules_e2e.suite);
       ("fault", Test_fault.suite);
+      ("runner", Test_runner.suite);
     ]

@@ -6,8 +6,7 @@ module Params = Dangers_analytic.Params
 module Fstore = Dangers_storage.Store.Fstore
 module Common = Dangers_replication.Common
 module Repl_stats = Dangers_replication.Repl_stats
-module Runs = Dangers_experiments.Runs
-module Two_tier = Dangers_core.Two_tier
+module Scheme = Dangers_experiments.Scheme
 module Connectivity = Dangers_net.Connectivity
 module Lazy_group = Dangers_replication.Lazy_group
 
@@ -20,25 +19,30 @@ let test_scenario scenario () =
   let params = shrink scenario.Scenario.params in
   let profile = scenario.Scenario.profile in
   let span = 20. and warmup = 2. in
-  let eager = Runs.eager ~profile params ~seed:3 ~warmup ~span in
+  let spec = Scheme.spec ~profile params in
+  let eager = Scheme.run_named "eager-group" spec ~seed:3 ~warmup ~span in
   checkb "eager commits" true (eager.Repl_stats.commits > 0);
   checkb "eager never reconciles" true (eager.Repl_stats.reconciliations = 0);
-  let lazy_m = Runs.lazy_master ~profile params ~seed:3 ~warmup ~span in
+  let lazy_m = Scheme.run_named "lazy-master" spec ~seed:3 ~warmup ~span in
   checkb "lazy-master commits" true (lazy_m.Repl_stats.commits > 0);
   checkb "lazy-master never reconciles" true
     (lazy_m.Repl_stats.reconciliations = 0);
-  let lazy_g = Runs.lazy_group ~profile params ~seed:3 ~warmup ~span in
+  let lazy_g = Scheme.run_named "lazy-group" spec ~seed:3 ~warmup ~span in
   checkb "lazy-group commits" true (lazy_g.Repl_stats.commits > 0);
   (* Two-tier: run with the scenario's own mobility and verify the §7
      guarantees hold for this workload. *)
-  let summary, sys =
-    Runs.two_tier ~profile ~initial_value:scenario.Scenario.initial_value
-      ~base_nodes:(max 1 (params.Params.nodes / 2))
-      params ~seed:3 ~warmup ~span
+  let outcome =
+    Scheme.run_outcome_named "two-tier"
+      (Scheme.spec ~profile ~initial_value:scenario.Scenario.initial_value
+         ~base_nodes:(max 1 (params.Params.nodes / 2))
+         params)
+      ~seed:3 ~warmup ~span
   in
-  checkb "two-tier commits" true (summary.Repl_stats.commits > 0);
-  checkb "two-tier converged" true (Two_tier.converged sys);
-  checkb "two-tier base serializable" true (Two_tier.base_history_serializable sys)
+  checkb "two-tier commits" true (outcome.Scheme.summary.Repl_stats.commits > 0);
+  checkb "two-tier converged" true
+    (Scheme.diagnostic outcome "converged" = Some 1.);
+  checkb "two-tier base serializable" true
+    (Scheme.diagnostic outcome "base_serializable" = Some 1.)
 
 (* Lazy-group on the fully commutative scenarios must reach exact sums
    under the additive rule. *)
