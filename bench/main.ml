@@ -209,6 +209,7 @@ let bench_sweep () =
     let dt = Unix.gettimeofday () -. t0 in
     (dt, Export.to_jsonl (List.map Export.record_of_item items))
   in
+  let host_cores = Task_pool.host_cores () in
   let jobs = Task_pool.default_jobs () in
   let serial_seconds, serial_out = timed 1 in
   let parallel_seconds, parallel_out = timed jobs in
@@ -221,7 +222,7 @@ let bench_sweep () =
            [
              ("benchmark", Str "sweep-quick-experiment-registry");
              ("tasks", Num (float_of_int (List.length tasks)));
-             ("host_cores", Num (float_of_int jobs));
+             ("host_cores", Num (float_of_int host_cores));
              ("jobs", Num (float_of_int jobs));
              ("serial_seconds", json_of_float serial_seconds);
              ("parallel_seconds", json_of_float parallel_seconds);

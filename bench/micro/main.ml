@@ -1,0 +1,10 @@
+(* Standalone micro-benchmark runner: `dune exec bench/micro/main.exe`
+   (optionally with --quick) runs the full suite and writes
+   BENCH_micro.json. The `dangers bench` subcommand is the same driver
+   with comparison flags on top. *)
+
+let () =
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  exit
+    (Dangers_microbench.Driver.main ~quick ~out:(Some "BENCH_micro.json")
+       ~input:None ~baseline:None ~threshold:0.2)

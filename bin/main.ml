@@ -601,6 +601,52 @@ let scenario_cmd =
     (Cmd.info "scenario" ~doc:"Run a named workload scenario across schemes.")
     Term.(const run $ scenario_name $ seed_term $ jobs_term)
 
+let bench_cmd =
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"Shrink sample counts (not workloads) for a fast smoke run.")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_micro.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the results.")
+  in
+  let input =
+    Arg.(value & opt (some string) None
+         & info [ "input" ] ~docv:"FILE"
+             ~doc:"Compare $(docv) instead of running the suite (no \
+                   benchmarks execute; $(b,--out) is ignored).")
+  in
+  let baseline =
+    Arg.(value & opt (some string) None
+         & info [ "compare" ] ~docv:"OLD.json"
+             ~doc:"Baseline results to diff against; exit status 1 if any \
+                   benchmark's mean regressed past the threshold or \
+                   disappeared.")
+  in
+  let threshold =
+    Arg.(value & opt float 20.
+         & info [ "threshold" ] ~docv:"PCT"
+             ~doc:"Regression threshold in percent.")
+  in
+  let run quick out input baseline threshold =
+    if threshold <= 0. then begin
+      prerr_endline "bench: --threshold must be positive";
+      1
+    end
+    else
+      Dangers_microbench.Driver.main ~quick
+        ~out:(match input with Some _ -> None | None -> Some out)
+        ~input ~baseline ~threshold:(threshold /. 100.)
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the hot-path micro-benchmarks (lock table, deadlock \
+          detection, event engine, end-to-end eager-group) and write \
+          BENCH_micro.json; optionally diff against a baseline.")
+    Term.(const run $ quick $ out $ input $ baseline $ threshold)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -614,5 +660,5 @@ let () =
        (Cmd.group ~default info
           [
             list_cmd; experiment_cmd; sweep_cmd; analytic_cmd; simulate_cmd;
-            trace_cmd; report_cmd; scenario_cmd; fuzz_cmd;
+            trace_cmd; report_cmd; scenario_cmd; fuzz_cmd; bench_cmd;
           ]))

@@ -2,19 +2,91 @@ type t = {
   locks : Lock_table.t;
   mutable wait_count : int;
   mutable deadlock_count : int;
+  debug_check : bool;
+  (* DFS scratch state, reused across detections: [stamp.(owner) = gen]
+     marks [owner] visited in the current traversal. Owner ids are small
+     dense ints (transaction ids), so an array beats a fresh hash table per
+     blocked request. *)
+  mutable stamp : int array;
+  mutable gen : int;
 }
 
 type outcome = Granted | Waiting | Deadlock of int list
 
-let create () = { locks = Lock_table.create (); wait_count = 0; deadlock_count = 0 }
+(* DANGERS_LOCK_DEBUG=1 turns the reference cross-check on everywhere, e.g.
+   for a CI run of the full suite against the incremental detector. *)
+let env_debug =
+  match Sys.getenv_opt "DANGERS_LOCK_DEBUG" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
+let create ?(debug_check = env_debug) () =
+  {
+    locks = Lock_table.create ();
+    wait_count = 0;
+    deadlock_count = 0;
+    debug_check;
+    stamp = Array.make 64 0;
+    gen = 0;
+  }
+
+let visited t owner =
+  if owner >= Array.length t.stamp then begin
+    let size = max (owner + 1) (2 * Array.length t.stamp) in
+    let stamp = Array.make size 0 in
+    Array.blit t.stamp 0 stamp 0 (Array.length t.stamp);
+    t.stamp <- stamp;
+    false
+  end
+  else t.stamp.(owner) = t.gen
+
+(* Same traversal as [Waits_for.find_cycle] — successors explored in order,
+   visited nodes pruned, the start node itself never marked — but over the
+   lock table's memoized blocker lists and with the reusable stamp array, so
+   a blocked request costs no per-probe allocation beyond the path list. *)
+let find_cycle_incremental t ~start =
+  t.gen <- t.gen + 1;
+  let rec dfs node path =
+    let rec explore = function
+      | [] -> None
+      | successor :: rest ->
+          if successor = start then Some (List.rev path)
+          else if visited t successor then explore rest
+          else begin
+            t.stamp.(successor) <- t.gen;
+            match dfs successor (successor :: path) with
+            | Some _ as found -> found
+            | None -> explore rest
+          end
+    in
+    explore (Lock_table.blockers t.locks ~owner:node)
+  in
+  dfs start [ start ]
+
+let cross_check t ~start result =
+  let successors owner = Lock_table.blockers_fresh t.locks ~owner in
+  let reference = Waits_for.find_cycle ~successors ~start in
+  if result <> reference then
+    failwith
+      (Printf.sprintf
+         "Lock_manager: incremental waits-for diverged from reference DFS \
+          for owner %d (incremental: %s, reference: %s)"
+         start
+         (match result with
+         | None -> "no cycle"
+         | Some c -> String.concat "->" (List.map string_of_int c))
+         (match reference with
+         | None -> "no cycle"
+         | Some c -> String.concat "->" (List.map string_of_int c)))
 
 let request t ~owner ~resource ~mode ~on_grant =
   match Lock_table.acquire t.locks ~owner ~resource ~mode ~on_grant with
   | Lock_table.Granted -> Granted
-  | Lock_table.Queued ->
+  | Lock_table.Queued -> (
       t.wait_count <- t.wait_count + 1;
-      let successors owner = Lock_table.blockers t.locks ~owner in
-      (match Waits_for.find_cycle ~successors ~start:owner with
+      let result = find_cycle_incremental t ~start:owner in
+      if t.debug_check then cross_check t ~start:owner result;
+      match result with
       | None -> Waiting
       | Some cycle ->
           t.deadlock_count <- t.deadlock_count + 1;

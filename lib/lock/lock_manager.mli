@@ -9,7 +9,14 @@
 
 type t
 
-val create : unit -> t
+val create : ?debug_check:bool -> unit -> t
+(** Deadlock detection walks the lock table's incrementally-maintained
+    blocker lists with a reusable visited-stamp array. With
+    [~debug_check:true] (or the [DANGERS_LOCK_DEBUG] environment variable
+    set) every blocked request is additionally cross-checked against the
+    original from-scratch DFS ({!Waits_for.find_cycle} over freshly
+    recomputed blockers); divergence raises [Failure]. Owner ids must be
+    non-negative. *)
 
 type outcome =
   | Granted

@@ -1,39 +1,169 @@
+(* Array-backed lock table.
+
+   This is the hottest structure in every simulator leg: the paper predicts
+   waits and deadlocks growing as the cube of the node count, so a nodes=10
+   eager run performs millions of acquire / blockers / release operations.
+   The representation is chosen for that load:
+
+   - Granted entries live in a pair of parallel compact arrays (owner ids
+     and modes), unordered; removal swaps the last entry in. All the
+     consumers ([blockers], [grantable], upgrades) are order-insensitive.
+   - The FIFO wait queue is a power-of-two ring buffer: O(1) append at the
+     tail, O(1) upgrade push at the front, O(1) pop, cache-friendly scans.
+   - Each waiting owner carries a memoized blocker list, invalidated by a
+     per-lock version counter. The version is bumped only by mutations that
+     can change an existing waiter's blocker set (grants, releases,
+     cancellations, front-of-queue upgrades) — a plain tail enqueue cannot,
+     so the common contention pattern keeps every cache warm. [blockers]
+     therefore recomputes only after a real state change, instead of on
+     every waits-for probe as the association-list version did.
+
+   Lock records are never removed from the table once created: the backing
+   arrays are reused on the next conflict over the same resource, and the
+   resource space is bounded (nodes x db_size) in every simulator use. *)
+
 type waiter = { w_owner : int; w_mode : Mode.t; on_grant : unit -> unit }
 
+let dummy_waiter = { w_owner = min_int; w_mode = Mode.X; on_grant = ignore }
+
 type lock = {
-  mutable granted : (int * Mode.t) list;
-  mutable queue : waiter list; (* front of the queue first *)
+  (* granted set: parallel arrays, [g_n] live entries, unordered *)
+  mutable g_owner : int array;
+  mutable g_mode : Mode.t array;
+  mutable g_n : int;
+  (* wait queue: ring buffer, capacity a power of two, [q_head] is front *)
+  mutable q_buf : waiter array;
+  mutable q_head : int;
+  mutable q_n : int;
+  (* bumped by any mutation that can change an existing waiter's blockers *)
+  mutable version : int;
+}
+
+(* Memoized blocker set of one waiting owner; valid while [ws_version]
+   matches the lock's version. *)
+type wait_state = {
+  ws_resource : int;
+  ws_lock : lock; (* the resource's lock record, cached to skip a lookup *)
+  mutable ws_version : int;
+  mutable ws_blockers : int list;
 }
 
 type t = {
   locks : (int, lock) Hashtbl.t;
   held : (int, (int, Mode.t) Hashtbl.t) Hashtbl.t; (* owner -> resource -> mode *)
-  waiting : (int, int) Hashtbl.t; (* owner -> resource *)
+  waiting : (int, wait_state) Hashtbl.t; (* owner -> wait state *)
   mutable grants : int;
+  (* retired per-owner held tables, cleared and ready for reuse: owner ids
+     are never recycled (each retry is a fresh transaction id), so without
+     a pool every attempt would allocate a table just to discard it *)
+  mutable held_pool : (int, Mode.t) Hashtbl.t list;
 }
 
 type outcome = Granted | Queued
 
 let create () =
   { locks = Hashtbl.create 1024; held = Hashtbl.create 64;
-    waiting = Hashtbl.create 64; grants = 0 }
+    waiting = Hashtbl.create 64; grants = 0; held_pool = [] }
 
 let lock_for t resource =
   match Hashtbl.find_opt t.locks resource with
   | Some lock -> lock
   | None ->
-      let lock = { granted = []; queue = [] } in
+      let lock =
+        { g_owner = [||]; g_mode = [||]; g_n = 0;
+          q_buf = [||]; q_head = 0; q_n = 0; version = 0 }
+      in
       Hashtbl.add t.locks resource lock;
       lock
 
-let drop_if_empty t resource lock =
-  if lock.granted = [] && lock.queue = [] then Hashtbl.remove t.locks resource
+let bump lock = lock.version <- lock.version + 1
+
+(* --- granted-set primitives --- *)
+
+let g_find lock owner =
+  let rec scan i = if i >= lock.g_n then -1 else if lock.g_owner.(i) = owner then i else scan (i + 1) in
+  scan 0
+
+let g_add lock owner mode =
+  let cap = Array.length lock.g_owner in
+  if lock.g_n = cap then begin
+    let cap' = if cap = 0 then 4 else 2 * cap in
+    let owners = Array.make cap' 0 and modes = Array.make cap' Mode.X in
+    Array.blit lock.g_owner 0 owners 0 lock.g_n;
+    Array.blit lock.g_mode 0 modes 0 lock.g_n;
+    lock.g_owner <- owners;
+    lock.g_mode <- modes
+  end;
+  lock.g_owner.(lock.g_n) <- owner;
+  lock.g_mode.(lock.g_n) <- mode;
+  lock.g_n <- lock.g_n + 1
+
+let g_remove lock i =
+  let last = lock.g_n - 1 in
+  lock.g_owner.(i) <- lock.g_owner.(last);
+  lock.g_mode.(i) <- lock.g_mode.(last);
+  lock.g_n <- last
+
+(* --- ring-buffer queue primitives --- *)
+
+let q_get lock i = lock.q_buf.((lock.q_head + i) land (Array.length lock.q_buf - 1))
+
+let q_grow lock =
+  let cap = Array.length lock.q_buf in
+  let cap' = if cap = 0 then 4 else 2 * cap in
+  let buf = Array.make cap' dummy_waiter in
+  for i = 0 to lock.q_n - 1 do
+    buf.(i) <- q_get lock i
+  done;
+  lock.q_buf <- buf;
+  lock.q_head <- 0
+
+let q_push_back lock w =
+  if lock.q_n = Array.length lock.q_buf then q_grow lock;
+  lock.q_buf.((lock.q_head + lock.q_n) land (Array.length lock.q_buf - 1)) <- w;
+  lock.q_n <- lock.q_n + 1
+
+let q_push_front lock w =
+  if lock.q_n = Array.length lock.q_buf then q_grow lock;
+  let head = (lock.q_head - 1) land (Array.length lock.q_buf - 1) in
+  lock.q_buf.(head) <- w;
+  lock.q_head <- head;
+  lock.q_n <- lock.q_n + 1
+
+let q_pop_front lock =
+  let w = lock.q_buf.(lock.q_head) in
+  lock.q_buf.(lock.q_head) <- dummy_waiter;
+  lock.q_head <- (lock.q_head + 1) land (Array.length lock.q_buf - 1);
+  lock.q_n <- lock.q_n - 1;
+  w
+
+(* Remove the owner's (unique) queue entry, preserving the order of the
+   rest. O(queue), but only deadlock victims and aborts take this path. *)
+let q_remove_owner lock owner =
+  let mask = Array.length lock.q_buf - 1 in
+  let rec find i = if i >= lock.q_n then -1 else if (q_get lock i).w_owner = owner then i else find (i + 1) in
+  let i = find 0 in
+  if i >= 0 then begin
+    for j = i to lock.q_n - 2 do
+      lock.q_buf.((lock.q_head + j) land mask) <- q_get lock (j + 1)
+    done;
+    lock.q_buf.((lock.q_head + lock.q_n - 1) land mask) <- dummy_waiter;
+    lock.q_n <- lock.q_n - 1
+  end
+
+(* --- held map --- *)
 
 let held_table t owner =
   match Hashtbl.find_opt t.held owner with
   | Some table -> table
   | None ->
-      let table = Hashtbl.create 8 in
+      let table =
+        match t.held_pool with
+        | table :: rest ->
+            t.held_pool <- rest;
+            table
+        | [] -> Hashtbl.create 8
+      in
       Hashtbl.add t.held owner table;
       table
 
@@ -47,124 +177,161 @@ let record_upgrade t ~owner ~resource =
 (* A waiter is grantable when its mode is compatible with every grant held by
    a different owner (its own grant is ignored: that is the upgrade case). *)
 let grantable lock waiter =
-  List.for_all
-    (fun (owner, mode) ->
-      owner = waiter.w_owner || Mode.compatible mode waiter.w_mode)
-    lock.granted
+  let rec check i =
+    i >= lock.g_n
+    || ((lock.g_owner.(i) = waiter.w_owner
+         || Mode.compatible lock.g_mode.(i) waiter.w_mode)
+        && check (i + 1))
+  in
+  check 0
 
 let grant_waiter t resource lock waiter =
-  let upgrading = List.mem_assoc waiter.w_owner lock.granted in
-  if upgrading then begin
-    lock.granted <-
-      List.map
-        (fun (owner, mode) ->
-          if owner = waiter.w_owner then (owner, waiter.w_mode) else (owner, mode))
-        lock.granted;
-    record_upgrade t ~owner:waiter.w_owner ~resource
-  end
-  else begin
-    lock.granted <- (waiter.w_owner, waiter.w_mode) :: lock.granted;
-    record_grant t ~owner:waiter.w_owner ~resource ~mode:waiter.w_mode
-  end;
+  (match g_find lock waiter.w_owner with
+  | -1 ->
+      g_add lock waiter.w_owner waiter.w_mode;
+      record_grant t ~owner:waiter.w_owner ~resource ~mode:waiter.w_mode
+  | i ->
+      lock.g_mode.(i) <- waiter.w_mode;
+      record_upgrade t ~owner:waiter.w_owner ~resource);
   Hashtbl.remove t.waiting waiter.w_owner
 
 (* Strict FIFO pump: grant from the front until the first waiter that still
    conflicts. Returns the grant callbacks to run once state is settled. *)
 let pump t resource lock =
   let rec loop acc =
-    match lock.queue with
-    | waiter :: rest when grantable lock waiter ->
-        lock.queue <- rest;
-        grant_waiter t resource lock waiter;
-        loop (waiter.on_grant :: acc)
-    | _ :: _ | [] -> List.rev acc
+    if lock.q_n > 0 && grantable lock (q_get lock 0) then begin
+      let waiter = q_pop_front lock in
+      grant_waiter t resource lock waiter;
+      bump lock;
+      loop (waiter.on_grant :: acc)
+    end
+    else List.rev acc
   in
-  let callbacks = loop [] in
-  drop_if_empty t resource lock;
-  callbacks
+  loop []
+
+let start_wait t ~owner ~resource lock =
+  Hashtbl.replace t.waiting owner
+    { ws_resource = resource; ws_lock = lock; ws_version = lock.version - 1;
+      ws_blockers = [] }
 
 let acquire t ~owner ~resource ~mode ~on_grant =
   if Hashtbl.mem t.waiting owner then
     invalid_arg "Lock_table.acquire: owner is already waiting";
   let lock = lock_for t resource in
-  let held_mode = List.assoc_opt owner lock.granted in
-  match held_mode with
-  | Some held when Mode.covers ~held ~requested:mode ->
-      drop_if_empty t resource lock;
-      Granted
-  | Some _held ->
+  let gi = g_find lock owner in
+  if gi >= 0 then begin
+    if Mode.covers ~held:lock.g_mode.(gi) ~requested:mode then Granted
+    else begin
       (* Upgrade S -> X. Sole holder upgrades in place; otherwise the upgrade
          waits at the front of the queue so it cannot deadlock behind new
          arrivals. *)
-      if List.for_all (fun (o, _) -> o = owner) lock.granted then begin
-        lock.granted <- List.map (fun (o, _) -> (o, Mode.X)) lock.granted;
+      let rec sole i = i >= lock.g_n || (lock.g_owner.(i) = owner && sole (i + 1)) in
+      if sole 0 then begin
+        for i = 0 to lock.g_n - 1 do
+          lock.g_mode.(i) <- Mode.X
+        done;
         record_upgrade t ~owner ~resource;
+        bump lock;
         Granted
       end
       else begin
-        lock.queue <- { w_owner = owner; w_mode = mode; on_grant } :: lock.queue;
-        Hashtbl.replace t.waiting owner resource;
+        q_push_front lock { w_owner = owner; w_mode = mode; on_grant };
+        bump lock;
+        start_wait t ~owner ~resource lock;
         Queued
       end
-  | None ->
-      let compatible_with_granted =
-        List.for_all (fun (_, held) -> Mode.compatible held mode) lock.granted
-      in
-      if compatible_with_granted && lock.queue = [] then begin
-        lock.granted <- (owner, mode) :: lock.granted;
-        record_grant t ~owner ~resource ~mode;
-        Granted
-      end
-      else begin
-        lock.queue <- lock.queue @ [ { w_owner = owner; w_mode = mode; on_grant } ];
-        Hashtbl.replace t.waiting owner resource;
-        Queued
-      end
+    end
+  end
+  else begin
+    let rec compatible_with_granted i =
+      i >= lock.g_n
+      || (Mode.compatible lock.g_mode.(i) mode && compatible_with_granted (i + 1))
+    in
+    if lock.q_n = 0 && compatible_with_granted 0 then begin
+      g_add lock owner mode;
+      record_grant t ~owner ~resource ~mode;
+      (* queue is empty, so no waiter cache can depend on this lock *)
+      Granted
+    end
+    else begin
+      (* A tail enqueue cannot change the blockers of anyone queued ahead,
+         so the caches on this lock stay valid: no version bump. *)
+      q_push_back lock { w_owner = owner; w_mode = mode; on_grant };
+      start_wait t ~owner ~resource lock;
+      Queued
+    end
+  end
+
+(* An owner recorded as waiting must be present in its resource's queue; the
+   two are updated together. If the invariant ever breaks we keep the old
+   defensive answer (treat the request as X, the most conservative mode) but
+   say so once instead of silently hiding incremental-graph divergence. *)
+let missing_waiter_reported = ref false
+
+let missing_waiter ~owner ~resource =
+  if not !missing_waiter_reported then begin
+    missing_waiter_reported := true;
+    Printf.eprintf
+      "dangers: Lock_table invariant violation: owner %d is registered as \
+       waiting on resource %d but has no queue entry; defaulting its mode \
+       to X (reported once)\n%!"
+      owner resource
+  end;
+  Mode.X
+
+let recompute_blockers lock ~owner ~resource =
+  (* Position and mode of the owner's own queue entry. *)
+  let rec find i =
+    if i >= lock.q_n then (lock.q_n, missing_waiter ~owner ~resource)
+    else
+      let w = q_get lock i in
+      if w.w_owner = owner then (i, w.w_mode) else find (i + 1)
+  in
+  let ahead, my_mode = find 0 in
+  let acc = ref [] in
+  for i = 0 to lock.g_n - 1 do
+    let o = lock.g_owner.(i) in
+    if o <> owner && not (Mode.compatible lock.g_mode.(i) my_mode) then
+      acc := o :: !acc
+  done;
+  for i = 0 to ahead - 1 do
+    let w = q_get lock i in
+    if not (Mode.compatible w.w_mode my_mode) then acc := w.w_owner :: !acc
+  done;
+  List.sort_uniq Int.compare !acc
 
 let blockers t ~owner =
   match Hashtbl.find_opt t.waiting owner with
   | None -> []
-  | Some resource ->
-      let lock = Hashtbl.find t.locks resource in
-      let rec ahead acc = function
-        | [] -> acc (* the owner must be in the queue; defensive *)
-        | waiter :: _ when waiter.w_owner = owner -> acc
-        | waiter :: rest -> ahead (waiter :: acc) rest
-      in
-      let my_mode =
-        let rec find = function
-          | [] -> Mode.X
-          | waiter :: rest -> if waiter.w_owner = owner then waiter.w_mode else find rest
-        in
-        find lock.queue
-      in
-      let from_granted =
-        List.filter_map
-          (fun (o, mode) ->
-            if o <> owner && not (Mode.compatible mode my_mode) then Some o
-            else None)
-          lock.granted
-      in
-      let from_queue =
-        List.filter_map
-          (fun waiter ->
-            if not (Mode.compatible waiter.w_mode my_mode) then Some waiter.w_owner
-            else None)
-          (ahead [] lock.queue)
-      in
-      List.sort_uniq Int.compare (from_granted @ from_queue)
+  | Some ws ->
+      let lock = ws.ws_lock in
+      if ws.ws_version = lock.version then ws.ws_blockers
+      else begin
+        let b = recompute_blockers lock ~owner ~resource:ws.ws_resource in
+        ws.ws_version <- lock.version;
+        ws.ws_blockers <- b;
+        b
+      end
+
+let blockers_fresh t ~owner =
+  match Hashtbl.find_opt t.waiting owner with
+  | None -> []
+  | Some ws -> recompute_blockers ws.ws_lock ~owner ~resource:ws.ws_resource
 
 let is_waiting t ~owner = Hashtbl.mem t.waiting owner
-let waiting_resource t ~owner = Hashtbl.find_opt t.waiting owner
+
+let waiting_resource t ~owner =
+  Option.map (fun ws -> ws.ws_resource) (Hashtbl.find_opt t.waiting owner)
 
 let cancel_wait t ~owner =
   match Hashtbl.find_opt t.waiting owner with
   | None -> ()
-  | Some resource ->
-      let lock = Hashtbl.find t.locks resource in
-      lock.queue <- List.filter (fun w -> w.w_owner <> owner) lock.queue;
+  | Some ws ->
+      let lock = ws.ws_lock in
+      q_remove_owner lock owner;
+      bump lock;
       Hashtbl.remove t.waiting owner;
-      let callbacks = pump t resource lock in
+      let callbacks = pump t ws.ws_resource lock in
       List.iter (fun callback -> callback ()) callbacks
 
 let release_all t ~owner =
@@ -180,11 +347,18 @@ let release_all t ~owner =
             match Hashtbl.find_opt t.locks resource with
             | None -> []
             | Some lock ->
-                lock.granted <- List.filter (fun (o, _) -> o <> owner) lock.granted;
+                (match g_find lock owner with
+                | -1 -> ()
+                | i -> g_remove lock i);
                 t.grants <- t.grants - 1;
+                bump lock;
                 pump t resource lock)
           (List.sort Int.compare resources)
       in
+      (* [clear] keeps the bucket array, so a pooled table re-enters
+         service at its grown size *)
+      Hashtbl.clear table;
+      t.held_pool <- table :: t.held_pool;
       List.iter (fun callback -> callback ()) callbacks
 
 let holds t ~owner ~resource =

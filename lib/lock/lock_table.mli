@@ -32,7 +32,17 @@ val acquire :
 val blockers : t -> owner:int -> int list
 (** Owners that must release before this owner's queued request can be
     granted: conflicting holders plus conflicting waiters queued ahead.
-    Empty when the owner is not waiting. Deduplicated, unspecified order. *)
+    Empty when the owner is not waiting. Deduplicated, unspecified order.
+
+    The result is memoized per waiting owner and invalidated by the
+    mutations that can change it (grants, releases, cancellations,
+    front-of-queue upgrades), so repeated waits-for probes between state
+    changes are O(1). *)
+
+val blockers_fresh : t -> owner:int -> int list
+(** [blockers] recomputed from the lock state, bypassing (and not touching)
+    the memoized copy. For debug cross-checks and tests: the two must always
+    agree. *)
 
 val is_waiting : t -> owner:int -> bool
 val waiting_resource : t -> owner:int -> int option

@@ -1,0 +1,99 @@
+module Export = Dangers_runner.Export
+
+let schema_id = "dangers/bench-micro/v1"
+
+type t = {
+  host_cores : int;
+  quick : bool;
+  benchmarks : Harness.stats list;
+}
+
+let to_json t =
+  let stat (s : Harness.stats) =
+    Export.Obj
+      [
+        ("name", Export.Str s.Harness.s_name);
+        ("warmup", Export.Num (float_of_int s.Harness.s_warmup));
+        ("samples", Export.Num (float_of_int s.Harness.s_samples));
+        ("runs", Export.Num (float_of_int s.Harness.s_runs));
+        ("mean_ns", Export.json_of_float s.Harness.mean);
+        ("stddev_ns", Export.json_of_float s.Harness.stddev);
+        ("p50_ns", Export.json_of_float s.Harness.p50);
+        ("p99_ns", Export.json_of_float s.Harness.p99);
+        ("min_ns", Export.json_of_float s.Harness.min);
+        ("max_ns", Export.json_of_float s.Harness.max);
+      ]
+  in
+  Export.Obj
+    [
+      ("schema", Export.Str schema_id);
+      ("host_cores", Export.Num (float_of_int t.host_cores));
+      ("quick", Export.Bool t.quick);
+      ("benchmarks", Export.Arr (List.map stat t.benchmarks));
+    ]
+
+let fail msg = raise (Export.Parse_error ("bench-micro: " ^ msg))
+
+let field fields name =
+  match List.assoc_opt name fields with
+  | Some v -> v
+  | None -> fail ("missing field " ^ name)
+
+let num fields name =
+  match field fields name with
+  | Export.Num n -> n
+  | _ -> fail (name ^ " is not a number")
+
+let of_json json =
+  match json with
+  | Export.Obj fields ->
+      (match field fields "schema" with
+      | Export.Str s when String.equal s schema_id -> ()
+      | Export.Str s -> fail ("unsupported schema " ^ s)
+      | _ -> fail "schema is not a string");
+      let quick =
+        match field fields "quick" with
+        | Export.Bool b -> b
+        | _ -> fail "quick is not a bool"
+      in
+      let stat = function
+        | Export.Obj fs ->
+            let name =
+              match field fs "name" with
+              | Export.Str s -> s
+              | _ -> fail "benchmark name is not a string"
+            in
+            {
+              Harness.s_name = name;
+              s_warmup = int_of_float (num fs "warmup");
+              s_samples = int_of_float (num fs "samples");
+              s_runs = int_of_float (num fs "runs");
+              mean = Export.float_of_json (field fs "mean_ns");
+              stddev = Export.float_of_json (field fs "stddev_ns");
+              p50 = Export.float_of_json (field fs "p50_ns");
+              p99 = Export.float_of_json (field fs "p99_ns");
+              min = Export.float_of_json (field fs "min_ns");
+              max = Export.float_of_json (field fs "max_ns");
+            }
+        | _ -> fail "benchmark entry is not an object"
+      in
+      let benchmarks =
+        match field fields "benchmarks" with
+        | Export.Arr entries -> List.map stat entries
+        | _ -> fail "benchmarks is not an array"
+      in
+      { host_cores = int_of_float (num fields "host_cores"); quick; benchmarks }
+  | _ -> fail "top level is not an object"
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (Export.json_to_string (to_json t));
+  output_char oc '\n';
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  of_json (Export.json_of_string (String.trim contents))

@@ -1,0 +1,31 @@
+(** The BENCH_micro.json file format.
+
+    A single JSON object:
+    {v
+    {"schema": "dangers/bench-micro/v1",
+     "host_cores": N, "quick": false,
+     "benchmarks": [{"name": ..., "warmup": ..., "samples": ..., "runs": ...,
+                     "mean_ns": ..., "stddev_ns": ..., "p50_ns": ...,
+                     "p99_ns": ..., "min_ns": ..., "max_ns": ...}, ...]}
+    v}
+    All times are nanoseconds per run. Encoded with the runner's tiny JSON
+    printer, so floats round-trip exactly. *)
+
+val schema_id : string
+
+type t = {
+  host_cores : int;
+  quick : bool;
+  benchmarks : Harness.stats list;
+}
+
+val to_json : t -> Dangers_runner.Export.json
+
+val of_json : Dangers_runner.Export.json -> t
+(** @raise Dangers_runner.Export.Parse_error on a malformed or
+    wrong-schema value. *)
+
+val save : string -> t -> unit
+
+val load : string -> t
+(** @raise Dangers_runner.Export.Parse_error or [Sys_error]. *)

@@ -1,0 +1,75 @@
+type change = {
+  name : string;
+  old_mean : float;
+  new_mean : float;
+  ratio : float;
+}
+
+type report = {
+  threshold : float;
+  regressions : change list;
+  improvements : change list;
+  stable : change list;
+  only_old : string list;
+  only_new : string list;
+}
+
+let change ~name ~old_mean ~new_mean =
+  { name; old_mean; new_mean; ratio = new_mean /. old_mean }
+
+let diff ~threshold (old_file : Bench_file.t) (new_file : Bench_file.t) =
+  if threshold <= 0. then invalid_arg "Compare.diff: threshold must be positive";
+  let mean_of (s : Harness.stats) = (s.Harness.s_name, s.Harness.mean) in
+  let old_means = List.map mean_of old_file.Bench_file.benchmarks in
+  let new_means = List.map mean_of new_file.Bench_file.benchmarks in
+  let regressions = ref [] and improvements = ref [] and stable = ref [] in
+  let only_new = ref [] in
+  List.iter
+    (fun (name, new_mean) ->
+      match List.assoc_opt name old_means with
+      | None -> only_new := name :: !only_new
+      | Some old_mean ->
+          let c = change ~name ~old_mean ~new_mean in
+          if c.ratio > 1. +. threshold then regressions := c :: !regressions
+          else if c.ratio < 1. -. threshold then improvements := c :: !improvements
+          else stable := c :: !stable)
+    new_means;
+  let only_old =
+    List.filter_map
+      (fun (name, _) ->
+        if List.mem_assoc name new_means then None else Some name)
+      old_means
+  in
+  {
+    threshold;
+    regressions = List.rev !regressions;
+    improvements = List.rev !improvements;
+    stable = List.rev !stable;
+    only_old;
+    only_new = List.rev !only_new;
+  }
+
+let ok report = report.regressions = [] && report.only_old = []
+
+let print ppf report =
+  let pct ratio = (ratio -. 1.) *. 100. in
+  let line verdict c =
+    Format.fprintf ppf "%-12s %-28s %+7.1f%%  (%.0fns -> %.0fns)@." verdict
+      c.name (pct c.ratio) c.old_mean c.new_mean
+  in
+  List.iter (line "REGRESSION") report.regressions;
+  List.iter (line "improvement") report.improvements;
+  List.iter (line "ok") report.stable;
+  List.iter
+    (Format.fprintf ppf "MISSING      %-28s (in baseline, not re-run)@.")
+    report.only_old;
+  List.iter (Format.fprintf ppf "new          %-28s (no baseline)@.")
+    report.only_new;
+  if ok report then
+    Format.fprintf ppf "compare: ok (threshold %.0f%%)@." (report.threshold *. 100.)
+  else
+    Format.fprintf ppf
+      "compare: FAILED — %d regression(s), %d missing (threshold %.0f%%)@."
+      (List.length report.regressions)
+      (List.length report.only_old)
+      (report.threshold *. 100.)

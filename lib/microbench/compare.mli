@@ -1,0 +1,32 @@
+(** Regression check between two benchmark result files.
+
+    Benchmarks are matched by name; the verdict for each pair is the ratio
+    of mean times [new /. old]. A ratio above [1 + threshold] is a
+    regression, below [1 - threshold] an improvement, anything else
+    stable. A benchmark present in the baseline but absent from the new
+    run also fails the check — losing coverage must not pass silently. *)
+
+type change = {
+  name : string;
+  old_mean : float;
+  new_mean : float;
+  ratio : float;  (** [new_mean /. old_mean] *)
+}
+
+type report = {
+  threshold : float;
+  regressions : change list;
+  improvements : change list;
+  stable : change list;
+  only_old : string list;  (** in the baseline, missing from the new run *)
+  only_new : string list;
+}
+
+val diff : threshold:float -> Bench_file.t -> Bench_file.t -> report
+(** [diff ~threshold old new]. [threshold] is a fraction ([0.20] = 20%).
+    @raise Invalid_argument if [threshold <= 0]. *)
+
+val ok : report -> bool
+(** No regressions and no lost benchmarks. *)
+
+val print : Format.formatter -> report -> unit

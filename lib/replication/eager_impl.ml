@@ -21,6 +21,10 @@ type t = {
   delay : Dangers_net.Delay.t;
   ownership : ownership;
   on_commit : (node:int -> Op.t list -> unit) option;
+  (* visit_orders.(first) = first :: the other replicas in node order;
+     precomputed because the hot path builds steps from these lists for
+     every update of every attempt. *)
+  visit_orders : int list array;
 }
 
 let scheme_name = function Group -> "eager-group" | Master -> "eager-master"
@@ -36,6 +40,7 @@ let create ?profile ?initial_value ?(delay = Dangers_net.Delay.Zero) ?on_commit
       ~engine:common.Common.engine ~locks
       ~action_time:params.Params.action_time ()
   in
+  let nodes = params.Params.nodes in
   {
     common;
     executor;
@@ -44,6 +49,9 @@ let create ?profile ?initial_value ?(delay = Dangers_net.Delay.Zero) ?on_commit
     delay;
     ownership;
     on_commit;
+    visit_orders =
+      Array.init nodes (fun first ->
+          first :: List.filter (fun m -> m <> first) (List.init nodes Fun.id));
   }
 
 let base t = t.common
@@ -53,9 +61,8 @@ let master_of t oid = Oid.to_int oid mod t.common.Common.params.Params.nodes
 
 (* The replicas an action visits, first-lock first. *)
 let visit_order t ~origin oid =
-  let nodes = t.common.Common.params.Params.nodes in
   let first = match t.ownership with Group -> origin | Master -> master_of t oid in
-  first :: List.filter (fun m -> m <> first) (List.init nodes Fun.id)
+  t.visit_orders.(first)
 
 let resource t ~node oid =
   (node * t.common.Common.params.Params.db_size) + Oid.to_int oid
@@ -78,40 +85,54 @@ let apply_everywhere t ~origin ops =
 let submit t ~node ops =
   let common = t.common in
   let metrics = common.Common.metrics in
+  let build_steps () =
+    List.concat_map
+      (fun op ->
+        let oid = Op.oid op in
+        if Op.is_update op then
+          List.map
+            (fun m ->
+              let step =
+                Executor.update_step ~resource:(resource t ~node:m oid)
+              in
+              if m = node then step
+              else begin
+                (* A remote update costs Action_Time plus the message
+                   delay the model ignores; charged here for the
+                   delay ablation. *)
+                let extra = Dangers_net.Delay.sample t.delay t.delay_rng in
+                if extra = 0. then step
+                else
+                  {
+                    step with
+                    Executor.cost =
+                      Some
+                        (t.common.Common.params.Params.action_time +. extra);
+                  }
+              end)
+            (visit_order t ~origin:node oid)
+        else
+          (* Reads touch only the local replica: read-only work adds no
+             remote load (Figure 3). *)
+          [ Executor.read_step ~resource:(resource t ~node oid) ])
+      ops
+  in
+  (* Sampling a [Zero] or [Constant] delay draws nothing from the RNG and
+     always yields the same steps, so retries can reuse the first attempt's
+     list instead of rebuilding it — the dominant allocation of a contended
+     run, where one submission can restart thousands of times. Randomized
+     delay models must keep resampling per attempt. *)
+  let fixed_steps =
+    match t.delay with
+    | Dangers_net.Delay.Zero | Dangers_net.Delay.Constant _ ->
+        Some (build_steps ())
+    | Dangers_net.Delay.Uniform _ | Dangers_net.Delay.Exponential _ -> None
+  in
   let rec attempt () =
     let owner = Txn_id.Gen.next common.Common.txn_gen in
     let started = Engine.now common.Common.engine in
     let steps =
-      List.concat_map
-        (fun op ->
-          let oid = Op.oid op in
-          if Op.is_update op then
-            List.map
-              (fun m ->
-                let step =
-                  Executor.update_step ~resource:(resource t ~node:m oid)
-                in
-                if m = node then step
-                else begin
-                  (* A remote update costs Action_Time plus the message
-                     delay the model ignores; charged here for the
-                     delay ablation. *)
-                  let extra = Dangers_net.Delay.sample t.delay t.delay_rng in
-                  if extra = 0. then step
-                  else
-                    {
-                      step with
-                      Executor.cost =
-                        Some
-                          (t.common.Common.params.Params.action_time +. extra);
-                    }
-                end)
-              (visit_order t ~origin:node oid)
-          else
-            (* Reads touch only the local replica: read-only work adds no
-               remote load (Figure 3). *)
-            [ Executor.read_step ~resource:(resource t ~node oid) ])
-        ops
+      match fixed_steps with Some steps -> steps | None -> build_steps ()
     in
     Executor.run t.executor ~owner ~steps
       ~on_commit:(fun () ->

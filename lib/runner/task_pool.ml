@@ -1,4 +1,9 @@
-let default_jobs () = Domain.recommended_domain_count ()
+(* Queried once: [Domain.recommended_domain_count] reads the cgroup/CPU
+   topology on every call, and benchmark reports should name one stable
+   number for the host. *)
+let cores = lazy (Domain.recommended_domain_count ())
+let host_cores () = Lazy.force cores
+let default_jobs () = host_cores ()
 
 (* The queue is just a cursor into the task array; contention on it is a
    couple of ns per task, negligible next to a simulation run. *)

@@ -11,8 +11,14 @@
     simulator in this repo qualifies — a run builds its own engine, stores
     and RNG from scratch. *)
 
+val host_cores : unit -> int
+(** The hardware's usable parallelism, [Domain.recommended_domain_count]
+    detected once and memoized. Benchmark exports record this so
+    serial-vs-parallel speedups are interpretable on the machine that
+    produced them. *)
+
 val default_jobs : unit -> int
-(** [Domain.recommended_domain_count ()] — the hardware's parallelism. *)
+(** Defaults to {!host_cores}. *)
 
 val map : jobs:int -> f:('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs ~f tasks] applies [f] to every task on up to [jobs] domains

@@ -49,7 +49,13 @@ val run_for : t -> float -> unit
 (** [run_for t span] = [run t ~until:(now t +. span)]. *)
 
 val events_fired : t -> int
-(** Total events executed since creation; a cheap progress/work measure. *)
+(** Total events executed since creation; a cheap progress/work measure.
+    Events per second of wall time — the throughput number the
+    microbenchmarks report — is this divided by elapsed real time. *)
+
+val queue_high_water : t -> int
+(** Largest number of queued events (including cancelled ones not yet
+    popped) ever reached; a cheap memory-pressure measure. *)
 
 (** {1 Tracing}
 
@@ -58,6 +64,10 @@ val events_fired : t -> int
 
 val set_tracer : t -> Trace.t option -> unit
 val tracer : t -> Trace.t option
+
+val tracing : t -> bool
+(** Whether a tracer is attached. Hot paths check this before building a
+    {!Trace.event}, so the no-tracer case allocates nothing. *)
 
 val trace : t -> Trace.event -> unit
 (** Record at the current simulated time; no-op without a tracer. *)

@@ -68,9 +68,14 @@ let pop_exn t =
   | Some element -> element
   | None -> invalid_arg "Heap.pop_exn: empty heap"
 
-let clear t =
-  t.size <- 0;
-  t.data <- [||]
+(* Keep the backing array: a cleared heap that is refilled (the common
+   reuse pattern in benchmarks and repeated runs) must not regrow from
+   scratch. Elements are not overwritten — 'a has no universal dummy — but
+   the array only pins values that were already pushed once, and the next
+   fill overwrites them. *)
+let clear t = t.size <- 0
+
+let capacity t = Array.length t.data
 
 let to_sorted_list t =
   let copy = { cmp = t.cmp; data = Array.sub t.data 0 t.size; size = t.size } in

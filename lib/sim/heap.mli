@@ -21,6 +21,11 @@ val pop_exn : 'a t -> 'a
 (** @raise Invalid_argument on an empty heap. *)
 
 val clear : 'a t -> unit
+(** Empty the heap, keeping the backing array so a refill does not regrow
+    from the initial capacity. *)
+
+val capacity : 'a t -> int
+(** Current backing-array capacity (>= {!length}). *)
 
 val to_sorted_list : 'a t -> 'a list
 (** Drains a copy of the heap; the heap itself is unchanged. For tests and

@@ -21,13 +21,18 @@ let create ?(on_wait = fun () -> ()) ~engine ~locks ~action_time () =
 
 let run t ~owner ~steps ~on_commit ~on_deadlock =
   let owner_id = Txn_id.to_int owner in
+  (* Trace events are allocated only when a tracer is attached; the
+     untraced hot path must not build a record per lock grant. *)
+  let traced = Engine.tracing t.engine in
   t.active <- t.active + 1;
-  Engine.trace t.engine (Dangers_sim.Trace.Txn_started { owner = owner_id });
+  if traced then
+    Engine.trace t.engine (Dangers_sim.Trace.Txn_started { owner = owner_id });
   let finish_commit () =
     on_commit ();
     Lock_manager.release_all t.locks ~owner:owner_id;
     t.active <- t.active - 1;
-    Engine.trace t.engine (Dangers_sim.Trace.Txn_committed { owner = owner_id })
+    if traced then
+      Engine.trace t.engine (Dangers_sim.Trace.Txn_committed { owner = owner_id })
   in
   let kill cycle =
     Lock_manager.release_all t.locks ~owner:owner_id;
@@ -50,18 +55,21 @@ let run t ~owner ~steps ~on_commit ~on_deadlock =
              ~mode:step.mode ~on_grant:proceed
          with
         | Lock_manager.Granted ->
-            Engine.trace t.engine
-              (Dangers_sim.Trace.Lock_granted
-                 { owner = owner_id; resource = step.resource });
+            if traced then
+              Engine.trace t.engine
+                (Dangers_sim.Trace.Lock_granted
+                   { owner = owner_id; resource = step.resource });
             proceed ()
         | Lock_manager.Waiting ->
-            Engine.trace t.engine
-              (Dangers_sim.Trace.Lock_waited
-                 { owner = owner_id; resource = step.resource });
+            if traced then
+              Engine.trace t.engine
+                (Dangers_sim.Trace.Lock_waited
+                   { owner = owner_id; resource = step.resource });
             t.on_wait ()
         | Lock_manager.Deadlock cycle ->
-            Engine.trace t.engine
-              (Dangers_sim.Trace.Deadlock_victim { owner = owner_id; cycle });
+            if traced then
+              Engine.trace t.engine
+                (Dangers_sim.Trace.Deadlock_victim { owner = owner_id; cycle });
             t.on_wait ();
             kill cycle)
   in

@@ -241,6 +241,297 @@ let lock_table_safety_prop =
       done;
       !ok)
 
+(* --- Model-based properties ---
+
+   A naive association-list lock table (the seed implementation's
+   semantics, kept deliberately dumb) drives the same random traffic as
+   the array-backed table; every observable — outcomes, grant order,
+   blocker sets, held modes, waiting state, grant counts — must agree at
+   every step. *)
+
+module Model = struct
+  type waiter = { owner : int; mode : Mode.t }
+
+  type lock = {
+    mutable granted : (int * Mode.t) list;
+    mutable queue : waiter list; (* front first *)
+  }
+
+  type t = (int, lock) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+
+  let lock_for (t : t) resource =
+    match Hashtbl.find_opt t resource with
+    | Some lock -> lock
+    | None ->
+        let lock = { granted = []; queue = [] } in
+        Hashtbl.add t resource lock;
+        lock
+
+  let waiting_on (t : t) ~owner =
+    Hashtbl.fold
+      (fun resource lock acc ->
+        if List.exists (fun w -> w.owner = owner) lock.queue then
+          Some (resource, lock)
+        else acc)
+      t None
+
+  let is_waiting t ~owner = waiting_on t ~owner <> None
+
+  let holds (t : t) ~owner ~resource =
+    match Hashtbl.find_opt t resource with
+    | None -> None
+    | Some lock -> List.assoc_opt owner lock.granted
+
+  let grants_outstanding (t : t) =
+    Hashtbl.fold (fun _ lock acc -> acc + List.length lock.granted) t 0
+
+  (* FIFO pump; returns the owners granted, front of the queue first. *)
+  let pump lock =
+    let grantable w =
+      List.for_all
+        (fun (o, g) -> o = w.owner || Mode.compatible g w.mode)
+        lock.granted
+    in
+    let rec loop acc =
+      match lock.queue with
+      | w :: rest when grantable w ->
+          lock.queue <- rest;
+          (if List.mem_assoc w.owner lock.granted then
+             lock.granted <-
+               List.map
+                 (fun (o, g) -> if o = w.owner then (o, w.mode) else (o, g))
+                 lock.granted
+           else lock.granted <- lock.granted @ [ (w.owner, w.mode) ]);
+          loop (w.owner :: acc)
+      | _ -> List.rev acc
+    in
+    loop []
+
+  let acquire t ~owner ~resource ~mode =
+    let lock = lock_for t resource in
+    match List.assoc_opt owner lock.granted with
+    | Some held when Mode.covers ~held ~requested:mode -> Lock_table.Granted
+    | Some _ ->
+        if List.for_all (fun (o, _) -> o = owner) lock.granted then begin
+          lock.granted <- List.map (fun (o, _) -> (o, Mode.X)) lock.granted;
+          Lock_table.Granted
+        end
+        else begin
+          (* upgrades wait at the front *)
+          lock.queue <- { owner; mode } :: lock.queue;
+          Lock_table.Queued
+        end
+    | None ->
+        if
+          lock.queue = []
+          && List.for_all (fun (_, g) -> Mode.compatible g mode) lock.granted
+        then begin
+          lock.granted <- lock.granted @ [ (owner, mode) ];
+          Lock_table.Granted
+        end
+        else begin
+          lock.queue <- lock.queue @ [ { owner; mode } ];
+          Lock_table.Queued
+        end
+
+  let blockers t ~owner =
+    match waiting_on t ~owner with
+    | None -> []
+    | Some (_, lock) ->
+        let rec split ahead = function
+          | [] -> (List.rev ahead, Mode.X)
+          | w :: _ when w.owner = owner -> (List.rev ahead, w.mode)
+          | w :: rest -> split (w :: ahead) rest
+        in
+        let ahead, my_mode = split [] lock.queue in
+        let holders =
+          List.filter_map
+            (fun (o, g) ->
+              if o <> owner && not (Mode.compatible g my_mode) then Some o
+              else None)
+            lock.granted
+        in
+        let queued =
+          List.filter_map
+            (fun w ->
+              if not (Mode.compatible w.mode my_mode) then Some w.owner
+              else None)
+            ahead
+        in
+        List.sort_uniq Int.compare (holders @ queued)
+
+  (* Both return the grants fired, as (owner, resource) in callback
+     order. *)
+  let cancel_wait t ~owner =
+    match waiting_on t ~owner with
+    | None -> []
+    | Some (resource, lock) ->
+        lock.queue <- List.filter (fun w -> w.owner <> owner) lock.queue;
+        List.map (fun o -> (o, resource)) (pump lock)
+
+  let release_all t ~owner =
+    let from_cancel = cancel_wait t ~owner in
+    let held =
+      Hashtbl.fold
+        (fun resource lock acc ->
+          if List.mem_assoc owner lock.granted then resource :: acc else acc)
+        t []
+      |> List.sort Int.compare
+    in
+    from_cancel
+    @ List.concat_map
+        (fun resource ->
+          let lock = Hashtbl.find t resource in
+          lock.granted <- List.remove_assoc owner lock.granted;
+          List.map (fun o -> (o, resource)) (pump lock))
+        held
+end
+
+let owners = 5
+let resources = 4
+
+type script_op =
+  | Op_acquire of int * int * Mode.t
+  | Op_cancel of int
+  | Op_release of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 5,
+          map3
+            (fun owner resource x ->
+              Op_acquire (owner, resource, if x then Mode.X else Mode.S))
+            (int_range 0 (owners - 1))
+            (int_range 0 (resources - 1))
+            bool );
+        (1, map (fun o -> Op_cancel o) (int_range 0 (owners - 1)));
+        (2, map (fun o -> Op_release o) (int_range 0 (owners - 1)));
+      ])
+
+let op_print = function
+  | Op_acquire (o, r, m) ->
+      Printf.sprintf "acquire(%d,%d,%s)" o r
+        (match m with Mode.X -> "X" | Mode.S -> "S")
+  | Op_cancel o -> Printf.sprintf "cancel(%d)" o
+  | Op_release o -> Printf.sprintf "release(%d)" o
+
+let script_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_print ops))
+    QCheck.Gen.(list_size (int_range 1 80) op_gen)
+
+let ilist = Alcotest.list Alcotest.int
+
+let lock_table_model_prop =
+  QCheck.Test.make
+    ~name:"lock table: agrees with the naive reference model" ~count:300
+    script_arb
+    (fun script ->
+      let real = Lock_table.create () in
+      let model = Model.create () in
+      let real_grants = ref [] in
+      let on_grant owner resource () =
+        real_grants := (owner, resource) :: !real_grants
+      in
+      let model_grants = ref [] in
+      let record_model granted =
+        List.iter (fun grant -> model_grants := grant :: !model_grants) granted
+      in
+      let check_agreement () =
+        Alcotest.check
+          (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+          "grant order" (List.rev !model_grants) (List.rev !real_grants);
+        checki "grants outstanding" (Model.grants_outstanding model)
+          (Lock_table.grants_outstanding real);
+        for owner = 0 to owners - 1 do
+          checkb "is_waiting"
+            (Model.is_waiting model ~owner)
+            (Lock_table.is_waiting real ~owner);
+          Alcotest.check ilist "blockers" (Model.blockers model ~owner)
+            (Lock_table.blockers real ~owner);
+          Alcotest.check ilist "blockers_fresh agrees with memo"
+            (Lock_table.blockers real ~owner)
+            (Lock_table.blockers_fresh real ~owner);
+          for resource = 0 to resources - 1 do
+            checkb "holds"
+              (Model.holds model ~owner ~resource
+              = Some Mode.X)
+              (Lock_table.holds real ~owner ~resource = Some Mode.X);
+            checkb "holds S"
+              (Model.holds model ~owner ~resource = Some Mode.S)
+              (Lock_table.holds real ~owner ~resource = Some Mode.S)
+          done
+        done
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | Op_acquire (owner, resource, mode) ->
+              (* both sides forbid acquiring while waiting; skip those *)
+              if not (Model.is_waiting model ~owner) then begin
+                let model_outcome =
+                  Model.acquire model ~owner ~resource ~mode
+                in
+                (* a queue-front upgrade can become grantable only via
+                   later releases, so pumping here grants nothing; the
+                   real table relies on the same fact *)
+                let real_outcome =
+                  Lock_table.acquire real ~owner ~resource ~mode
+                    ~on_grant:(on_grant owner resource)
+                in
+                checkb "acquire outcome"
+                  (model_outcome = Lock_table.Granted)
+                  (real_outcome = Lock_table.Granted)
+              end
+          | Op_cancel owner ->
+              record_model (Model.cancel_wait model ~owner);
+              Lock_table.cancel_wait real ~owner
+          | Op_release owner ->
+              (* grants come back in (cancel pump, then resources
+                 ascending) order — the order the real table fires
+                 callbacks in *)
+              record_model (Model.release_all model ~owner);
+              Lock_table.release_all real ~owner);
+          check_agreement ())
+        script;
+      true)
+
+let lock_manager_incremental_prop =
+  QCheck.Test.make
+    ~name:"lock manager: incremental cycles match the reference DFS"
+    ~count:200 script_arb
+    (fun script ->
+      (* [debug_check] makes the manager itself fail on any divergence
+         between the incremental detector and Waits_for.find_cycle over
+         freshly recomputed blockers. *)
+      let m = Lock_manager.create ~debug_check:true () in
+      List.iter
+        (fun op ->
+          match op with
+          | Op_acquire (owner, resource, mode) ->
+              if
+                not (Lock_table.is_waiting (Lock_manager.table m) ~owner)
+              then begin
+                match
+                  Lock_manager.request m ~owner ~resource ~mode
+                    ~on_grant:noop
+                with
+                | Lock_manager.Deadlock cycle ->
+                    checkb "victim heads its cycle" true
+                      (List.hd cycle = owner);
+                    Lock_manager.release_all m ~owner
+                | Lock_manager.Granted | Lock_manager.Waiting -> ()
+              end
+          | Op_cancel owner ->
+              Lock_table.cancel_wait (Lock_manager.table m) ~owner
+          | Op_release owner -> Lock_manager.release_all m ~owner)
+        script;
+      true)
+
 let suite =
   [
     Alcotest.test_case "modes" `Quick test_mode;
@@ -260,4 +551,6 @@ let suite =
     Alcotest.test_case "manager three-way cycle" `Quick test_manager_three_way_cycle;
     Alcotest.test_case "manager reset counters" `Quick test_manager_reset_counters;
     QCheck_alcotest.to_alcotest lock_table_safety_prop;
+    QCheck_alcotest.to_alcotest lock_table_model_prop;
+    QCheck_alcotest.to_alcotest lock_manager_incremental_prop;
   ]

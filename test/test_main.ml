@@ -24,4 +24,5 @@ let () =
       ("rules-e2e", Test_rules_e2e.suite);
       ("fault", Test_fault.suite);
       ("runner", Test_runner.suite);
+      ("microbench", Test_microbench.suite);
     ]

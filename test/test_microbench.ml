@@ -1,0 +1,130 @@
+(* Micro-benchmark harness tests: statistics, the BENCH_micro.json schema
+   round-trip, and the regression comparator's verdicts. *)
+
+module Harness = Dangers_microbench.Harness
+module Bench_file = Dangers_microbench.Bench_file
+module Compare = Dangers_microbench.Compare
+module Export = Dangers_runner.Export
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let test_stats_of_samples () =
+  let s =
+    Harness.of_samples ~name:"s" ~warmup:2 ~runs:3
+      [| 30.; 10.; 20.; 40.; 50. |]
+  in
+  checkf "mean" 30. s.Harness.mean;
+  checkf "p50" 30. s.Harness.p50;
+  checkf "min" 10. s.Harness.min;
+  checkf "max" 50. s.Harness.max;
+  (* sample stddev of 10..50 step 10 *)
+  checkf "stddev" (sqrt 250.) s.Harness.stddev;
+  (* p99 sits between the two largest samples: rank 3.96 of [0..4] *)
+  checkf "p99" 49.6 s.Harness.p99;
+  checki "samples recorded" 5 s.Harness.s_samples
+
+let test_percentile_interpolation () =
+  let xs = [| 0.; 100. |] in
+  checkf "p0" 0. (Harness.percentile xs 0.);
+  checkf "p50 interpolates" 50. (Harness.percentile xs 50.);
+  checkf "p100" 100. (Harness.percentile xs 100.);
+  checkf "single sample" 7. (Harness.percentile [| 7. |] 99.)
+
+let test_harness_runs () =
+  let hits = ref 0 in
+  let stats =
+    Harness.run (Harness.bench ~warmup:1 ~samples:4 ~runs:2 "spin" (fun () -> incr hits))
+  in
+  (* warmup batch + 4 sample batches, 2 runs each *)
+  checki "all batches executed" 10 !hits;
+  checkb "timings non-negative" true (stats.Harness.min >= 0.);
+  checkb "min <= mean <= max" true
+    (stats.Harness.min <= stats.Harness.mean
+    && stats.Harness.mean <= stats.Harness.max)
+
+let sample_stats name mean =
+  {
+    Harness.s_name = name;
+    s_warmup = 3;
+    s_samples = 10;
+    s_runs = 5;
+    mean;
+    stddev = mean /. 100.;
+    p50 = mean;
+    p99 = mean *. 1.1;
+    min = mean *. 0.9;
+    max = mean *. 1.2;
+  }
+
+let test_schema_round_trip () =
+  let file =
+    {
+      Bench_file.host_cores = 4;
+      quick = false;
+      benchmarks = [ sample_stats "a/b" 123.456; sample_stats "c" 1e9 ];
+    }
+  in
+  let json = Export.json_to_string (Bench_file.to_json file) in
+  let back = Bench_file.of_json (Export.json_of_string json) in
+  checkb "round-trips exactly" true (back = file);
+  Alcotest.check_raises "wrong schema rejected"
+    (Export.Parse_error "bench-micro: unsupported schema nope") (fun () ->
+      ignore
+        (Bench_file.of_json
+           (Export.Obj [ ("schema", Export.Str "nope") ])))
+
+let compare_files old_means new_means =
+  let file benchmarks =
+    { Bench_file.host_cores = 1; quick = true;
+      benchmarks = List.map (fun (n, m) -> sample_stats n m) benchmarks }
+  in
+  Compare.diff ~threshold:0.20 (file old_means) (file new_means)
+
+let test_compare_flags_regression () =
+  (* +25% mean regresses past a 20% threshold; +10% does not. *)
+  let report =
+    compare_files
+      [ ("lock", 100.); ("engine", 200.); ("e2e", 1000.) ]
+      [ ("lock", 125.); ("engine", 210.); ("e2e", 700.) ]
+  in
+  checki "one regression" 1 (List.length report.Compare.regressions);
+  checkb "names the regressed bench" true
+    ((List.hd report.Compare.regressions).Compare.name = "lock");
+  checki "one improvement" 1 (List.length report.Compare.improvements);
+  checki "one stable" 1 (List.length report.Compare.stable);
+  checkb "overall verdict fails" false (Compare.ok report)
+
+let test_compare_ok_within_threshold () =
+  let report =
+    compare_files
+      [ ("lock", 100.); ("engine", 200.) ]
+      [ ("lock", 110.); ("engine", 190.) ]
+  in
+  checkb "10% drift passes at 20%" true (Compare.ok report);
+  checki "no regressions" 0 (List.length report.Compare.regressions)
+
+let test_compare_missing_bench_fails () =
+  let report = compare_files [ ("lock", 100.); ("gone", 50.) ] [ ("lock", 100.) ] in
+  checkb "lost coverage fails the check" false (Compare.ok report);
+  Alcotest.check (Alcotest.list Alcotest.string) "names the lost bench"
+    [ "gone" ] report.Compare.only_old;
+  let report2 = compare_files [ ("lock", 100.) ] [ ("lock", 100.); ("extra", 9.) ] in
+  checkb "new benches are fine" true (Compare.ok report2)
+
+let suite =
+  [
+    Alcotest.test_case "stats of samples" `Quick test_stats_of_samples;
+    Alcotest.test_case "percentile interpolation" `Quick
+      test_percentile_interpolation;
+    Alcotest.test_case "harness runs warmup and samples" `Quick
+      test_harness_runs;
+    Alcotest.test_case "schema round trip" `Quick test_schema_round_trip;
+    Alcotest.test_case "compare flags 25% regression" `Quick
+      test_compare_flags_regression;
+    Alcotest.test_case "compare passes 10% drift" `Quick
+      test_compare_ok_within_threshold;
+    Alcotest.test_case "compare fails on lost bench" `Quick
+      test_compare_missing_bench_fails;
+  ]

@@ -205,9 +205,45 @@ let test_metrics_samples () =
   checkf "sample mean" 2.0 (Dangers_util.Stats.mean (Metrics.sample_stats metrics "d"));
   checki "unknown counter" 0 (Metrics.count metrics "nope")
 
+let test_heap_clear_keeps_capacity () =
+  let h = Heap.create ~cmp:Int.compare () in
+  for i = 0 to 99 do
+    Heap.push h i
+  done;
+  let grown = Heap.capacity h in
+  checkb "capacity at least 100" true (grown >= 100);
+  Heap.clear h;
+  checkb "cleared" true (Heap.is_empty h);
+  checki "capacity preserved across clear" grown (Heap.capacity h);
+  (* refill to the same size: no regrowth from the initial 16 *)
+  for i = 0 to 99 do
+    Heap.push h (100 - i)
+  done;
+  checki "no regrowth on refill" grown (Heap.capacity h);
+  checki "still a min-heap" 1 (Heap.pop_exn h)
+
+let test_engine_queue_high_water () =
+  let e = Engine.create () in
+  checki "empty engine high water" 0 (Engine.queue_high_water e);
+  let cancelled = Engine.schedule e ~delay:3. (fun () -> ()) in
+  for i = 1 to 9 do
+    ignore (Engine.schedule e ~delay:(float_of_int i) (fun () -> ()))
+  done;
+  checki "high water tracks peak depth" 10 (Engine.queue_high_water e);
+  (* cancelled events still occupy queue slots until popped *)
+  Engine.cancel e cancelled;
+  ignore (Engine.schedule e ~delay:10. (fun () -> ()));
+  checki "cancel frees no slot" 11 (Engine.queue_high_water e);
+  Engine.run e;
+  checki "draining does not lower the mark" 11 (Engine.queue_high_water e)
+
 let suite =
   [
     Alcotest.test_case "heap basics" `Quick test_heap_basic;
+    Alcotest.test_case "heap clear keeps capacity" `Quick
+      test_heap_clear_keeps_capacity;
+    Alcotest.test_case "engine queue high water" `Quick
+      test_engine_queue_high_water;
     Alcotest.test_case "heap pop empty" `Quick test_heap_pop_empty;
     Alcotest.test_case "heap sorted copy" `Quick test_heap_to_sorted_list_preserves;
     QCheck_alcotest.to_alcotest heap_sort_prop;
