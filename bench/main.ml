@@ -215,6 +215,25 @@ let bench_sweep () =
   let parallel_seconds, parallel_out = timed jobs in
   let identical = String.equal serial_out parallel_out in
   let speedup = serial_seconds /. parallel_seconds in
+  (* An observed pass over the same tasks: per-task wall-clock and
+     allocation profiles for the report, and a cross-check that observing
+     does not change results. *)
+  let observed = Sweep.run_observed ~jobs tasks in
+  let observed_out =
+    Export.to_jsonl (List.map (fun (item, _) -> Export.record_of_item item) observed)
+  in
+  let observed_identical = String.equal serial_out observed_out in
+  let task_profiles =
+    Export.Arr
+      (List.map
+         (fun (_, o) ->
+           match Dangers_obs.Profiling.to_json o.Sweep.o_profile with
+           | Export.Obj fields ->
+               Export.Obj
+                 (fields @ [ ("seed", Export.Num (float_of_int o.Sweep.o_seed)) ])
+           | j -> j)
+         observed)
+  in
   let json =
     Export.(
       json_to_string
@@ -228,6 +247,8 @@ let bench_sweep () =
              ("parallel_seconds", json_of_float parallel_seconds);
              ("speedup", json_of_float speedup);
              ("identical", Bool identical);
+             ("observed_identical", Bool observed_identical);
+             ("task_profiles", task_profiles);
            ]))
   in
   let oc = open_out "BENCH_sweep.json" in

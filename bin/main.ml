@@ -23,6 +23,10 @@ module Task_pool = Dangers_runner.Task_pool
 module Repl_stats = Dangers_replication.Repl_stats
 module Scenario = Dangers_workload.Scenario
 module Connectivity = Dangers_net.Connectivity
+module Json = Dangers_obs.Json
+module Obs = Dangers_obs.Metrics
+module Trace = Dangers_sim.Trace
+module Trace_export = Dangers_sim.Trace_export
 
 open Cmdliner
 
@@ -84,6 +88,89 @@ let jobs_term =
 
 let resolve_jobs jobs = if jobs = 0 then Task_pool.default_jobs () else jobs
 
+(* --- shared observability flags --- *)
+
+type obs_opts = {
+  trace_out : string option;
+  trace_capacity : int;
+  metrics_out : string option;
+}
+
+let obs_term =
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Record each run's simulator events and write them to \
+                   $(docv) as dangers/trace/v1 JSONL (inspect or convert \
+                   with `dangers trace`).")
+  in
+  let trace_capacity =
+    Arg.(value & opt int 4096
+         & info [ "trace-capacity" ] ~docv:"N"
+             ~doc:"Trace ring capacity per run: only the newest $(docv) \
+                   events are kept.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write each run's dangers/metrics/v1 snapshot (counters, \
+                   latency histograms, phase profiles) to $(docv) as JSONL.")
+  in
+  let build trace_out trace_capacity metrics_out =
+    { trace_out; trace_capacity; metrics_out }
+  in
+  Term.(const build $ trace_out $ trace_capacity $ metrics_out)
+
+let observing opts = opts.trace_out <> None || opts.metrics_out <> None
+
+(* One JSONL line per observed run: the snapshot with the run's identity
+   spliced in front, so a multi-run file needs no out-of-band ordering. *)
+let metrics_line ~label ~seed snapshot =
+  match Obs.snapshot_to_json snapshot with
+  | Json.Obj fields ->
+      Json.Obj (("label", Json.Str label) :: ("seed", Json.int_ seed) :: fields)
+  | j -> j
+
+let write_observations opts observations =
+  (match opts.trace_out with
+  | None -> ()
+  | Some file ->
+      let sections =
+        List.filter_map (fun o -> o.Sweep.o_trace) observations
+      in
+      Trace_export.write file sections;
+      Printf.printf "wrote %s (%d trace section(s))\n%!" file
+        (List.length sections));
+  match opts.metrics_out with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      List.iter
+        (fun o ->
+          output_string oc
+            (Json.to_string
+               (metrics_line ~label:o.Sweep.o_label ~seed:o.Sweep.o_seed
+                  o.Sweep.o_snapshot)
+            ^ "\n"))
+        observations;
+      close_out oc;
+      Printf.printf "wrote %s (%d metrics snapshot(s))\n%!" file
+        (List.length observations)
+
+(* Run tasks with per-task observation when any sink is requested, plainly
+   otherwise — the items are identical either way. *)
+let run_tasks ~opts ~jobs tasks =
+  if observing opts then begin
+    let observed =
+      Sweep.run_observed ~jobs
+        ~trace:(opts.trace_out <> None)
+        ~trace_capacity:opts.trace_capacity tasks
+    in
+    write_observations opts (List.map snd observed);
+    List.map fst observed
+  end
+  else Sweep.run ~jobs tasks
+
 (* Scheme-specific post-run facts, one line, stable order. *)
 let pp_diagnostics ppf outcome =
   match outcome.Scheme.diagnostics with
@@ -123,7 +210,7 @@ let experiment_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Shorter runs, fewer seeds.")
   in
-  let run ids quick seed jobs =
+  let run ids quick seed jobs opts =
     let selected =
       match ids with
       | [] -> Ok Registry.all
@@ -140,7 +227,7 @@ let experiment_cmd =
         1
     | Ok experiments ->
         Sweep.experiment_tasks ~quick experiments ~seeds:[ seed ]
-        |> Sweep.run ~jobs:(resolve_jobs jobs)
+        |> run_tasks ~opts ~jobs:(resolve_jobs jobs)
         |> List.iter (function
              | Sweep.Experiment_item { result; _ } ->
                  Format.printf "%a@." Experiment.pp_result result
@@ -150,7 +237,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate the paper's tables and figures (analytic vs measured).")
-    Term.(const run $ ids $ quick $ seed_term $ jobs_term)
+    Term.(const run $ ids $ quick $ seed_term $ jobs_term $ obs_term)
 
 (* --- analytic --- *)
 
@@ -248,17 +335,27 @@ let simulate_cmd =
   let span =
     Arg.(value & opt float 120. & info [ "span" ] ~doc:"Measured seconds.")
   in
-  let run params scheme span seed =
-    let outcome =
-      Scheme.run_outcome scheme (Scheme.spec params) ~seed ~warmup:5. ~span
+  let run params scheme span seed opts =
+    let task =
+      Sweep.Scheme_task
+        {
+          scheme = Scheme.name scheme;
+          spec = Scheme.spec params;
+          seed;
+          warmup = 5.;
+          span;
+        }
     in
-    Format.printf "%a@." Repl_stats.pp_summary outcome.Scheme.summary;
-    Format.printf "%a" pp_diagnostics outcome;
-    0
+    match run_tasks ~opts ~jobs:1 [ task ] with
+    | [ Sweep.Scheme_item { outcome; _ } ] ->
+        Format.printf "%a@." Repl_stats.pp_summary outcome.Scheme.summary;
+        Format.printf "%a" pp_diagnostics outcome;
+        0
+    | _ -> assert false
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one scheme under generator load.")
-    Term.(const run $ params_term $ scheme $ span $ seed_term)
+    Term.(const run $ params_term $ scheme $ span $ seed_term $ obs_term)
 
 (* --- sweep --- *)
 
@@ -308,7 +405,7 @@ let sweep_cmd =
     Arg.(value & opt (some string) None
          & info [ "out" ] ~docv:"FILE" ~doc:"Write the output to FILE.")
   in
-  let run params ids schemes quick nseeds span format out seed jobs =
+  let run params ids schemes quick nseeds span format out seed jobs opts =
     let scheme_names =
       if List.mem "all" schemes then Scheme.names () else schemes
     in
@@ -343,7 +440,7 @@ let sweep_cmd =
         @ Sweep.scheme_tasks ~span ~seeds ~specs:[ Scheme.spec params ]
             scheme_names
       in
-      let items = Sweep.run ~jobs:(resolve_jobs jobs) tasks in
+      let items = run_tasks ~opts ~jobs:(resolve_jobs jobs) tasks in
       let emit text =
         match out with
         | None -> print_string text
@@ -371,7 +468,7 @@ let sweep_cmd =
              pool. Results are in task order and byte-identical at any \
              $(b,--jobs).")
     Term.(const run $ params_term $ ids $ schemes $ quick $ seeds $ span
-          $ format $ out $ seed_term $ jobs_term)
+          $ format $ out $ seed_term $ jobs_term $ obs_term)
 
 (* --- report --- *)
 
@@ -416,18 +513,81 @@ let report_cmd =
 
 (* --- trace --- *)
 
+let event_tag event =
+  match Trace_export.event_to_json event with
+  | Json.Obj (("ev", Json.Str tag) :: _) -> tag
+  | _ -> assert false
+
 let trace_cmd =
+  let file =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+             ~doc:"A dangers/trace/v1 JSONL file recorded with \
+                   $(b,--trace-out). When omitted, runs a short lazy-master \
+                   simulation and prints its trace.")
+  in
   let span =
-    Arg.(value & opt float 0.5 & info [ "span" ] ~doc:"Simulated seconds to trace.")
+    Arg.(value & opt float 0.5
+         & info [ "span" ] ~doc:"Live run: simulated seconds to trace.")
   in
   let last =
-    Arg.(value & opt int 60 & info [ "last" ] ~doc:"Entries to print (newest).")
+    Arg.(value & opt int (-1)
+         & info [ "last" ] ~docv:"N"
+             ~doc:"Entries to print, newest (default: 60 for a live run, \
+                   all of $(i,FILE)).")
   in
-  let run params span last seed =
+  let chrome =
+    Arg.(value & flag
+         & info [ "chrome" ]
+             ~doc:"Convert $(i,FILE) to Chrome trace-event JSON (loadable \
+                   in Perfetto / chrome://tracing) on stdout, or into \
+                   $(b,--out).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"OUT"
+             ~doc:"With $(b,--chrome): write the converted JSON to $(docv).")
+  in
+  let validate =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:"Check $(i,FILE) against the dangers/trace/v1 schema and \
+                   report; exit 1 if it does not conform.")
+  in
+  let filter =
+    Arg.(value & opt (some string) None
+         & info [ "filter" ] ~docv:"SUBSTR"
+             ~doc:"Only print events whose tag contains $(docv) (e.g. \
+                   $(b,message), $(b,txn), $(b,deadlock)).")
+  in
+  let matches filter entry =
+    match filter with
+    | None -> true
+    | Some sub ->
+        let tag = event_tag entry.Trace.event in
+        let n = String.length sub and m = String.length tag in
+        let rec at i = i + n <= m && (String.sub tag i n = sub || at (i + 1)) in
+        at 0
+  in
+  let print_section last filter (s : Trace_export.section) =
+    Format.printf "%s seed %d: %d events recorded (%d dropped)@." s.label
+      s.seed s.recorded s.dropped;
+    let entries = List.filter (matches filter) s.Trace_export.entries in
+    let total = List.length entries in
+    let tail =
+      if last >= 0 && total > last then
+        List.filteri (fun i _ -> i >= total - last) entries
+      else entries
+    in
+    if total > List.length tail then
+      Format.printf "  (showing the last %d of %d)@." (List.length tail) total;
+    List.iter (fun entry -> Format.printf "%a@." Trace.pp_entry entry) tail;
+    Format.printf "@."
+  in
+  let live_run params span last seed =
     Params.validate params;
     let module Lazy_master = Dangers_replication.Lazy_master in
     let module Common = Dangers_replication.Common in
-    let module Trace = Dangers_sim.Trace in
     let module Engine = Dangers_sim.Engine in
     let sys = Lazy_master.create params ~seed in
     let engine = (Lazy_master.base sys).Common.engine in
@@ -436,6 +596,7 @@ let trace_cmd =
     Lazy_master.start sys;
     Engine.run_for engine span;
     Lazy_master.stop_load sys;
+    let last = if last < 0 then 60 else last in
     let entries = Trace.entries tracer in
     let total = List.length entries in
     let tail = if total > last then List.filteri (fun i _ -> i >= total - last) entries else entries in
@@ -445,10 +606,59 @@ let trace_cmd =
     List.iter (fun entry -> Format.printf "%a@." Trace.pp_entry entry) tail;
     0
   in
+  let run params span last seed file chrome out validate filter =
+    match file with
+    | None -> live_run params span last seed
+    | Some path -> (
+        match
+          let ic = open_in_bin path in
+          let contents = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          contents
+        with
+        | exception Sys_error message ->
+            prerr_endline ("trace: " ^ message);
+            1
+        | contents ->
+            if validate then (
+              match Trace_export.validate contents with
+              | Ok (sections, events) ->
+                  Printf.printf "%s: valid %s (%d section(s), %d event(s))\n"
+                    path Trace_export.schema_id sections events;
+                  0
+              | Error message ->
+                  Printf.eprintf "%s: INVALID: %s\n" path message;
+                  1)
+            else (
+              match Trace_export.of_jsonl contents with
+              | exception Json.Parse_error message ->
+                  Printf.eprintf "%s: %s\n" path message;
+                  1
+              | sections ->
+                  if chrome then begin
+                    let text = Json.to_string (Trace_export.to_chrome sections) in
+                    (match out with
+                    | None -> print_endline text
+                    | Some target ->
+                        let oc = open_out target in
+                        output_string oc text;
+                        output_char oc '\n';
+                        close_out oc;
+                        Printf.printf "wrote %s\n" target);
+                    0
+                  end
+                  else begin
+                    List.iter (print_section last filter) sections;
+                    0
+                  end))
+  in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Run a short lazy-master simulation with event tracing and print              the trace.")
-    Term.(const run $ params_term $ span $ last $ seed_term)
+       ~doc:"Inspect a recorded trace file (pretty-print, $(b,--validate), \
+             convert with $(b,--chrome) for Perfetto); with no FILE, run a \
+             short traced lazy-master simulation.")
+    Term.(const run $ params_term $ span $ last $ seed_term $ file $ chrome
+          $ out $ validate $ filter)
 
 (* --- fuzz --- *)
 

@@ -292,7 +292,7 @@ let submit t ~node ops =
     end
   end
 
-let create ?profile ?(initial_value = 0.) ?(acceptance = Acceptance.Always)
+let create ?obs ?profile ?(initial_value = 0.) ?(acceptance = Acceptance.Always)
     ?(delay = Delay.Zero) ?faults ?mobility ?(mobile_owned_per_node = 0)
     ?(unsafe_skip_acceptance = false) ~base_nodes params ~seed =
   if base_nodes < 1 || base_nodes > params.Params.nodes then
@@ -302,7 +302,8 @@ let create ?profile ?(initial_value = 0.) ?(acceptance = Acceptance.Always)
     invalid_arg "Two_tier.create: negative mobile_owned_per_node";
   if mobile_owned_per_node * mobile_total >= params.Params.db_size then
     invalid_arg "Two_tier.create: mobile-owned blocks exceed the database";
-  let common = Common.make ?profile ~initial_value params ~seed in
+  let common = Common.make ?obs ?profile ~initial_value params ~seed in
+  let obs = common.Common.obs in
   let owner =
     Array.init params.Params.db_size (fun i ->
         let tail = params.Params.db_size - (mobile_owned_per_node * mobile_total) in
@@ -313,7 +314,7 @@ let create ?profile ?(initial_value = 0.) ?(acceptance = Acceptance.Always)
     Executor.create
       ~on_wait:(fun () -> Metrics.incr common.Common.metrics Repl_stats.waits)
       ~engine:common.Common.engine
-      ~locks:(Lock_manager.create ())
+      ~locks:(Lock_manager.create ?obs ())
       ~action_time:params.Params.action_time ()
   in
   let mobiles =
@@ -346,7 +347,7 @@ let create ?profile ?(initial_value = 0.) ?(acceptance = Acceptance.Always)
     }
   in
   let net =
-    Network.create ?faults ~engine:common.Common.engine
+    Network.create ?obs ?faults ~engine:common.Common.engine
       ~rng:(Rng.split common.Common.rng) ~delay ~nodes:params.Params.nodes
       ~deliver:(fun ~src ~dst u -> deliver t ~src ~dst u) ()
   in

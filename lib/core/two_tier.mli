@@ -43,6 +43,7 @@ module Common = Dangers_replication.Common
 type t
 
 val create :
+  ?obs:Dangers_obs.Metrics.t ->
   ?profile:Profile.t ->
   ?initial_value:float ->
   ?acceptance:Acceptance.t ->

@@ -255,7 +255,14 @@ let doc (module S : SCHEME) = S.doc
 let names () = List.map name all
 
 let find wanted =
-  let wanted = String.lowercase_ascii wanted in
+  (* Accept "eager_group" for "eager-group": shell users reach for
+     underscores as often as hyphens, and the distinction carries no
+     information here. *)
+  let wanted =
+    String.map
+      (function '_' -> '-' | c -> Char.lowercase_ascii c)
+      wanted
+  in
   List.find_opt (fun s -> String.equal (name s) wanted) all
 
 let run (module S : SCHEME) spec ~seed ~warmup ~span =

@@ -102,7 +102,8 @@ val doc : t -> string
 val names : unit -> string list
 
 val find : string -> t option
-(** Case-insensitive lookup by [name]. *)
+(** Case-insensitive lookup by [name]; underscores are accepted for
+    hyphens ("eager_group" finds "eager-group"). *)
 
 val named : string -> t
 (** Like {!find}. @raise Invalid_argument on an unknown name, listing the

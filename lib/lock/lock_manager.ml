@@ -2,6 +2,7 @@ type t = {
   locks : Lock_table.t;
   mutable wait_count : int;
   mutable deadlock_count : int;
+  mutable dfs_visit_count : int;
   debug_check : bool;
   (* DFS scratch state, reused across detections: [stamp.(owner) = gen]
      marks [owner] visited in the current traversal. Owner ids are small
@@ -20,15 +21,29 @@ let env_debug =
   | Some ("" | "0") | None -> false
   | Some _ -> true
 
-let create ?(debug_check = env_debug) () =
-  {
-    locks = Lock_table.create ();
-    wait_count = 0;
-    deadlock_count = 0;
-    debug_check;
-    stamp = Array.make 64 0;
-    gen = 0;
-  }
+let create ?obs ?(debug_check = env_debug) () =
+  let t =
+    {
+      locks = Lock_table.create ();
+      wait_count = 0;
+      deadlock_count = 0;
+      dfs_visit_count = 0;
+      debug_check;
+      stamp = Array.make 64 0;
+      gen = 0;
+    }
+  in
+  (match obs with
+  | None -> ()
+  | Some registry ->
+      Dangers_obs.Metrics.register_source registry (fun () ->
+          [
+            Dangers_obs.Metrics.Count ("lock.waits_total", t.wait_count);
+            Dangers_obs.Metrics.Count ("lock.deadlocks_total", t.deadlock_count);
+            Dangers_obs.Metrics.Count
+              ("lock.deadlock_dfs_visits_total", t.dfs_visit_count);
+          ]));
+  t
 
 let visited t owner =
   if owner >= Array.length t.stamp then begin
@@ -47,6 +62,7 @@ let visited t owner =
 let find_cycle_incremental t ~start =
   t.gen <- t.gen + 1;
   let rec dfs node path =
+    t.dfs_visit_count <- t.dfs_visit_count + 1;
     let rec explore = function
       | [] -> None
       | successor :: rest ->
@@ -97,7 +113,9 @@ let release_all t ~owner = Lock_table.release_all t.locks ~owner
 let table t = t.locks
 let waits t = t.wait_count
 let deadlocks t = t.deadlock_count
+let dfs_visits t = t.dfs_visit_count
 
 let reset_counters t =
   t.wait_count <- 0;
-  t.deadlock_count <- 0
+  t.deadlock_count <- 0;
+  t.dfs_visit_count <- 0

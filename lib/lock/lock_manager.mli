@@ -9,14 +9,19 @@
 
 type t
 
-val create : ?debug_check:bool -> unit -> t
+val create : ?obs:Dangers_obs.Metrics.t -> ?debug_check:bool -> unit -> t
 (** Deadlock detection walks the lock table's incrementally-maintained
     blocker lists with a reusable visited-stamp array. With
     [~debug_check:true] (or the [DANGERS_LOCK_DEBUG] environment variable
     set) every blocked request is additionally cross-checked against the
     original from-scratch DFS ({!Waits_for.find_cycle} over freshly
     recomputed blockers); divergence raises [Failure]. Owner ids must be
-    non-negative. *)
+    non-negative.
+
+    When [obs] is given, the manager registers a pull source exposing
+    [lock.waits_total], [lock.deadlocks_total] and
+    [lock.deadlock_dfs_visits_total] at snapshot time; the request path is
+    unchanged either way. *)
 
 type outcome =
   | Granted
@@ -43,4 +48,9 @@ val waits : t -> int
 (** Requests that blocked (including those that then deadlocked). *)
 
 val deadlocks : t -> int
+
+val dfs_visits : t -> int
+(** Nodes expanded by deadlock detection since creation (or the last
+    {!reset_counters}) — the cost driver equation (3) prices. *)
+
 val reset_counters : t -> unit

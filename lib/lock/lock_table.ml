@@ -265,18 +265,15 @@ let acquire t ~owner ~resource ~mode ~on_grant =
 (* An owner recorded as waiting must be present in its resource's queue; the
    two are updated together. If the invariant ever breaks we keep the old
    defensive answer (treat the request as X, the most conservative mode) but
-   say so once instead of silently hiding incremental-graph divergence. *)
-let missing_waiter_reported = ref false
-
+   say so once instead of silently hiding incremental-graph divergence. The
+   warn-once registry also counts the hit, so metrics snapshots surface it
+   as [warnings_total] even when stderr scrolled away. *)
 let missing_waiter ~owner ~resource =
-  if not !missing_waiter_reported then begin
-    missing_waiter_reported := true;
-    Printf.eprintf
-      "dangers: Lock_table invariant violation: owner %d is registered as \
-       waiting on resource %d but has no queue entry; defaulting its mode \
-       to X (reported once)\n%!"
-      owner resource
-  end;
+  Dangers_obs.Warnings.warn ~key:"lock_table.missing_waiter"
+    (Printf.sprintf
+       "Lock_table invariant violation: owner %d is registered as waiting \
+        on resource %d but has no queue entry; defaulting its mode to X"
+       owner resource);
   Mode.X
 
 let recompute_blockers lock ~owner ~resource =

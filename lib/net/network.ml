@@ -31,27 +31,52 @@ type 'msg t = {
   mutable parked_count : int;
   mutable dropped : int;
   mutable duplicated : int;
+  (* Pre-resolved metrics handle, [None] when no registry is attached —
+     same zero-cost-when-detached shape as the engine's tracer. *)
+  latency : Dangers_obs.Metrics.histogram option;
 }
 
-let create ?(faults = no_faults) ~engine ~rng ~delay ~nodes ~deliver () =
+let create ?obs ?(faults = no_faults) ~engine ~rng ~delay ~nodes ~deliver () =
   if nodes <= 0 then invalid_arg "Network.create: nodes must be positive";
   Delay.validate delay;
-  {
-    engine;
-    rng;
-    delay;
-    node_count = nodes;
-    faults;
-    connected = Array.make nodes true;
-    parked = Array.init nodes (fun _ -> Queue.create ());
-    deliver;
-    observers = [];
-    sent = 0;
-    delivered = 0;
-    parked_count = 0;
-    dropped = 0;
-    duplicated = 0;
-  }
+  let t =
+    {
+      engine;
+      rng;
+      delay;
+      node_count = nodes;
+      faults;
+      connected = Array.make nodes true;
+      parked = Array.init nodes (fun _ -> Queue.create ());
+      deliver;
+      observers = [];
+      sent = 0;
+      delivered = 0;
+      parked_count = 0;
+      dropped = 0;
+      duplicated = 0;
+      latency =
+        Option.map
+          (fun registry ->
+            Dangers_obs.Metrics.histogram registry "net.hop_latency_seconds")
+          obs;
+    }
+  in
+  (match obs with
+  | None -> ()
+  | Some registry ->
+      Dangers_obs.Metrics.register_source registry (fun () ->
+          [
+            Dangers_obs.Metrics.Count ("net.messages_sent_total", t.sent);
+            Dangers_obs.Metrics.Count
+              ("net.messages_delivered_total", t.delivered);
+            Dangers_obs.Metrics.Count ("net.messages_dropped_total", t.dropped);
+            Dangers_obs.Metrics.Count
+              ("net.messages_duplicated_total", t.duplicated);
+            Dangers_obs.Metrics.Gauge
+              ("net.messages_parked", float_of_int t.parked_count);
+          ]));
+  t
 
 let nodes t = t.node_count
 
@@ -82,6 +107,9 @@ let arrive t ({ p_src; p_dst; p_msg } as message) =
 
 let schedule_arrival t message ~extra =
   let delay = Delay.sample t.delay t.rng +. extra in
+  (match t.latency with
+  | None -> ()
+  | Some h -> Dangers_obs.Metrics.observe h delay);
   ignore (Engine.schedule t.engine ~delay (fun () -> arrive t message))
 
 (* Put a message on the wire, consulting the per-message fault hook. *)

@@ -34,6 +34,7 @@ val no_faults : faults
 (** Never blocks, always [Pass] — the default. *)
 
 val create :
+  ?obs:Dangers_obs.Metrics.t ->
   ?faults:faults ->
   engine:Dangers_sim.Engine.t ->
   rng:Dangers_util.Rng.t ->
@@ -43,7 +44,12 @@ val create :
   unit ->
   'msg t
 (** All nodes start connected. @raise Invalid_argument if [nodes <= 0] or
-    the delay model is invalid. *)
+    the delay model is invalid.
+
+    When [obs] is given, the network registers a pull source for its
+    message counters ([net.messages_*]) and observes every sampled hop
+    delay into the [net.hop_latency_seconds] histogram; without it the
+    send path is byte-identical to an uninstrumented network. *)
 
 val nodes : 'msg t -> int
 val is_connected : 'msg t -> node:int -> bool

@@ -1,0 +1,39 @@
+(* Process-global so a warn-once deep in a library (the lock table, say)
+   needs no plumbing to be visible: the snapshot builder reads the totals
+   back out. Guarded for multicore — sweep workers run on their own
+   domains. *)
+
+let lock = Mutex.create ()
+let total_count = Atomic.make 0
+let per_key : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let warn ~key message =
+  Atomic.incr total_count;
+  let first =
+    Mutex.lock lock;
+    let n = match Hashtbl.find_opt per_key key with Some n -> n | None -> 0 in
+    Hashtbl.replace per_key key (n + 1);
+    Mutex.unlock lock;
+    n = 0
+  in
+  if first then Printf.eprintf "dangers: warning [%s]: %s\n%!" key message
+
+let total () = Atomic.get total_count
+
+let count ~key =
+  Mutex.lock lock;
+  let n = match Hashtbl.find_opt per_key key with Some n -> n | None -> 0 in
+  Mutex.unlock lock;
+  n
+
+let keys () =
+  Mutex.lock lock;
+  let ks = Hashtbl.fold (fun k n acc -> (k, n) :: acc) per_key [] in
+  Mutex.unlock lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) ks
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset per_key;
+  Mutex.unlock lock;
+  Atomic.set total_count 0

@@ -1,0 +1,26 @@
+(** Warn-once paths, counted.
+
+    A defensive code path that fires (a broken invariant handled
+    conservatively, a fallback taken) used to print to stderr once and
+    vanish from every later report. Routing it through {!warn} keeps the
+    one-line stderr notice for interactive runs, and additionally counts
+    every occurrence so {!Metrics.snapshot} can expose a [warnings_total]
+    counter — a run that tripped a defensive path is visibly different
+    from one that did not.
+
+    State is process-global and domain-safe. *)
+
+val warn : key:string -> string -> unit
+(** Count an occurrence of [key]; print [message] to stderr the first time
+    only. *)
+
+val total : unit -> int
+(** Occurrences across all keys since start (or {!reset}). *)
+
+val count : key:string -> int
+
+val keys : unit -> (string * int) list
+(** Keys seen with their counts, sorted. *)
+
+val reset : unit -> unit
+(** For tests. *)

@@ -7,6 +7,8 @@ module Txn_id = Dangers_txn.Txn_id
 module Profile = Dangers_workload.Profile
 module Generator = Dangers_workload.Generator
 module Rng = Dangers_util.Rng
+module Obs = Dangers_obs.Metrics
+module Profiling = Dangers_obs.Profiling
 
 type base = {
   params : Params.t;
@@ -19,20 +21,50 @@ type base = {
   clocks : Timestamp.Clock.t array;
   txn_gen : Txn_id.Gen.t;
   mutable generators : Generator.t list;
+  obs : Obs.t option;
 }
 
-let make ?profile ?(initial_value = 0.) params ~seed =
+let make ?obs ?profile ?(initial_value = 0.) params ~seed =
   Params.validate params;
   let profile =
     match profile with Some p -> p | None -> Profile.of_params params
   in
+  (* An explicit registry wins; otherwise pick up whatever observation
+     context the caller's entry point installed (see {!Dangers_sim.Observe}),
+     which is how `--trace-out`/`--metrics-out` reach systems built deep
+     inside opaque experiment code. *)
+  let obs =
+    match obs with Some _ -> obs | None -> Dangers_sim.Observe.ambient_obs ()
+  in
   let engine = Engine.create () in
+  (match Dangers_sim.Observe.ambient_tracer () with
+  | None -> ()
+  | Some tracer -> Engine.set_tracer engine (Some tracer));
+  let metrics = Metrics.create engine in
+  (match obs with
+  | None -> ()
+  | Some registry ->
+      Obs.register_source registry (fun () ->
+          [
+            Obs.Count ("engine.events_fired_total", Engine.events_fired engine);
+            Obs.Gauge
+              ( "engine.queue_high_water",
+                float_of_int (Engine.queue_high_water engine) );
+          ]);
+      (* The scheme's own simulated-time counters (commits, restarts,
+         replica_applied, ...), since-creation totals rather than the
+         measured window the paper-facing summary reports. *)
+      Obs.register_source registry (fun () ->
+          List.map
+            (fun name ->
+              Obs.Count ("scheme." ^ name ^ "_total", Metrics.total_count metrics name))
+            (Metrics.counter_names metrics)));
   {
     params;
     profile;
     initial_value;
     engine;
-    metrics = Metrics.create engine;
+    metrics;
     rng = Rng.create ~seed;
     stores =
       Array.init params.Params.nodes (fun _ ->
@@ -41,6 +73,7 @@ let make ?profile ?(initial_value = 0.) params ~seed =
       Array.init params.Params.nodes (fun node -> Timestamp.Clock.create ~node);
     txn_gen = Txn_id.Gen.create ();
     generators = [];
+    obs;
   }
 
 let start_generators base ~submit =
@@ -72,7 +105,14 @@ let commit_duration base ~started =
    left running); surface it instead of hanging. *)
 let drain base = Engine.run ~max_events:200_000_000 base.engine
 
+let profiled base phase f =
+  match base.obs with
+  | None -> f ()
+  | Some registry ->
+      let (), p = Profiling.timed phase f in
+      Obs.record_phase registry p
+
 let measure base ~warmup ~span =
-  Engine.run_for base.engine warmup;
+  profiled base "warmup" (fun () -> Engine.run_for base.engine warmup);
   Metrics.start_window base.metrics;
-  Engine.run_for base.engine span
+  profiled base "measured" (fun () -> Engine.run_for base.engine span)

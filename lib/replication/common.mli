@@ -23,13 +23,21 @@ type base = {
   clocks : Timestamp.Clock.t array;
   txn_gen : Txn_id.Gen.t;
   mutable generators : Generator.t list;
+  obs : Dangers_obs.Metrics.t option;
+      (** observability registry shared by every layer of this system;
+          [None] runs fully uninstrumented *)
 }
 
 val make :
+  ?obs:Dangers_obs.Metrics.t ->
   ?profile:Profile.t -> ?initial_value:float -> Params.t -> seed:int -> base
 (** Validates the parameters. The profile defaults to the model's
     ([Profile.of_params]); every object starts at [initial_value]
-    (default 0). *)
+    (default 0). When [obs] is given, pull sources for the engine
+    ([engine.events_fired_total], [engine.queue_high_water]) and the
+    scheme's simulated-time counters ([scheme.*_total], since-creation
+    totals) are registered, and {!measure} records per-phase wall-clock
+    and allocation profiles. *)
 
 val start_generators : base -> submit:(node:int -> Dangers_txn.Op.t list -> unit) -> unit
 (** One Poisson generator per node at [params.tps], each on its own RNG

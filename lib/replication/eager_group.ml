@@ -1,7 +1,7 @@
 type t = Eager_impl.t
 
-let create ?profile ?initial_value params ~seed =
-  Eager_impl.create ?profile ?initial_value Eager_impl.Group params ~seed
+let create ?obs ?profile ?initial_value params ~seed =
+  Eager_impl.create ?obs ?profile ?initial_value Eager_impl.Group params ~seed
 
 let base = Eager_impl.base
 let submit = Eager_impl.submit

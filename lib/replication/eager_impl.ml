@@ -29,11 +29,12 @@ type t = {
 
 let scheme_name = function Group -> "eager-group" | Master -> "eager-master"
 
-let create ?profile ?initial_value ?(delay = Dangers_net.Delay.Zero) ?on_commit
-    ownership params ~seed =
+let create ?obs ?profile ?initial_value ?(delay = Dangers_net.Delay.Zero)
+    ?on_commit ownership params ~seed =
   Dangers_net.Delay.validate delay;
-  let common = Common.make ?profile ?initial_value params ~seed in
-  let locks = Lock_manager.create () in
+  let common = Common.make ?obs ?profile ?initial_value params ~seed in
+  let obs = common.Common.obs in
+  let locks = Lock_manager.create ?obs () in
   let executor =
     Executor.create
       ~on_wait:(fun () -> Metrics.incr common.Common.metrics Repl_stats.waits)

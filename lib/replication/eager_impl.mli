@@ -25,6 +25,7 @@ type ownership =
 type t
 
 val create :
+  ?obs:Dangers_obs.Metrics.t ->
   ?profile:Profile.t -> ?initial_value:float ->
   ?delay:Dangers_net.Delay.t ->
   ?on_commit:(node:int -> Op.t list -> unit) ->

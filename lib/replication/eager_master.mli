@@ -5,6 +5,7 @@
 type t = Eager_impl.t
 
 val create :
+  ?obs:Dangers_obs.Metrics.t ->
   ?profile:Dangers_workload.Profile.t ->
   ?initial_value:float ->
   Dangers_analytic.Params.t ->

@@ -168,15 +168,16 @@ let submit t ~node ops =
   in
   attempt ()
 
-let create ?profile ?initial_value ?(rule = Reconcile.Timestamp_priority)
+let create ?obs ?profile ?initial_value ?(rule = Reconcile.Timestamp_priority)
     ?(delay = Delay.Zero) ?faults ?mobility ?mobile_nodes params ~seed =
-  let common = Common.make ?profile ?initial_value params ~seed in
+  let common = Common.make ?obs ?profile ?initial_value params ~seed in
+  let obs = common.Common.obs in
   let executors =
     Array.init params.Params.nodes (fun _ ->
         Executor.create
           ~on_wait:(fun () -> Metrics.incr common.Common.metrics Repl_stats.waits)
           ~engine:common.Common.engine
-          ~locks:(Lock_manager.create ())
+          ~locks:(Lock_manager.create ?obs ())
           ~action_time:params.Params.action_time ())
   in
   let init_value = match initial_value with Some v -> v | None -> 0. in
@@ -193,7 +194,7 @@ let create ?profile ?initial_value ?(rule = Reconcile.Timestamp_priority)
     }
   in
   let network =
-    Network.create ?faults ~engine:common.Common.engine
+    Network.create ?obs ?faults ~engine:common.Common.engine
       ~rng:(Rng.split common.Common.rng) ~delay ~nodes:params.Params.nodes
       ~deliver:(fun ~src ~dst updates -> deliver t ~src ~dst updates) ()
   in

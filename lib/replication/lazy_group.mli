@@ -28,6 +28,7 @@ module Network = Dangers_net.Network
 type t
 
 val create :
+  ?obs:Dangers_obs.Metrics.t ->
   ?profile:Profile.t ->
   ?initial_value:float ->
   ?rule:Reconcile.rule ->

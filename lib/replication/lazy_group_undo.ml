@@ -182,8 +182,9 @@ let submit t ~node ops =
       (Replicate { txn; updates = List.rev !updates })
   end
 
-let create ?profile ?initial_value ?mobility ?mobile_nodes params ~seed =
-  let common = Common.make ?profile ?initial_value params ~seed in
+let create ?obs ?profile ?initial_value ?mobility ?mobile_nodes params ~seed =
+  let common = Common.make ?obs ?profile ?initial_value params ~seed in
+  let obs = common.Common.obs in
   let t =
     {
       common;
@@ -199,7 +200,7 @@ let create ?profile ?initial_value ?mobility ?mobile_nodes params ~seed =
     }
   in
   let net =
-    Network.create ~engine:common.Common.engine
+    Network.create ?obs ~engine:common.Common.engine
       ~rng:(Rng.split common.Common.rng) ~delay:Delay.Zero
       ~nodes:params.Params.nodes
       ~deliver:(fun ~src ~dst message -> deliver t ~src ~dst message) ()

@@ -27,6 +27,7 @@ module Connectivity = Dangers_net.Connectivity
 type t
 
 val create :
+  ?obs:Dangers_obs.Metrics.t ->
   ?profile:Profile.t ->
   ?initial_value:float ->
   ?mobility:Connectivity.spec ->

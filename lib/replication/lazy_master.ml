@@ -110,18 +110,19 @@ let submit t ~node ops =
   in
   attempt ()
 
-let create ?profile ?initial_value ?(delay = Delay.Zero)
+let create ?obs ?profile ?initial_value ?(delay = Delay.Zero)
     ?(master_assignment = Round_robin) params ~seed =
   (match master_assignment with
   | Datacycle node when node < 0 || node >= params.Params.nodes ->
       invalid_arg "Lazy_master.create: Datacycle master out of range"
   | Datacycle _ | Round_robin -> ());
-  let common = Common.make ?profile ?initial_value params ~seed in
+  let common = Common.make ?obs ?profile ?initial_value params ~seed in
+  let obs = common.Common.obs in
   let master_executor =
     Executor.create
       ~on_wait:(fun () -> Metrics.incr common.Common.metrics Repl_stats.waits)
       ~engine:common.Common.engine
-      ~locks:(Lock_manager.create ())
+      ~locks:(Lock_manager.create ?obs ())
       ~action_time:params.Params.action_time ()
   in
   let t =
@@ -135,7 +136,7 @@ let create ?profile ?initial_value ?(delay = Delay.Zero)
   in
   t.network <-
     Some
-      (Network.create ~engine:common.Common.engine
+      (Network.create ?obs ~engine:common.Common.engine
          ~rng:(Rng.split common.Common.rng) ~delay ~nodes:params.Params.nodes
          ~deliver:(fun ~src ~dst u -> deliver t ~src ~dst u) ());
   t

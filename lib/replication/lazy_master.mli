@@ -30,6 +30,7 @@ type master_assignment =
 type t
 
 val create :
+  ?obs:Dangers_obs.Metrics.t ->
   ?profile:Profile.t ->
   ?initial_value:float ->
   ?delay:Delay.t ->

@@ -1,9 +1,16 @@
 module Experiment = Dangers_experiments.Experiment
 module Repl_stats = Dangers_replication.Repl_stats
 
-(* --- JSON --- *)
+(* --- JSON ---
 
-type json =
+   The codec itself now lives in [Dangers_obs.Json] so layers below the
+   runner (trace export, metrics snapshots) can share it; the historical
+   names are kept as aliases because tests and external scripts grew up
+   against them. *)
+
+module Json = Dangers_obs.Json
+
+type json = Json.t =
   | Null
   | Bool of bool
   | Num of float
@@ -11,230 +18,14 @@ type json =
   | Arr of json list
   | Obj of (string * json) list
 
-exception Parse_error of string
+exception Parse_error = Json.Parse_error
 
-let parse_error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
-
-(* Shortest decimal that parses back to the same double. *)
-let float_repr f =
-  if Float.is_integer f && Float.abs f < 1e15 then
-    Printf.sprintf "%.0f" f
-  else
-    let s = Printf.sprintf "%.12g" f in
-    if float_of_string s = f then s else Printf.sprintf "%.17g" f
-
-let escape_string buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
-
-let rec to_buf buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Num f -> Buffer.add_string buf (float_repr f)
-  | Str s -> escape_string buf s
-  | Arr items ->
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i item ->
-          if i > 0 then Buffer.add_char buf ',';
-          to_buf buf item)
-        items;
-      Buffer.add_char buf ']'
-  | Obj fields ->
-      Buffer.add_char buf '{';
-      List.iteri
-        (fun i (key, value) ->
-          if i > 0 then Buffer.add_char buf ',';
-          escape_string buf key;
-          Buffer.add_char buf ':';
-          to_buf buf value)
-        fields;
-      Buffer.add_char buf '}'
-
-let json_to_string j =
-  let buf = Buffer.create 256 in
-  to_buf buf j;
-  Buffer.contents buf
-
-(* Recursive-descent parser over a string. *)
-type cursor = { input : string; mutable pos : int }
-
-let peek c = if c.pos < String.length c.input then Some c.input.[c.pos] else None
-
-let advance c = c.pos <- c.pos + 1
-
-let skip_ws c =
-  while
-    match peek c with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        advance c;
-        true
-    | _ -> false
-  do
-    ()
-  done
-
-let expect c ch =
-  match peek c with
-  | Some got when got = ch -> advance c
-  | Some got -> parse_error "expected %c at offset %d, got %c" ch c.pos got
-  | None -> parse_error "expected %c at offset %d, got end of input" ch c.pos
-
-let literal c word value =
-  if
-    c.pos + String.length word <= String.length c.input
-    && String.sub c.input c.pos (String.length word) = word
-  then begin
-    c.pos <- c.pos + String.length word;
-    value
-  end
-  else parse_error "bad literal at offset %d" c.pos
-
-let parse_string_body c =
-  let buf = Buffer.create 16 in
-  let rec loop () =
-    match peek c with
-    | None -> parse_error "unterminated string"
-    | Some '"' -> advance c
-    | Some '\\' -> (
-        advance c;
-        match peek c with
-        | Some '"' -> advance c; Buffer.add_char buf '"'; loop ()
-        | Some '\\' -> advance c; Buffer.add_char buf '\\'; loop ()
-        | Some '/' -> advance c; Buffer.add_char buf '/'; loop ()
-        | Some 'n' -> advance c; Buffer.add_char buf '\n'; loop ()
-        | Some 'r' -> advance c; Buffer.add_char buf '\r'; loop ()
-        | Some 't' -> advance c; Buffer.add_char buf '\t'; loop ()
-        | Some 'b' -> advance c; Buffer.add_char buf '\b'; loop ()
-        | Some 'f' -> advance c; Buffer.add_char buf '\012'; loop ()
-        | Some 'u' ->
-            advance c;
-            if c.pos + 4 > String.length c.input then
-              parse_error "truncated \\u escape";
-            let code = int_of_string ("0x" ^ String.sub c.input c.pos 4) in
-            c.pos <- c.pos + 4;
-            (* We only ever emit \u00xx for control characters; decode the
-               Latin-1 range and refuse the rest rather than mis-encode. *)
-            if code < 0x100 then Buffer.add_char buf (Char.chr code)
-            else parse_error "unsupported \\u escape %04x" code;
-            loop ()
-        | _ -> parse_error "bad escape at offset %d" c.pos)
-    | Some ch ->
-        advance c;
-        Buffer.add_char buf ch;
-        loop ()
-  in
-  loop ();
-  Buffer.contents buf
-
-let parse_number c =
-  let start = c.pos in
-  let number_char = function
-    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-    | _ -> false
-  in
-  while (match peek c with Some ch -> number_char ch | None -> false) do
-    advance c
-  done;
-  let s = String.sub c.input start (c.pos - start) in
-  match float_of_string_opt s with
-  | Some f -> Num f
-  | None -> parse_error "bad number %S at offset %d" s start
-
-let rec parse_value c =
-  skip_ws c;
-  match peek c with
-  | None -> parse_error "unexpected end of input"
-  | Some '"' ->
-      advance c;
-      Str (parse_string_body c)
-  | Some 't' -> literal c "true" (Bool true)
-  | Some 'f' -> literal c "false" (Bool false)
-  | Some 'n' -> literal c "null" Null
-  | Some '[' ->
-      advance c;
-      skip_ws c;
-      if peek c = Some ']' then begin
-        advance c;
-        Arr []
-      end
-      else
-        let rec items acc =
-          let v = parse_value c in
-          skip_ws c;
-          match peek c with
-          | Some ',' ->
-              advance c;
-              items (v :: acc)
-          | Some ']' ->
-              advance c;
-              Arr (List.rev (v :: acc))
-          | _ -> parse_error "expected , or ] at offset %d" c.pos
-        in
-        items []
-  | Some '{' ->
-      advance c;
-      skip_ws c;
-      if peek c = Some '}' then begin
-        advance c;
-        Obj []
-      end
-      else
-        let field () =
-          skip_ws c;
-          expect c '"';
-          let key = parse_string_body c in
-          skip_ws c;
-          expect c ':';
-          (key, parse_value c)
-        in
-        let rec fields acc =
-          let f = field () in
-          skip_ws c;
-          match peek c with
-          | Some ',' ->
-              advance c;
-              fields (f :: acc)
-          | Some '}' ->
-              advance c;
-              Obj (List.rev (f :: acc))
-          | _ -> parse_error "expected , or } at offset %d" c.pos
-        in
-        fields []
-  | Some _ -> parse_number c
-
-let json_of_string input =
-  let c = { input; pos = 0 } in
-  let v = parse_value c in
-  skip_ws c;
-  if c.pos <> String.length input then
-    parse_error "trailing garbage at offset %d" c.pos;
-  v
-
-let json_of_float f =
-  if Float.is_nan f then Str "nan"
-  else if f = Float.infinity then Str "inf"
-  else if f = Float.neg_infinity then Str "-inf"
-  else Num f
-
-let float_of_json = function
-  | Num f -> f
-  | Str "nan" -> Float.nan
-  | Str "inf" -> Float.infinity
-  | Str "-inf" -> Float.neg_infinity
-  | j -> parse_error "expected a float, got %s" (json_to_string j)
+let parse_error = Json.parse_error
+let float_repr = Json.float_repr
+let json_to_string = Json.to_string
+let json_of_string = Json.of_string
+let json_of_float = Json.of_float
+let float_of_json = Json.to_float
 
 (* --- export records --- *)
 
@@ -272,7 +63,7 @@ let record_of_item = function
           diagnostics = outcome.Dangers_experiments.Scheme.diagnostics;
         }
 
-let int_ i = Num (float_of_int i)
+let int_ = Json.int_
 
 let finding_to_json (f : Experiment.finding) =
   Obj
@@ -323,24 +114,10 @@ let to_json = function
             Obj (List.map (fun (k, v) -> (k, json_of_float v)) diagnostics) );
         ]
 
-let member key = function
-  | Obj fields -> (
-      match List.assoc_opt key fields with
-      | Some v -> v
-      | None -> parse_error "missing field %S" key)
-  | j -> parse_error "expected an object, got %s" (json_to_string j)
-
-let string_of = function
-  | Str s -> s
-  | j -> parse_error "expected a string, got %s" (json_to_string j)
-
-let int_of = function
-  | Num f when Float.is_integer f -> int_of_float f
-  | j -> parse_error "expected an integer, got %s" (json_to_string j)
-
-let list_of = function
-  | Arr items -> items
-  | j -> parse_error "expected an array, got %s" (json_to_string j)
+let member = Json.member
+let string_of = Json.string_of
+let int_of = Json.int_of
+let list_of = Json.list_of
 
 let finding_of_json j =
   {

@@ -1,19 +1,19 @@
 (** Structured result export: sweep items as JSONL or CSV.
 
-    The JSON encoder/decoder is deliberately tiny and dependency-free (the
-    container bakes in no JSON library) but complete for the subset we
-    emit: objects, arrays, strings, bools, null and doubles. Floats print
-    with the shortest representation that parses back exactly, so a JSONL
-    file round-trips: [to_jsonl (of_jsonl s) = s]. Non-finite floats
-    (fitted exponents can be [nan]) are encoded as the strings ["nan"],
-    ["inf"], ["-inf"]. *)
+    The JSON codec lives in {!Dangers_obs.Json} (shared with the trace
+    and metrics exporters); this module re-exports it under its
+    historical names so existing callers and scripts keep working. Floats
+    print with the shortest representation that parses back exactly, so a
+    JSONL file round-trips: [to_jsonl (of_jsonl s) = s]. Non-finite
+    floats (fitted exponents can be [nan]) are encoded as the strings
+    ["nan"], ["inf"], ["-inf"]. *)
 
 module Experiment = Dangers_experiments.Experiment
 module Repl_stats = Dangers_replication.Repl_stats
 
 (** {1 JSON} *)
 
-type json =
+type json = Dangers_obs.Json.t =
   | Null
   | Bool of bool
   | Num of float
@@ -22,6 +22,7 @@ type json =
   | Obj of (string * json) list
 
 exception Parse_error of string
+(** Alias of {!Dangers_obs.Json.Parse_error}. *)
 
 val json_to_string : json -> string
 (** Single-line (JSONL-safe) rendering. *)

@@ -1,6 +1,11 @@
 module Experiment = Dangers_experiments.Experiment
 module Registry = Dangers_experiments.Registry
 module Scheme = Dangers_experiments.Scheme
+module Obs = Dangers_obs.Metrics
+module Profiling = Dangers_obs.Profiling
+module Observe = Dangers_sim.Observe
+module Trace = Dangers_sim.Trace
+module Trace_export = Dangers_sim.Trace_export
 
 type task =
   | Experiment_task of { id : string; quick : bool; seed : int }
@@ -50,3 +55,50 @@ let run_task = function
 
 let run ?(jobs = 1) tasks =
   Array.to_list (Task_pool.map ~jobs ~f:run_task (Array.of_list tasks))
+
+(* --- observed runs --- *)
+
+let task_label = function
+  | Experiment_task { id; _ } -> "experiment:" ^ id
+  | Scheme_task { scheme; _ } -> "scheme:" ^ scheme
+
+let task_seed = function
+  | Experiment_task { seed; _ } | Scheme_task { seed; _ } -> seed
+
+type observation = {
+  o_label : string;
+  o_seed : int;
+  o_snapshot : Obs.snapshot;
+  o_trace : Trace_export.section option;
+  o_profile : Profiling.phase;  (** the whole task, wall-clock + GC *)
+}
+
+let run_task_observed ?(trace = false) ?trace_capacity task =
+  let registry = Obs.create () in
+  let tracer = if trace then Some (Trace.create ?capacity:trace_capacity ()) else None in
+  let item, profile =
+    Profiling.timed (task_label task) (fun () ->
+        Observe.with_observation ~obs:registry ?tracer (fun () -> run_task task))
+  in
+  Obs.record_phase registry profile;
+  let observation =
+    {
+      o_label = task_label task;
+      o_seed = task_seed task;
+      o_snapshot = Obs.snapshot registry;
+      o_trace =
+        Option.map
+          (fun tr ->
+            Trace_export.section ~label:(task_label task) ~seed:(task_seed task)
+              tr)
+          tracer;
+      o_profile = profile;
+    }
+  in
+  (item, observation)
+
+let run_observed ?(jobs = 1) ?(trace = false) ?trace_capacity tasks =
+  Array.to_list
+    (Task_pool.map ~jobs
+       ~f:(run_task_observed ~trace ?trace_capacity)
+       (Array.of_list tasks))

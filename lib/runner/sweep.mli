@@ -45,3 +45,36 @@ val run_task : task -> item
 val run : ?jobs:int -> task list -> item list
 (** Execute every task on up to [jobs] domains (default 1) and return the
     items in task order — byte-identical to a serial run. *)
+
+(** {1 Observed runs}
+
+    The observability variant of {!run}: each task gets its own metrics
+    registry (and, with [~trace:true], its own bounded tracer) installed
+    as the worker domain's ambient observation context for exactly that
+    task, so parallel workers never share a registry and the {!item}s are
+    the same values {!run} would produce. *)
+
+val task_label : task -> string
+(** ["experiment:<id>"] or ["scheme:<name>"]. *)
+
+type observation = {
+  o_label : string;  (** {!task_label} of the task *)
+  o_seed : int;
+  o_snapshot : Dangers_obs.Metrics.snapshot;
+  o_trace : Dangers_sim.Trace_export.section option;
+      (** present iff tracing was requested *)
+  o_profile : Dangers_obs.Profiling.phase;
+      (** the whole task: wall-clock and GC allocation (also recorded in
+          the snapshot's phase list, after the scheme's own
+          warmup/measured phases) *)
+}
+
+val run_task_observed :
+  ?trace:bool -> ?trace_capacity:int -> task -> item * observation
+
+val run_observed :
+  ?jobs:int -> ?trace:bool -> ?trace_capacity:int -> task list ->
+  (item * observation) list
+(** Items and observations in task order at any [jobs]. Wall-clock
+    profiles vary run to run, of course; everything else is
+    deterministic. *)

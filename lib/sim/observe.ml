@@ -1,0 +1,16 @@
+type context = {
+  obs : Dangers_obs.Metrics.t option;
+  tracer : Trace.t option;
+}
+
+let empty = { obs = None; tracer = None }
+let key = Domain.DLS.new_key (fun () -> empty)
+let current () = Domain.DLS.get key
+
+let with_observation ?obs ?tracer f =
+  let saved = current () in
+  Domain.DLS.set key { obs; tracer };
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key saved) f
+
+let ambient_obs () = (current ()).obs
+let ambient_tracer () = (current ()).tracer

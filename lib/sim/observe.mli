@@ -1,0 +1,22 @@
+(** Ambient observation context: the metrics registry and tracer a run
+    should attach to, carried implicitly to wherever the simulated system
+    is actually built.
+
+    The scheme registry's [run] functions construct their systems deep
+    inside opaque experiment code; threading an [?obs]/[?tracer] pair
+    through every such signature would ripple across the whole repo. The
+    CLI (or the sweep worker) instead wraps one run in
+    {!with_observation}, and {!Dangers_replication.Common.make}-style
+    constructors consult the ambient as their default. The context is
+    domain-local, so parallel sweep workers each observe only their own
+    task; with nothing installed every lookup is [None] and behaviour is
+    byte-identical to an unobserved run. *)
+
+val with_observation :
+  ?obs:Dangers_obs.Metrics.t -> ?tracer:Trace.t -> (unit -> 'a) -> 'a
+(** Install the given registry/tracer as this domain's ambient context for
+    the duration of the callback (restoring the previous context even on
+    exceptions). Omitted arguments clear the corresponding slot. *)
+
+val ambient_obs : unit -> Dangers_obs.Metrics.t option
+val ambient_tracer : unit -> Trace.t option

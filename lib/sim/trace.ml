@@ -34,18 +34,33 @@ let record t ~now event =
 
 let recorded t = t.next
 let dropped t = max 0 (t.next - Array.length t.ring)
+let retained t = min t.next (Array.length t.ring)
 
-let entries t =
+(* The ring slot for the [i]th retained entry (oldest first). *)
+let slot t i =
   let capacity = Array.length t.ring in
-  let retained = min t.next capacity in
-  let first = t.next - retained in
-  List.init retained (fun i ->
-      match t.ring.((first + i) mod capacity) with
-      | Some entry -> entry
-      | None -> assert false)
+  match t.ring.((t.next - retained t + i) mod capacity) with
+  | Some entry -> entry
+  | None -> assert false
+
+let iter t f =
+  for i = 0 to retained t - 1 do
+    f (slot t i)
+  done
+
+let fold t ~init f =
+  let acc = ref init in
+  for i = 0 to retained t - 1 do
+    acc := f !acc (slot t i)
+  done;
+  !acc
+
+let entries t = List.rev (fold t ~init:[] (fun acc entry -> entry :: acc))
 
 let matching t predicate =
-  List.filter (fun entry -> predicate entry.event) (entries t)
+  List.rev
+    (fold t ~init:[] (fun acc entry ->
+         if predicate entry.event then entry :: acc else acc))
 
 let pp_event ppf = function
   | Txn_started { owner } -> Format.fprintf ppf "txn t%d started" owner
@@ -76,5 +91,4 @@ let pp_event ppf = function
 
 let pp_entry ppf { at; event } = Format.fprintf ppf "[%10.4f] %a" at pp_event event
 
-let pp ppf t =
-  List.iter (fun entry -> Format.fprintf ppf "%a@." pp_entry entry) (entries t)
+let pp ppf t = iter t (fun entry -> Format.fprintf ppf "%a@." pp_entry entry)

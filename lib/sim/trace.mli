@@ -38,12 +38,24 @@ val create : ?capacity:int -> unit -> t
 val record : t -> now:float -> event -> unit
 
 val entries : t -> entry list
-(** Oldest retained first. *)
+(** Oldest retained first. Builds a fresh list; prefer {!iter}/{!fold} on
+    query paths that run often. *)
 
 val recorded : t -> int
 (** Events ever recorded (including those the ring has dropped). *)
 
 val dropped : t -> int
+
+val retained : t -> int
+(** Entries currently held in the ring: [min recorded capacity]. *)
+
+val iter : t -> (entry -> unit) -> unit
+(** Visit the retained entries oldest-first without building a list — the
+    export sinks walk multi-hundred-thousand-entry rings, where
+    {!entries}'s cons cells dominate. *)
+
+val fold : t -> init:'a -> ('a -> entry -> 'a) -> 'a
+(** Oldest-first fold; allocation-free apart from what the callback does. *)
 
 val matching : t -> (event -> bool) -> entry list
 

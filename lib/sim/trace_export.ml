@@ -1,0 +1,337 @@
+module Json = Dangers_obs.Json
+
+let schema_id = "dangers/trace/v1"
+
+(* --- event codec --- *)
+
+(* One flat object per event: a tag under "ev" plus the constructor's
+   fields. Field names never collide with the envelope ("kind", "t"). *)
+let event_fields : Trace.event -> string * (string * Json.t) list = function
+  | Trace.Txn_started { owner } -> ("txn_started", [ ("owner", Json.int_ owner) ])
+  | Trace.Lock_granted { owner; resource } ->
+      ("lock_granted", [ ("owner", Json.int_ owner); ("resource", Json.int_ resource) ])
+  | Trace.Lock_waited { owner; resource } ->
+      ("lock_waited", [ ("owner", Json.int_ owner); ("resource", Json.int_ resource) ])
+  | Trace.Deadlock_victim { owner; cycle } ->
+      ( "deadlock_victim",
+        [
+          ("owner", Json.int_ owner);
+          ("cycle", Json.Arr (List.map Json.int_ cycle));
+        ] )
+  | Trace.Txn_committed { owner } ->
+      ("txn_committed", [ ("owner", Json.int_ owner) ])
+  | Trace.Message_sent { src; dst } ->
+      ("message_sent", [ ("src", Json.int_ src); ("dst", Json.int_ dst) ])
+  | Trace.Message_delivered { src; dst } ->
+      ("message_delivered", [ ("src", Json.int_ src); ("dst", Json.int_ dst) ])
+  | Trace.Message_parked { at } -> ("message_parked", [ ("node", Json.int_ at) ])
+  | Trace.Node_connected { node } ->
+      ("node_connected", [ ("node", Json.int_ node) ])
+  | Trace.Node_disconnected { node } ->
+      ("node_disconnected", [ ("node", Json.int_ node) ])
+  | Trace.Message_dropped { src; dst } ->
+      ("message_dropped", [ ("src", Json.int_ src); ("dst", Json.int_ dst) ])
+  | Trace.Message_duplicated { src; dst } ->
+      ("message_duplicated", [ ("src", Json.int_ src); ("dst", Json.int_ dst) ])
+  | Trace.Node_crashed { node } -> ("node_crashed", [ ("node", Json.int_ node) ])
+  | Trace.Node_restarted { node } ->
+      ("node_restarted", [ ("node", Json.int_ node) ])
+  | Trace.Partition_started { blocks } ->
+      ("partition_started", [ ("blocks", Json.int_ blocks) ])
+  | Trace.Partition_healed -> ("partition_healed", [])
+  | Trace.Note text -> ("note", [ ("text", Json.Str text) ])
+
+let event_to_json event =
+  let tag, fields = event_fields event in
+  Json.Obj (("ev", Json.Str tag) :: fields)
+
+let event_of_json j =
+  let owner () = Json.int_of (Json.member "owner" j) in
+  let node () = Json.int_of (Json.member "node" j) in
+  let src () = Json.int_of (Json.member "src" j) in
+  let dst () = Json.int_of (Json.member "dst" j) in
+  match Json.string_of (Json.member "ev" j) with
+  | "txn_started" -> Trace.Txn_started { owner = owner () }
+  | "lock_granted" ->
+      Trace.Lock_granted
+        { owner = owner (); resource = Json.int_of (Json.member "resource" j) }
+  | "lock_waited" ->
+      Trace.Lock_waited
+        { owner = owner (); resource = Json.int_of (Json.member "resource" j) }
+  | "deadlock_victim" ->
+      Trace.Deadlock_victim
+        {
+          owner = owner ();
+          cycle = List.map Json.int_of (Json.list_of (Json.member "cycle" j));
+        }
+  | "txn_committed" -> Trace.Txn_committed { owner = owner () }
+  | "message_sent" -> Trace.Message_sent { src = src (); dst = dst () }
+  | "message_delivered" -> Trace.Message_delivered { src = src (); dst = dst () }
+  | "message_parked" -> Trace.Message_parked { at = node () }
+  | "node_connected" -> Trace.Node_connected { node = node () }
+  | "node_disconnected" -> Trace.Node_disconnected { node = node () }
+  | "message_dropped" -> Trace.Message_dropped { src = src (); dst = dst () }
+  | "message_duplicated" -> Trace.Message_duplicated { src = src (); dst = dst () }
+  | "node_crashed" -> Trace.Node_crashed { node = node () }
+  | "node_restarted" -> Trace.Node_restarted { node = node () }
+  | "partition_started" ->
+      Trace.Partition_started { blocks = Json.int_of (Json.member "blocks" j) }
+  | "partition_healed" -> Trace.Partition_healed
+  | "note" -> Trace.Note (Json.string_of (Json.member "text" j))
+  | tag -> Json.parse_error "unknown trace event tag %S" tag
+
+(* --- sections and files --- *)
+
+type section = {
+  label : string;
+  seed : int;
+  recorded : int;
+  dropped : int;
+  entries : Trace.entry list;
+}
+
+let section ~label ~seed tracer =
+  {
+    label;
+    seed;
+    recorded = Trace.recorded tracer;
+    dropped = Trace.dropped tracer;
+    entries = Trace.entries tracer;
+  }
+
+let header_to_json s =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_id);
+      ("kind", Json.Str "header");
+      ("label", Json.Str s.label);
+      ("seed", Json.int_ s.seed);
+      ("recorded", Json.int_ s.recorded);
+      ("dropped", Json.int_ s.dropped);
+    ]
+
+let entry_to_json (entry : Trace.entry) =
+  match event_to_json entry.Trace.event with
+  | Json.Obj fields ->
+      Json.Obj
+        (("kind", Json.Str "event")
+        :: ("t", Json.of_float entry.Trace.at)
+        :: fields)
+  | _ -> assert false
+
+let entry_of_json j =
+  { Trace.at = Json.to_float (Json.member "t" j); event = event_of_json j }
+
+let add_section buf s =
+  Buffer.add_string buf (Json.to_string (header_to_json s));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun entry ->
+      Buffer.add_string buf (Json.to_string (entry_to_json entry));
+      Buffer.add_char buf '\n')
+    s.entries
+
+let to_jsonl sections =
+  let buf = Buffer.create 4096 in
+  List.iter (add_section buf) sections;
+  Buffer.contents buf
+
+let of_jsonl input =
+  let close header entries_rev acc =
+    match header with
+    | None -> acc
+    | Some s -> { s with entries = List.rev entries_rev } :: acc
+  in
+  let finish (acc, header, entries_rev) = List.rev (close header entries_rev acc) in
+  String.split_on_char '\n' input
+  |> List.filteri (fun _ line -> String.trim line <> "")
+  |> List.fold_left
+       (fun (acc, header, entries_rev) line ->
+         let j = Json.of_string line in
+         match Json.string_of (Json.member "kind" j) with
+         | "header" ->
+             (match Json.member "schema" j with
+             | Json.Str s when String.equal s schema_id -> ()
+             | Json.Str s -> Json.parse_error "unsupported trace schema %S" s
+             | _ -> Json.parse_error "trace schema is not a string");
+             let s =
+               {
+                 label = Json.string_of (Json.member "label" j);
+                 seed = Json.int_of (Json.member "seed" j);
+                 recorded = Json.int_of (Json.member "recorded" j);
+                 dropped = Json.int_of (Json.member "dropped" j);
+                 entries = [];
+               }
+             in
+             (close header entries_rev acc, Some s, [])
+         | "event" ->
+             if header = None then
+               Json.parse_error "trace event before any header line";
+             (acc, header, entry_of_json j :: entries_rev)
+         | kind -> Json.parse_error "unknown trace line kind %S" kind)
+       ([], None, [])
+  |> finish
+
+let write path sections =
+  let oc = open_out path in
+  output_string oc (to_jsonl sections);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  of_jsonl contents
+
+let validate input =
+  match of_jsonl input with
+  | sections ->
+      Ok
+        ( List.length sections,
+          List.fold_left (fun n s -> n + List.length s.entries) 0 sections )
+  | exception Json.Parse_error message -> Error message
+
+(* --- Chrome trace-event (Perfetto-loadable) conversion --- *)
+
+(* Transactions become duration events (ph B/E) on a per-section
+   "transactions" process, one thread track per owner id; messages become
+   flow events (ph s/f) between node tracks, paired FIFO per (src, dst);
+   everything else is an instant. Times are simulated seconds, scaled to
+   the format's microseconds. *)
+
+let us at = Json.Num (at *. 1e6)
+
+let to_chrome sections =
+  let events = ref [] in
+  let emit fields = events := Json.Obj fields :: !events in
+  let flow_seq = ref 0 in
+  List.iteri
+    (fun si s ->
+      let pid_txn = (2 * si) + 1 and pid_node = (2 * si) + 2 in
+      let run = Printf.sprintf "%s seed %d" s.label s.seed in
+      let meta pid suffix =
+        emit
+          [
+            ("ph", Json.Str "M");
+            ("pid", Json.int_ pid);
+            ("name", Json.Str "process_name");
+            ("args", Json.Obj [ ("name", Json.Str (run ^ " " ^ suffix)) ]);
+          ]
+      in
+      meta pid_txn "transactions";
+      meta pid_node "nodes";
+      let instant pid tid at name =
+        emit
+          [
+            ("ph", Json.Str "i");
+            ("s", Json.Str "t");
+            ("pid", Json.int_ pid);
+            ("tid", Json.int_ tid);
+            ("ts", us at);
+            ("name", Json.Str name);
+            ("cat", Json.Str "event");
+          ]
+      in
+      let txn pid tid at ph args =
+        emit
+          (("ph", Json.Str ph)
+          :: ("pid", Json.int_ pid)
+          :: ("tid", Json.int_ tid)
+          :: ("ts", us at)
+          :: ("name", Json.Str "txn")
+          :: ("cat", Json.Str "txn")
+          :: args)
+      in
+      let open_txns : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+      let in_flight : (int * int, int Queue.t) Hashtbl.t = Hashtbl.create 64 in
+      let flow ph extra at tid id =
+        emit
+          (("ph", Json.Str ph)
+          :: ("pid", Json.int_ pid_node)
+          :: ("tid", Json.int_ tid)
+          :: ("ts", us at)
+          :: ("id", Json.int_ id)
+          :: ("name", Json.Str "msg")
+          :: ("cat", Json.Str "net")
+          :: extra)
+      in
+      let last_at = ref 0. in
+      List.iter
+        (fun (entry : Trace.entry) ->
+          let at = entry.Trace.at in
+          last_at := Float.max !last_at at;
+          match entry.Trace.event with
+          | Trace.Txn_started { owner } ->
+              Hashtbl.replace open_txns owner ();
+              txn pid_txn owner at "B" []
+          | Trace.Txn_committed { owner } ->
+              if Hashtbl.mem open_txns owner then begin
+                Hashtbl.remove open_txns owner;
+                txn pid_txn owner at "E" []
+              end
+              else instant pid_txn owner at "commit (started pre-trace)"
+          | Trace.Deadlock_victim { owner; cycle } ->
+              instant pid_txn owner at
+                (Printf.sprintf "deadlock (cycle %s)"
+                   (String.concat "->" (List.map string_of_int cycle)));
+              if Hashtbl.mem open_txns owner then begin
+                Hashtbl.remove open_txns owner;
+                txn pid_txn owner at "E"
+                  [ ("args", Json.Obj [ ("deadlock", Json.Bool true) ]) ]
+              end
+          | Trace.Lock_granted { owner; resource } ->
+              instant pid_txn owner at (Printf.sprintf "lock r%d" resource)
+          | Trace.Lock_waited { owner; resource } ->
+              instant pid_txn owner at (Printf.sprintf "wait r%d" resource)
+          | Trace.Message_sent { src; dst } ->
+              let id = !flow_seq in
+              incr flow_seq;
+              let q =
+                match Hashtbl.find_opt in_flight (src, dst) with
+                | Some q -> q
+                | None ->
+                    let q = Queue.create () in
+                    Hashtbl.add in_flight (src, dst) q;
+                    q
+              in
+              Queue.add id q;
+              flow "s" [] at src id;
+              instant pid_node src at (Printf.sprintf "send n%d->n%d" src dst)
+          | Trace.Message_delivered { src; dst } ->
+              (match Hashtbl.find_opt in_flight (src, dst) with
+              | Some q when not (Queue.is_empty q) ->
+                  flow "f" [ ("bp", Json.Str "e") ] at dst (Queue.pop q)
+              | _ -> ());
+              instant pid_node dst at (Printf.sprintf "recv n%d->n%d" src dst)
+          | Trace.Message_parked { at = node } ->
+              instant pid_node node at "parked"
+          | Trace.Message_dropped { src; dst } ->
+              instant pid_node src at (Printf.sprintf "dropped n%d->n%d" src dst)
+          | Trace.Message_duplicated { src; dst } ->
+              instant pid_node src at
+                (Printf.sprintf "duplicated n%d->n%d" src dst)
+          | Trace.Node_connected { node } -> instant pid_node node at "connected"
+          | Trace.Node_disconnected { node } ->
+              instant pid_node node at "disconnected"
+          | Trace.Node_crashed { node } -> instant pid_node node at "crashed"
+          | Trace.Node_restarted { node } -> instant pid_node node at "restarted"
+          | Trace.Partition_started { blocks } ->
+              instant pid_node 0 at
+                (Printf.sprintf "partition into %d blocks" blocks)
+          | Trace.Partition_healed -> instant pid_node 0 at "partition healed"
+          | Trace.Note text -> instant pid_node 0 at ("note: " ^ text))
+        s.entries;
+      (* Close transactions still open when the trace ended, so the viewer
+         is not left with dangling B events. *)
+      Hashtbl.fold (fun owner () acc -> owner :: acc) open_txns []
+      |> List.sort Int.compare
+      |> List.iter (fun owner ->
+             txn pid_txn owner !last_at "E"
+               [ ("args", Json.Obj [ ("truncated", Json.Bool true) ]) ]))
+    sections;
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.rev !events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]

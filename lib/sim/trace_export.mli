@@ -1,0 +1,52 @@
+(** Structured export of {!Trace} rings: the versioned [dangers/trace/v1]
+    JSONL format, plus a Chrome trace-event conversion that Perfetto and
+    [chrome://tracing] load directly.
+
+    A JSONL file holds one or more {e sections}, each a header line
+
+    {v {"schema":"dangers/trace/v1","kind":"header","label":...,"seed":...,
+   "recorded":N,"dropped":M} v}
+
+    followed by its event lines
+
+    {v {"kind":"event","t":<simulated seconds>,"ev":"txn_started",...} v}
+
+    so several runs (a sweep, say) can share a file and still be pulled
+    apart without heuristics. *)
+
+type section = {
+  label : string;  (** scheme or experiment name *)
+  seed : int;
+  recorded : int;  (** events ever recorded, including dropped ones *)
+  dropped : int;  (** overwritten by the bounded ring before export *)
+  entries : Trace.entry list;
+}
+
+val section : label:string -> seed:int -> Trace.t -> section
+(** Snapshot a tracer's retained entries into an exportable section. *)
+
+val schema_id : string
+(** ["dangers/trace/v1"]. *)
+
+val event_to_json : Trace.event -> Dangers_obs.Json.t
+val event_of_json : Dangers_obs.Json.t -> Trace.event
+(** @raise Dangers_obs.Json.Parse_error on an unknown tag or shape. *)
+
+val to_jsonl : section list -> string
+val of_jsonl : string -> section list
+(** @raise Dangers_obs.Json.Parse_error on malformed input, a schema
+    mismatch, or an event line before any header. *)
+
+val write : string -> section list -> unit
+val load : string -> section list
+
+val validate : string -> (int * int, string) result
+(** [validate input] is [Ok (sections, events)] when the input parses as
+    v1 JSONL, [Error message] otherwise. *)
+
+val to_chrome : section list -> Dangers_obs.Json.t
+(** Chrome trace-event JSON ([{"traceEvents":[...]}]): transactions as
+    duration events on one process per section (thread = owner id),
+    messages as flow events between node tracks paired FIFO per
+    [(src, dst)], everything else as instants. Timestamps are simulated
+    seconds scaled to microseconds. *)

@@ -215,7 +215,9 @@ let test_injector_traces_faults () =
   let injector = Fault_injector.create ~plan ~rng:(Rng.create ~seed:1) in
   Fault_injector.start injector ~engine ();
   Engine.run engine;
-  let events = List.map (fun e -> e.Trace.event) (Trace.entries tracer) in
+  let events =
+    List.rev (Trace.fold tracer ~init:[] (fun acc e -> e.Trace.event :: acc))
+  in
   checkb "crash traced" true
     (List.mem (Trace.Node_crashed { node = 0 }) events);
   checkb "restart traced" true

@@ -25,4 +25,5 @@ let () =
       ("fault", Test_fault.suite);
       ("runner", Test_runner.suite);
       ("microbench", Test_microbench.suite);
+      ("obs", Test_obs.suite);
     ]
