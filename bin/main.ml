@@ -811,6 +811,168 @@ let scenario_cmd =
     (Cmd.info "scenario" ~doc:"Run a named workload scenario across schemes.")
     Term.(const run $ scenario_name $ seed_term $ jobs_term)
 
+(* --- lint --- *)
+
+let lint_cmd =
+  let module Lint_rules = Dangers_lint.Rules in
+  let module Lint_rule = Dangers_lint.Rule in
+  let module Lint_engine = Dangers_lint.Engine in
+  let module Lint_baseline = Dangers_lint.Baseline in
+  let module Lint_report = Dangers_lint.Report in
+  let prefixes =
+    Arg.(value & pos_all string [ "lib/"; "bin/" ]
+         & info [] ~docv:"PREFIX"
+             ~doc:"Source path prefixes to analyze (default: lib/ bin/).")
+  in
+  let build_dir =
+    Arg.(value & opt (some string) None
+         & info [ "build-dir" ] ~docv:"DIR"
+             ~doc:"Where to look for .cmt files (default: _build/default \
+                   when it exists, else the current directory).")
+  in
+  let rules =
+    Arg.(value & opt (some string) None
+         & info [ "rules" ] ~docv:"IDS"
+             ~doc:"Comma-separated rule ids to run (default: all). See \
+                   $(b,--list).")
+  in
+  let baseline =
+    Arg.(value & opt (some string) None
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"dangers/lint-baseline/v1 file of grandfathered findings; \
+                   only findings beyond it fail the run.")
+  in
+  let update_baseline =
+    Arg.(value & flag
+         & info [ "update-baseline" ]
+             ~doc:"Rewrite $(b,--baseline) so the current tree is clean \
+                   (grandfather today's findings, expire stale entries).")
+  in
+  let format =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~doc:"Output format: text or json \
+                                   (dangers/lint/v1).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write the report to FILE.")
+  in
+  let list_rules =
+    Arg.(value & flag
+         & info [ "list" ] ~doc:"Print the rule catalogue and exit.")
+  in
+  let all_files =
+    Arg.(value & flag
+         & info [ "all-files" ]
+             ~doc:"Ignore each rule's source-path scope (lint fixtures, \
+                   debugging).")
+  in
+  let run prefixes build_dir rules baseline update_baseline format out
+      list_rules all_files =
+    if list_rules then begin
+      List.iter
+        (fun (r : Lint_rule.t) ->
+          Printf.printf "%-4s %s\n     rationale: %s\n" r.Lint_rule.id
+            r.Lint_rule.title r.Lint_rule.rationale)
+        Lint_rules.all;
+      0
+    end
+    else begin
+      let selected =
+        match rules with
+        | None -> Ok Lint_rules.all
+        | Some spec ->
+            let ids =
+              String.split_on_char ',' spec
+              |> List.map String.trim
+              |> List.filter (fun id -> id <> "")
+            in
+            let unknown =
+              List.filter (fun id -> Lint_rules.find id = None) ids
+            in
+            if unknown <> [] then
+              Error
+                (Printf.sprintf "unknown rule ids: %s (known: %s)"
+                   (String.concat ", " unknown)
+                   (String.concat ", " (Lint_rules.ids ())))
+            else Ok (List.filter_map Lint_rules.find ids)
+      in
+      match selected with
+      | Error message ->
+          prerr_endline ("lint: " ^ message);
+          2
+      | Ok [] ->
+          prerr_endline "lint: no rules selected";
+          2
+      | Ok rules -> (
+          let build_dir =
+            match build_dir with
+            | Some dir -> dir
+            | None -> Lint_engine.default_build_dir ()
+          in
+          match
+            if update_baseline then begin
+              match baseline with
+              | None ->
+                  prerr_endline "lint: --update-baseline requires --baseline";
+                  Error 2
+              | Some path ->
+                  let b =
+                    Lint_engine.grandfather ~all_files ~rules ~build_dir
+                      ~prefixes ()
+                  in
+                  Lint_baseline.save path b;
+                  Printf.printf "wrote %s (%d entr%s)\n" path
+                    (List.length b.Lint_baseline.entries)
+                    (if List.length b.Lint_baseline.entries = 1 then "y"
+                     else "ies");
+                  Error 0
+            end
+            else
+              match baseline with
+              | None -> Ok Lint_baseline.empty
+              | Some path -> (
+                  match Lint_baseline.load path with
+                  | b -> Ok b
+                  | exception Sys_error message ->
+                      prerr_endline ("lint: " ^ message);
+                      Error 2
+                  | exception Json.Parse_error message ->
+                      Printf.eprintf "lint: %s: %s\n" path message;
+                      Error 2)
+          with
+          | Error code -> code
+          | Ok baseline ->
+              let report =
+                Lint_engine.run ~all_files ~baseline ~rules ~build_dir
+                  ~prefixes ()
+              in
+              let text =
+                match format with
+                | `Text -> Format.asprintf "%a" Lint_report.pp report
+                | `Json ->
+                    Json.to_string (Lint_report.to_json report) ^ "\n"
+              in
+              (match out with
+              | None -> print_string text
+              | Some file ->
+                  let oc = open_out file in
+                  output_string oc text;
+                  close_out oc;
+                  Printf.printf "wrote %s\n" file);
+              Lint_report.exit_code report)
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static determinism & domain-safety analysis over the .cmt \
+             files dune already built. Rules: banned nondeterministic \
+             calls (D1), unordered hashtable iteration in export paths \
+             (D2), polymorphic float comparison (D3), unguarded \
+             module-level mutable state (R1), partial functions (P1).")
+    Term.(const run $ prefixes $ build_dir $ rules $ baseline
+          $ update_baseline $ format $ out $ list_rules $ all_files)
+
 let bench_cmd =
   let quick =
     Arg.(value & flag
@@ -871,4 +1033,5 @@ let () =
           [
             list_cmd; experiment_cmd; sweep_cmd; analytic_cmd; simulate_cmd;
             trace_cmd; report_cmd; scenario_cmd; fuzz_cmd; bench_cmd;
+            lint_cmd;
           ]))

@@ -86,7 +86,7 @@ let predict scheme p =
 
 let growth_ratio f p ~scale =
   let base = f p in
-  if base = 0. then invalid_arg "Model.growth_ratio: zero base rate";
+  if Float.equal base 0. then invalid_arg "Model.growth_ratio: zero base rate";
   f (scale p) /. base
 
 let nodes_exponent scheme rate =

@@ -6,7 +6,7 @@ let pw p =
 
 let pd p =
   let transactions = Params.concurrent_transactions p in
-  if transactions = 0. then 0. else pw p ** 2. /. transactions
+  if Float.equal transactions 0. then 0. else pw p ** 2. /. transactions
 
 let transaction_deadlock_rate p =
   p.Params.tps *. (fi p.Params.actions ** 4.) /. (4. *. (fi p.Params.db_size ** 2.))

@@ -40,7 +40,7 @@ let experiment =
           List.map
             (fun d ->
               let delay =
-                if d = 0. then Delay.Zero else Delay.Constant d
+                if Float.equal d 0. then Delay.Zero else Delay.Constant d
               in
               let mean f run =
                 Experiment.mean_over_seeds ~seeds (fun seed -> f (run ~seed))
@@ -72,8 +72,8 @@ let experiment =
               (d, waits, dangerous))
             delays
         in
-        let _, w0, r0 = List.nth points 0 in
-        let _, w_last, r_last = List.nth points (List.length points - 1) in
+        let _, w0, r0 = Experiment.first_point points in
+        let _, w_last, r_last = Experiment.last_point points in
         {
           Experiment.id = "E11";
           title = "Ablation: message delays make every rate worse";

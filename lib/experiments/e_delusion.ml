@@ -73,10 +73,10 @@ let experiment =
             params ~seed
         in
         Two_tier.start tt;
-        Engine.run_for (Two_tier.base tt).Common.engine (List.nth spans (List.length spans - 1));
+        Engine.run_for (Two_tier.base tt).Common.engine (Experiment.last_point spans);
         Two_tier.quiesce_and_sync tt;
-        let _, d_first, _ = List.nth points 0 in
-        let _, d_last, lww_last = List.nth points (List.length points - 1) in
+        let _, d_first, _ = Experiment.first_point points in
+        let _, d_last, lww_last = Experiment.last_point points in
         {
           Experiment.id = "E16";
           title = "System delusion: failed reconciliation diverges without bound";

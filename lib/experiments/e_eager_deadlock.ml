@@ -83,8 +83,8 @@ let experiment =
         let span = if quick then 80. else 300. in
         let nodes_values = if quick then [ 2; 4 ] else [ 2; 3; 4; 6 ] in
         let table, points = sweep ~nodes_values ~seeds ~span () in
-        let first = List.nth points 0 in
-        let last = List.nth points (List.length points - 1) in
+        let first = Experiment.first_point points in
+        let last = Experiment.last_point points in
         let n1, _, d1 = first and n2, _, d2 = last in
         let growth_model = (n2 /. n1) ** 3. in
         let findings =

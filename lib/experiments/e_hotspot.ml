@@ -42,7 +42,7 @@ let experiment =
           List.map
             (fun theta ->
               let access =
-                if theta = 0. then Profile.Uniform else Profile.Zipf theta
+                if Float.equal theta 0. then Profile.Uniform else Profile.Zipf theta
               in
               let profile = Profile.create ~access ~actions:base.Params.actions () in
               let mean f =
@@ -61,8 +61,8 @@ let experiment =
               (theta, waits))
             thetas
         in
-        let _, w_uniform = List.nth points 0 in
-        let _, w_hot = List.nth points (List.length points - 1) in
+        let _, w_uniform = Experiment.first_point points in
+        let _, w_hot = Experiment.last_point points in
         {
           Experiment.id = "E12";
           title = "Ablation: hotspots break the no-hotspot assumption";

@@ -67,7 +67,7 @@ let experiment =
             nodes_values
         in
         (* Ordering vs eager at the milder point, largest N. *)
-        let big = List.nth nodes_values (List.length nodes_values - 1) in
+        let big = Experiment.last_point nodes_values in
         let mild_params = { mild with nodes = big } in
         let eager_deadlocks =
           Experiment.mean_over_seeds ~seeds (fun seed ->

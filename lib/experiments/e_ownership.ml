@@ -58,7 +58,7 @@ let experiment =
               (db_size, group, master))
             db_sizes
         in
-        let _, g_small, m_small = List.nth points 0 in
+        let _, g_small, m_small = Experiment.first_point points in
         {
           Experiment.id = "E15";
           title = "Eager group vs master: the second-order race equation (12) drops";

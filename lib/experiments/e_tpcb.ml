@@ -95,7 +95,7 @@ let experiment =
                Single_node.node_wait_rate params))
             branch_counts
         in
-        let _, m_small, h_small, u_small = List.nth points 0 in
+        let _, m_small, h_small, u_small = Experiment.first_point points in
         {
           Experiment.id = "E18";
           title = "TPC-B hierarchy: branch rows set the real contention";

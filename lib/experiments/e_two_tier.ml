@@ -69,7 +69,7 @@ let diag outcome key =
   | None -> invalid_arg ("two-tier outcome lacks diagnostic " ^ key)
 
 let diag_int outcome key = int_of_float (diag outcome key)
-let diag_flag outcome key = diag outcome key = 1.
+let diag_flag outcome key = Float.equal (diag outcome key) 1.
 
 let experiment =
   {
@@ -105,7 +105,11 @@ let experiment =
                 Table.cell_rate lazy_master;
               ])
           connected_points;
-        let _, _, tt4, lm4 = List.nth connected_points 1 in
+        let tt4, lm4 =
+          match connected_points with
+          | _ :: (_, _, tt4, lm4) :: _ -> (tt4, lm4)
+          | _ -> invalid_arg "E6: sweep needs at least two node counts"
+        in
         (* (b) commutative mobile fleet *)
         let commutative_profile =
           Profile.create ~update_kind:Profile.Increments ~actions:2 ()
@@ -182,9 +186,9 @@ let experiment =
               (dt, fraction, diag_flag out "converged"))
             dts
         in
-        let _, first_fraction, _ = List.nth reject_fractions 0 in
+        let _, first_fraction, _ = Experiment.first_point reject_fractions in
         let _, last_fraction, last_converged =
-          List.nth reject_fractions (List.length reject_fractions - 1)
+          Experiment.last_point reject_fractions
         in
         {
           Experiment.id = "E8";

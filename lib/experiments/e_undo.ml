@@ -71,8 +71,8 @@ let experiment =
               (dt, Stats.mean lag))
             dts
         in
-        let dt1, lag1 = List.nth points 0 in
-        let dt2, lag2 = List.nth points (List.length points - 1) in
+        let dt1, lag1 = Experiment.first_point points in
+        let dt2, lag2 = Experiment.last_point points in
         (* Expected mean lag for a transaction at a uniformly random point
            of the mobile's cycle: the mobile is down dt/(dt+c) of the time,
            and a transaction then waits half the remaining downtime on

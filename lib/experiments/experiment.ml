@@ -43,6 +43,15 @@ let mean_over_seeds ~seeds f =
       let total = List.fold_left (fun acc seed -> acc +. f seed) 0. seeds in
       total /. float_of_int (List.length seeds)
 
+let first_point = function
+  | [] -> invalid_arg "Experiment.first_point: empty sweep"
+  | p :: _ -> p
+
+let rec last_point = function
+  | [] -> invalid_arg "Experiment.last_point: empty sweep"
+  | [ p ] -> p
+  | _ :: rest -> last_point rest
+
 let fitted_exponent points =
   let usable = List.filter (fun (x, y) -> x > 0. && y > 0.) points in
   if List.length usable < 2 then Float.nan else Stats.loglog_slope usable

@@ -40,6 +40,14 @@ val pp_result : Format.formatter -> result -> unit
 val mean_over_seeds : seeds:int list -> (int -> float) -> float
 (** Average a measured rate over several seeded runs. *)
 
+val first_point : 'a list -> 'a
+(** Head of a sweep's point list; raises [Invalid_argument] when empty.
+    Experiments use this instead of [List.nth _ 0] so the failure mode on
+    an empty sweep is an explicit message rather than a bare exception. *)
+
+val last_point : 'a list -> 'a
+(** Final point of a sweep; raises [Invalid_argument] when empty. *)
+
 val fitted_exponent : (float * float) list -> float
 (** Log-log slope of (x, rate) points, skipping non-positive rates; [nan]
     when fewer than two usable points remain (e.g. an event too rare to

@@ -52,14 +52,14 @@ let faults t =
         let p_drop = spec.Fault_plan.drop_prob in
         let p_dup = spec.Fault_plan.dup_prob in
         let p_delay = spec.Fault_plan.delay_prob in
-        if p_drop = 0. && p_dup = 0. && p_delay = 0. then Network.Pass
+        if Float.equal p_drop 0. && Float.equal p_dup 0. && Float.equal p_delay 0. then Network.Pass
         else begin
           let r = Rng.float t.rng 1. in
           if r < p_drop then Network.Drop
           else if r < p_drop +. p_dup then Network.Duplicate
           else if r < p_drop +. p_dup +. p_delay then
             Network.Delay_extra
-              (Rng.float t.rng (max 1e-9 spec.Fault_plan.max_extra_delay))
+              (Rng.float t.rng (Float.max 1e-9 spec.Fault_plan.max_extra_delay))
           else Network.Pass
         end);
   }

@@ -63,7 +63,7 @@ let crashes_for_node rng spec ~horizon node =
   else begin
     let count = Rng.poisson rng ~mean:spec.crashes_per_node in
     let ats = List.init count (fun _ -> Rng.float rng horizon) in
-    let ats = List.sort compare ats in
+    let ats = List.sort Float.compare ats in
     (* Skip crashes landing inside the previous downtime window, so one
        node's crash intervals never overlap. *)
     let rec build last_up = function
@@ -86,7 +86,7 @@ let partitions_of rng spec ~horizon ~nodes =
   if spec.partitions <= 0. then []
   else begin
     let count = Rng.poisson rng ~mean:spec.partitions in
-    let starts = List.sort compare (List.init count (fun _ -> Rng.float rng horizon)) in
+    let starts = List.sort Float.compare (List.init count (fun _ -> Rng.float rng horizon)) in
     let rec build last_heal = function
       | [] -> []
       | at :: rest ->
@@ -111,12 +111,12 @@ let generate ~rng ~nodes ?crashable ~horizon spec =
   let crash_list =
     crashable
     |> List.concat_map (crashes_for_node rng spec ~horizon)
-    |> List.sort (fun a b -> compare a.at b.at)
+    |> List.sort (fun a b -> Float.compare a.at b.at)
   in
   let partition_list = partitions_of rng spec ~horizon ~nodes in
   { spec; horizon; nodes; crash_list; partition_list }
 
-let lossless_messages t = t.spec.drop_prob = 0. && t.spec.dup_prob = 0.
+let lossless_messages t = Float.equal t.spec.drop_prob 0. && Float.equal t.spec.dup_prob 0.
 let crash_free t = t.crash_list = []
 
 let pp ppf t =

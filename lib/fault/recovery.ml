@@ -56,12 +56,12 @@ let crash t =
   replay_onto t shadow;
   (match Fstore.divergent_oids shadow t.store with
   | [] -> ()
-  | oids ->
+  | first :: _ as oids ->
       record t
         "node %d: journal incomplete at crash %d — %d object(s) not \
          reproduced (first: %d)"
         t.node t.crash_count (List.length oids)
-        (Oid.to_int (List.hd oids)))
+        (Oid.to_int first))
 
 let restart t =
   let snapshot = Fstore.copy t.store in
@@ -72,12 +72,12 @@ let restart t =
   t.journaling <- true;
   match Fstore.divergent_oids snapshot t.store with
   | [] -> ()
-  | oids ->
+  | first :: _ as oids ->
       record t
         "node %d: recovery replay after crash %d missed %d object(s) \
          (first: %d)"
         t.node t.crash_count (List.length oids)
-        (Oid.to_int (List.hd oids))
+        (Oid.to_int first)
 
 let crashes t = t.crash_count
 let journal_length t = Update_log.length t.journal

@@ -1,0 +1,131 @@
+module Json = Dangers_obs.Json
+
+type entry = {
+  rule : string;
+  file : string;
+  message : string;
+  count : int;
+  justification : string option;
+}
+
+type t = { entries : entry list }
+
+let schema_id = "dangers/lint-baseline/v1"
+
+let empty = { entries = [] }
+
+let entry_key e = e.rule ^ "|" ^ e.file ^ "|" ^ e.message
+
+let compare_entries a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c else String.compare a.message b.message
+
+let of_findings findings =
+  let counts : (string, entry) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Finding.t) ->
+      let key = Finding.key f in
+      match Hashtbl.find_opt counts key with
+      | Some e -> Hashtbl.replace counts key { e with count = e.count + 1 }
+      | None ->
+          Hashtbl.add counts key
+            {
+              rule = f.Finding.rule;
+              file = f.Finding.file;
+              message = f.Finding.message;
+              count = 1;
+              justification = None;
+            })
+    findings;
+  {
+    entries =
+      List.sort compare_entries
+        (Hashtbl.fold (fun _ e acc -> e :: acc) counts []);
+  }
+
+type applied = {
+  fresh : Finding.t list;
+  baselined : int;
+  stale : entry list;
+}
+
+let apply t findings =
+  let allowance : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e -> Hashtbl.replace allowance (entry_key e) e.count)
+    t.entries;
+  let used : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let fresh, baselined =
+    List.fold_left
+      (fun (fresh, baselined) (f : Finding.t) ->
+        let key = Finding.key f in
+        let allowed =
+          match Hashtbl.find_opt allowance key with Some n -> n | None -> 0
+        in
+        let taken =
+          match Hashtbl.find_opt used key with Some n -> n | None -> 0
+        in
+        if taken < allowed then begin
+          Hashtbl.replace used key (taken + 1);
+          (fresh, baselined + 1)
+        end
+        else (f :: fresh, baselined))
+      ([], 0) findings
+  in
+  let stale =
+    List.filter (fun e -> not (Hashtbl.mem used (entry_key e))) t.entries
+  in
+  { fresh = List.rev fresh; baselined; stale }
+
+let entry_to_json e =
+  Json.Obj
+    (("rule", Json.Str e.rule)
+     :: ("file", Json.Str e.file)
+     :: ("message", Json.Str e.message)
+     :: ("count", Json.int_ e.count)
+     ::
+     (match e.justification with
+     | Some j -> [ ("justification", Json.Str j) ]
+     | None -> []))
+
+let entry_of_json j =
+  {
+    rule = Json.string_of (Json.member "rule" j);
+    file = Json.string_of (Json.member "file" j);
+    message = Json.string_of (Json.member "message" j);
+    count = Json.int_of (Json.member "count" j);
+    justification = Option.map Json.string_of (Json.member_opt "justification" j);
+  }
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_id);
+      ("findings", Json.Arr (List.map entry_to_json t.entries));
+    ]
+
+let of_json j =
+  (match Json.member "schema" j with
+  | Json.Str s when String.equal s schema_id -> ()
+  | Json.Str s -> Json.parse_error "unsupported lint-baseline schema %S" s
+  | _ -> Json.parse_error "lint-baseline schema is not a string");
+  {
+    entries =
+      List.sort compare_entries
+        (List.map entry_of_json (Json.list_of (Json.member "findings" j)));
+  }
+
+let load path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  of_json (Json.of_string (String.trim contents))
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (Json.to_string (to_json t));
+  output_char oc '\n';
+  close_out oc

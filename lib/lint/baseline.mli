@@ -1,0 +1,46 @@
+(** Committed grandfather list for lint findings.
+
+    A baseline entry identifies findings by [(rule, file, message)] — not
+    line numbers — with a count, so a file can carry N known findings and
+    still fail when an N+1th appears. [apply] splits a run's findings
+    into fresh ones (fail the build) and baselined ones; entries no
+    longer matched by any finding are reported stale so the baseline
+    shrinks monotonically ([--update-baseline] drops them). *)
+
+type entry = {
+  rule : string;
+  file : string;
+  message : string;
+  count : int;
+  justification : string option;
+      (** why this finding is allowed to stay; shown next to stale
+          entries and in the JSON report *)
+}
+
+type t = { entries : entry list }
+
+val schema_id : string
+(** ["dangers/lint-baseline/v1"] *)
+
+val empty : t
+
+val of_findings : Finding.t list -> t
+(** Grandfather the given findings: one entry per distinct key with its
+    multiplicity, sorted by (file, rule, message). *)
+
+type applied = {
+  fresh : Finding.t list;  (** findings not covered by the baseline *)
+  baselined : int;  (** findings absorbed by the baseline *)
+  stale : entry list;  (** entries matching nothing in this run *)
+}
+
+val apply : t -> Finding.t list -> applied
+
+val to_json : t -> Dangers_obs.Json.t
+val of_json : Dangers_obs.Json.t -> t
+
+val load : string -> t
+(** @raise Dangers_obs.Json.Parse_error on malformed content;
+    @raise Sys_error if unreadable. *)
+
+val save : string -> t -> unit

@@ -1,0 +1,49 @@
+let default_build_dir () =
+  let candidate = Filename.concat "_build" "default" in
+  if Sys.file_exists candidate && Sys.is_directory candidate then candidate
+  else "."
+
+let check_sources ?(all_files = false) ~rules sources =
+  let findings, suppressed =
+    List.fold_left
+      (fun acc (src : Loader.source) ->
+        let suppressions = Suppress.collect src.Loader.structure in
+        List.fold_left
+          (fun acc (rule : Rule.t) ->
+            if all_files || rule.Rule.in_scope src.Loader.path then
+              List.fold_left
+                (fun (kept, suppressed) (f : Finding.t) ->
+                  if
+                    Suppress.allows suppressions ~rule:f.Finding.rule
+                      ~line:f.Finding.line
+                  then (kept, suppressed + 1)
+                  else (f :: kept, suppressed))
+                acc
+                (rule.Rule.check ~file:src.Loader.path src.Loader.structure)
+            else acc)
+          acc rules)
+      ([], 0) sources
+  in
+  (List.sort Finding.compare findings, suppressed)
+
+let run ?(all_files = false) ?(baseline = Baseline.empty) ~rules ~build_dir
+    ~prefixes () =
+  let loaded = Loader.load ~build_dir ~prefixes in
+  let findings, suppressed =
+    check_sources ~all_files ~rules loaded.Loader.sources
+  in
+  let applied = Baseline.apply baseline findings in
+  {
+    Report.rules = List.map (fun r -> r.Rule.id) rules;
+    sources = List.length loaded.Loader.sources;
+    findings = applied.Baseline.fresh;
+    suppressed;
+    baselined = applied.Baseline.baselined;
+    stale = applied.Baseline.stale;
+    unreadable = loaded.Loader.unreadable;
+  }
+
+let grandfather ?(all_files = false) ~rules ~build_dir ~prefixes () =
+  let loaded = Loader.load ~build_dir ~prefixes in
+  let findings, _ = check_sources ~all_files ~rules loaded.Loader.sources in
+  Baseline.of_findings findings

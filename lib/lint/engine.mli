@@ -1,0 +1,35 @@
+(** Orchestrates a lint run: load cmts, run the selected rules over each
+    unit, drop [@lint.allow]-suppressed findings, subtract the baseline. *)
+
+val default_build_dir : unit -> string
+(** ["_build/default"] when it exists under the cwd, ["."] otherwise —
+    so the CLI works both from the repo root and from inside the build
+    tree (the [@lint] alias). *)
+
+val check_sources :
+  ?all_files:bool ->
+  rules:Rule.t list ->
+  Loader.source list ->
+  Finding.t list * int
+(** Run [rules] over already-loaded sources; returns (sorted unsuppressed
+    findings, suppressed count). [all_files] ignores each rule's
+    [in_scope] filter — used by tests and fixture runs. *)
+
+val run :
+  ?all_files:bool ->
+  ?baseline:Baseline.t ->
+  rules:Rule.t list ->
+  build_dir:string ->
+  prefixes:string list ->
+  unit ->
+  Report.t
+
+val grandfather :
+  ?all_files:bool ->
+  rules:Rule.t list ->
+  build_dir:string ->
+  prefixes:string list ->
+  unit ->
+  Baseline.t
+(** The baseline that would make the current tree lint clean
+    ([--update-baseline]). *)

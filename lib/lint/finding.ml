@@ -1,0 +1,56 @@
+module Json = Dangers_obs.Json
+
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let make ~rule ~file ~loc ~message =
+  let p = loc.Location.loc_start in
+  {
+    rule;
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    message;
+  }
+
+let key f = f.rule ^ "|" ^ f.file ^ "|" ^ f.message
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let pp ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
+
+let to_json f =
+  Json.Obj
+    [
+      ("rule", Json.Str f.rule);
+      ("file", Json.Str f.file);
+      ("line", Json.int_ f.line);
+      ("col", Json.int_ f.col);
+      ("message", Json.Str f.message);
+    ]
+
+let of_json j =
+  {
+    rule = Json.string_of (Json.member "rule" j);
+    file = Json.string_of (Json.member "file" j);
+    line = Json.int_of (Json.member "line" j);
+    col = Json.int_of (Json.member "col" j);
+    message = Json.string_of (Json.member "message" j);
+  }

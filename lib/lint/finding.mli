@@ -1,0 +1,26 @@
+(** One diagnostic produced by a lint rule.
+
+    Findings are keyed for baselining by [(rule, file, message)] — line
+    numbers shift every edit, so the baseline must not depend on them. *)
+
+type t = {
+  rule : string;  (** rule id, e.g. ["D1"] *)
+  file : string;  (** source path as recorded in the [.cmt] *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  message : string;
+}
+
+val make : rule:string -> file:string -> loc:Location.t -> message:string -> t
+
+val key : t -> string
+(** Baseline identity: [rule ^ "|" ^ file ^ "|" ^ message]. *)
+
+val compare : t -> t -> int
+(** Stable report order: by file, line, column, rule, message. *)
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col: \[rule\] message] — one line, compiler style. *)
+
+val to_json : t -> Dangers_obs.Json.t
+val of_json : Dangers_obs.Json.t -> t

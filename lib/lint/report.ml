@@ -1,0 +1,60 @@
+module Json = Dangers_obs.Json
+
+type t = {
+  rules : string list;
+  sources : int;
+  findings : Finding.t list;
+  suppressed : int;
+  baselined : int;
+  stale : Baseline.entry list;
+  unreadable : string list;
+}
+
+let schema_id = "dangers/lint/v1"
+
+let clean t = t.findings = [] && t.unreadable = []
+
+let exit_code t = if clean t then 0 else 1
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_id);
+      ("rules", Json.Arr (List.map (fun id -> Json.Str id) t.rules));
+      ("sources", Json.int_ t.sources);
+      ("findings", Json.Arr (List.map Finding.to_json t.findings));
+      ("suppressed", Json.int_ t.suppressed);
+      ("baselined", Json.int_ t.baselined);
+      ( "stale_baseline",
+        Json.Arr
+          (List.map
+             (fun (e : Baseline.entry) ->
+               Json.Obj
+                 [
+                   ("rule", Json.Str e.Baseline.rule);
+                   ("file", Json.Str e.Baseline.file);
+                   ("message", Json.Str e.Baseline.message);
+                 ])
+             t.stale) );
+      ("unreadable", Json.Arr (List.map (fun p -> Json.Str p) t.unreadable));
+      ("clean", Json.Bool (clean t));
+    ]
+
+let pp ppf t =
+  List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp f) t.findings;
+  List.iter
+    (fun (e : Baseline.entry) ->
+      Format.fprintf ppf
+        "stale baseline entry: [%s] %s: %s (fixed? run --update-baseline)@."
+        e.Baseline.rule e.Baseline.file e.Baseline.message)
+    t.stale;
+  List.iter
+    (fun path -> Format.fprintf ppf "unreadable cmt: %s@." path)
+    t.unreadable;
+  Format.fprintf ppf
+    "lint: %d finding(s), %d suppressed, %d baselined, %d stale baseline \
+     entr%s over %d source(s) [%s]@."
+    (List.length t.findings) t.suppressed t.baselined (List.length t.stale)
+    (if List.length t.stale = 1 then "y" else "ies")
+    t.sources
+    (String.concat " " t.rules)

@@ -1,0 +1,24 @@
+(** Result of one lint run, renderable as text or dangers/lint/v1 JSON. *)
+
+type t = {
+  rules : string list;  (** rule ids that ran *)
+  sources : int;  (** compilation units analyzed *)
+  findings : Finding.t list;  (** fresh findings, sorted *)
+  suppressed : int;  (** findings silenced by [@lint.allow] *)
+  baselined : int;  (** findings absorbed by the baseline *)
+  stale : Baseline.entry list;  (** baseline entries matching nothing *)
+  unreadable : string list;  (** cmt files that failed to load *)
+}
+
+val schema_id : string
+(** ["dangers/lint/v1"] *)
+
+val clean : t -> bool
+(** No fresh findings and no unreadable cmts (stale baseline entries only
+    warn — they mean the code got better). *)
+
+val exit_code : t -> int
+(** 0 when {!clean}, 1 otherwise. *)
+
+val to_json : t -> Dangers_obs.Json.t
+val pp : Format.formatter -> t -> unit

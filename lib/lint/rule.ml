@@ -1,0 +1,45 @@
+type t = {
+  id : string;
+  title : string;
+  rationale : string;
+  in_scope : string -> bool;
+  check : file:string -> Typedtree.structure -> Finding.t list;
+}
+
+let ident_name path =
+  let name = Path.name path in
+  let prefix = "Stdlib." in
+  let n = String.length prefix in
+  if String.length name > n && String.sub name 0 n = prefix then
+    String.sub name n (String.length name - n)
+  else name
+
+let is_stdlib path =
+  let rec root = function
+    | Path.Pident id -> Ident.name id = "Stdlib"
+    | Path.Pdot (p, _) | Path.Papply (p, _) | Path.Pextra_ty (p, _) -> root p
+  in
+  root path
+
+let rec head_ident (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (path, _, _) -> Some (ident_name path)
+  | Texp_apply (f, _) -> head_ident f
+  | _ -> None
+
+let iter_exprs str f =
+  let expr sub e =
+    f e;
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.structure it str
+
+let path_has_prefix prefixes path =
+  List.exists
+    (fun prefix ->
+      String.length path >= String.length prefix
+      && String.sub path 0 (String.length prefix) = prefix)
+    prefixes
+
+let basename_in names path = List.mem (Filename.basename path) names

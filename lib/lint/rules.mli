@@ -1,0 +1,23 @@
+(** The shipped rule set. Rationale for each lives in [docs/LINT.md].
+
+    - [D1] — banned nondeterministic calls ([Random.self_init], the
+      global [Random] state, [Unix.gettimeofday], [Sys.time],
+      [Hashtbl.hash]) in simulator/replication/core code.
+    - [D2] — unordered [Hashtbl.iter]/[Hashtbl.fold] in export, snapshot
+      and JSON modules, unless the fold feeds a sort in the same
+      expression.
+    - [D3] — polymorphic [=]/[<>]/[compare]/[min]/[max] instantiated at
+      float (or a float-bearing tuple/option/list/array) in library code.
+    - [R1] — module-level mutable state ([ref], [Hashtbl.create],
+      [lazy], ...) in code reachable from [Runner.Task_pool] workers that
+      is not [Atomic], [Mutex]-guarded, or [Domain.DLS]-scoped.
+    - [P1] — silently partial stdlib functions ([List.hd], [List.tl],
+      [List.nth], [Option.get]) in library code. *)
+
+val all : Rule.t list
+(** Every shipped rule, in id order. *)
+
+val find : string -> Rule.t option
+(** Case-insensitive lookup by id. *)
+
+val ids : unit -> string list

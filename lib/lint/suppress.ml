@@ -1,0 +1,79 @@
+type t = {
+  mutable file_wide : string list;  (** rule ids allowed everywhere *)
+  mutable ranges : (string * int * int) list;  (** id, first line, last line *)
+  mutable seen : int;
+}
+
+let attribute_name = "lint.allow"
+
+(* The payload is a string literal naming one or more rule ids:
+   [@lint.allow "D2"] or [@lint.allow "D2, R1"] or [@lint.allow "*"]. *)
+let payload_ids (payload : Parsetree.payload) =
+  match payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun id -> id <> "")
+  | _ -> []
+
+let ids_of_attributes (attrs : Parsetree.attributes) =
+  List.concat_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt = attribute_name then payload_ids a.attr_payload
+      else [])
+    attrs
+
+let collect str =
+  let t = { file_wide = []; ranges = []; seen = 0 } in
+  let add_ranges (loc : Location.t) ids =
+    if ids <> [] then begin
+      let first = loc.loc_start.pos_lnum and last = loc.loc_end.pos_lnum in
+      t.ranges <- List.map (fun id -> (id, first, last)) ids @ t.ranges;
+      t.seen <- t.seen + 1
+    end
+  in
+  let add_file_wide ids =
+    if ids <> [] then begin
+      t.file_wide <- ids @ t.file_wide;
+      t.seen <- t.seen + 1
+    end
+  in
+  let open Tast_iterator in
+  let expr sub (e : Typedtree.expression) =
+    add_ranges e.exp_loc (ids_of_attributes e.exp_attributes);
+    default_iterator.expr sub e
+  in
+  let value_binding sub (vb : Typedtree.value_binding) =
+    add_ranges vb.vb_loc (ids_of_attributes vb.vb_attributes);
+    default_iterator.value_binding sub vb
+  in
+  let structure_item sub (item : Typedtree.structure_item) =
+    (match item.str_desc with
+    | Tstr_attribute a ->
+        if a.attr_name.txt = attribute_name then
+          add_file_wide (payload_ids a.attr_payload)
+    | _ -> ());
+    default_iterator.structure_item sub item
+  in
+  let it = { default_iterator with expr; value_binding; structure_item } in
+  it.structure it str;
+  t
+
+let matches rule id = id = "*" || id = rule
+
+let allows t ~rule ~line =
+  List.exists (matches rule) t.file_wide
+  || List.exists
+       (fun (id, first, last) ->
+         matches rule id && first <= line && line <= last)
+       t.ranges
+
+let count t = t.seen

@@ -1,0 +1,18 @@
+(** Per-site lint suppression.
+
+    [[@lint.allow "D2"]] on an expression or a [let] binding silences the
+    named rule(s) for the node's line range; a floating
+    [[@@@lint.allow "D2"]] silences them for the whole file. Several ids
+    may be given in one string, comma separated, and ["*"] matches every
+    rule. *)
+
+type t
+
+val collect : Typedtree.structure -> t
+(** All [lint.allow] attributes of one compilation unit. *)
+
+val allows : t -> rule:string -> line:int -> bool
+(** Is a finding for [rule] on this (1-based) line suppressed? *)
+
+val count : t -> int
+(** Number of [lint.allow] attributes seen (for reporting). *)

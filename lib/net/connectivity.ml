@@ -11,7 +11,7 @@ type spec = {
 }
 
 let always_connected spec =
-  spec.time_between_disconnects = infinity && spec.start_connected
+  Float.equal spec.time_between_disconnects infinity && spec.start_connected
 
 let base_node =
   {

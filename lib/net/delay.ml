@@ -19,7 +19,7 @@ let sample t rng =
   match t with
   | Zero -> 0.
   | Constant d -> d
-  | Uniform { lo; hi } -> if hi = lo then lo else lo +. Rng.float rng (hi -. lo)
+  | Uniform { lo; hi } -> if Float.equal hi lo then lo else lo +. Rng.float rng (hi -. lo)
   | Exponential { mean } -> Rng.exponential rng ~mean
 
 let pp ppf = function

@@ -21,7 +21,7 @@ let float_repr f =
     Printf.sprintf "%.0f" f
   else
     let s = Printf.sprintf "%.12g" f in
-    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+    if Float.equal (float_of_string s) f then s else Printf.sprintf "%.17g" f
 
 let escape_string buf s =
   Buffer.add_char buf '"';
@@ -225,8 +225,8 @@ let of_string input =
 
 let of_float f =
   if Float.is_nan f then Str "nan"
-  else if f = Float.infinity then Str "inf"
-  else if f = Float.neg_infinity then Str "-inf"
+  else if Float.equal f Float.infinity then Str "inf"
+  else if Float.equal f Float.neg_infinity then Str "-inf"
   else Num f
 
 let to_float = function

@@ -120,8 +120,12 @@ let by_name (a, _) (b, _) = String.compare a b
 let snapshot t =
   let counts : (string, int) Hashtbl.t = Hashtbl.create 32 in
   let gauges : (string, float) Hashtbl.t = Hashtbl.create 16 in
-  Hashtbl.iter (fun name c -> Hashtbl.replace counts name c.c_value) t.counters;
-  Hashtbl.iter (fun name g -> Hashtbl.replace gauges name g.g_value) t.gauges;
+  (* Both iters copy into scratch tables keyed by name, so visit order
+     cannot leak into the snapshot; emission sorts with [by_name] below. *)
+  (Hashtbl.iter (fun name c -> Hashtbl.replace counts name c.c_value)
+     t.counters [@lint.allow "D2"]);
+  (Hashtbl.iter (fun name g -> Hashtbl.replace gauges name g.g_value)
+     t.gauges [@lint.allow "D2"]);
   (* Sources registered first run first; same-name counters accumulate
      (several lock managers report into one [lock_waits]), gauges take the
      maximum (the interesting high-water across components). *)

@@ -28,9 +28,12 @@ let count ~key =
 
 let keys () =
   Mutex.lock lock;
-  let ks = Hashtbl.fold (fun k n acc -> (k, n) :: acc) per_key [] in
-  Mutex.unlock lock;
-  List.sort (fun (a, _) (b, _) -> String.compare a b) ks
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun k n acc -> (k, n) :: acc) per_key []))
 
 let reset () =
   Mutex.lock lock;

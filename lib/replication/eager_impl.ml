@@ -102,7 +102,7 @@ let submit t ~node ops =
                    delay the model ignores; charged here for the
                    delay ablation. *)
                 let extra = Dangers_net.Delay.sample t.delay t.delay_rng in
-                if extra = 0. then step
+                if Float.equal extra 0. then step
                 else
                   {
                     step with

@@ -1,7 +1,8 @@
 (* Queried once: [Domain.recommended_domain_count] reads the cgroup/CPU
    topology on every call, and benchmark reports should name one stable
-   number for the host. *)
-let cores = lazy (Domain.recommended_domain_count ())
+   number for the host. Forced from the coordinating domain when the pool
+   is sized, before any worker spawns, so the lazy is never raced. *)
+let[@lint.allow "R1"] cores = lazy (Domain.recommended_domain_count ())
 let host_cores () = Lazy.force cores
 let default_jobs () = host_cores ()
 

@@ -74,7 +74,7 @@ let push t time seq ev =
     else begin
       let parent = (!i - 1) / 2 in
       let pt = t.times.(parent) in
-      if time < pt || (time = pt && seq < t.seqs.(parent)) then begin
+      if time < pt || (Float.equal time pt && seq < t.seqs.(parent)) then begin
         t.times.(!i) <- pt;
         t.seqs.(!i) <- t.seqs.(parent);
         t.evs.(!i) <- t.evs.(parent);
@@ -108,12 +108,12 @@ let remove_min t =
           if
             r < n
             && (t.times.(r) < t.times.(l)
-               || (t.times.(r) = t.times.(l) && t.seqs.(r) < t.seqs.(l)))
+               || (Float.equal t.times.(r) t.times.(l) && t.seqs.(r) < t.seqs.(l)))
           then r
           else l
         in
         let ct = t.times.(c) in
-        if ct < time || (ct = time && t.seqs.(c) < seq) then begin
+        if ct < time || (Float.equal ct time && t.seqs.(c) < seq) then begin
           t.times.(!i) <- ct;
           t.seqs.(!i) <- t.seqs.(c);
           t.evs.(!i) <- t.evs.(c);

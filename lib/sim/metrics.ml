@@ -61,7 +61,9 @@ let sample_stats t name =
   | None -> Stats.create ()
 
 let start_window t =
-  Hashtbl.iter (fun _ c -> c.window <- 0) t.counters;
+  (* In-place reset of every window counter; no output depends on the
+     table's visit order. *)
+  (Hashtbl.iter (fun _ c -> c.window <- 0) t.counters [@lint.allow "D2"]);
   t.window_start <- Engine.now t.engine
 
 let counter_names t =

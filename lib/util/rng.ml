@@ -71,7 +71,7 @@ let exponential t ~mean =
 
 let poisson t ~mean =
   if not (mean >= 0.) then invalid_arg "Rng.poisson: mean must be >= 0";
-  if mean = 0. then 0
+  if Float.equal mean 0. then 0
   else if mean < 30. then begin
     (* Knuth: multiply uniforms until the product drops below e^-mean. *)
     let limit = exp (-.mean) in
@@ -93,7 +93,7 @@ let poisson t ~mean =
 let zipf t ~n ~theta =
   if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
   if theta < 0. then invalid_arg "Rng.zipf: theta must be >= 0";
-  if theta = 0. then int t n
+  if Float.equal theta 0. then int t n
   else begin
     (* Closed-form inverse of the approximate Zipf CDF (Gray et al. '94). *)
     let nf = float_of_int n in

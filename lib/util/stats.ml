@@ -35,7 +35,7 @@ let percentile xs ~p =
   if n = 0 then invalid_arg "Stats.percentile: empty array";
   if p < 0. || p > 1. then invalid_arg "Stats.percentile: p outside [0,1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = p *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor rank) and hi = int_of_float (Float.ceil rank) in
   if lo = hi then sorted.(lo)
@@ -57,7 +57,7 @@ let loglog_slope points =
   (* All-equal x must be rejected up front: the summed denominator below
      can round to a tiny nonzero value and yield a garbage slope. *)
   (match usable with
-  | (x0, _) :: rest when List.for_all (fun (x, _) -> x = x0) rest ->
+  | (x0, _) :: rest when List.for_all (fun (x, _) -> Float.equal x x0) rest ->
       invalid_arg "Stats.loglog_slope: degenerate x values"
   | _ -> ());
   let nf = float_of_int n in
@@ -66,7 +66,7 @@ let loglog_slope points =
   let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. usable in
   let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. usable in
   let denom = (nf *. sxx) -. (sx *. sx) in
-  if denom = 0. then invalid_arg "Stats.loglog_slope: degenerate x values";
+  if Float.equal denom 0. then invalid_arg "Stats.loglog_slope: degenerate x values";
   ((nf *. sxy) -. (sx *. sy)) /. denom
 
 let geometric_mean xs =

@@ -93,6 +93,6 @@ let cell_int n = string_of_int n
 
 let cell_rate x =
   let magnitude = Float.abs x in
-  if magnitude = 0. then "0"
+  if Float.equal magnitude 0. then "0"
   else if magnitude >= 0.001 && magnitude < 100000. then cell_float ~digits:4 x
   else cell_sci x

@@ -1,0 +1,8 @@
+(* D1 fixtures: each banned-call family appears once, plus one
+   suppressed site. Expected: 4 findings, 1 suppression. *)
+
+let seed () = Random.self_init ()
+let stamp () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
+let dispersed x = Hashtbl.hash x
+let allowed () = (Random.self_init () [@lint.allow "D1"])

@@ -1,0 +1,15 @@
+(* D2 fixtures: a bare iter and an unsorted fold are findings; a fold
+   feeding a sort in the same expression (either nesting direction) is
+   not. Expected: 2 findings, 1 suppression. *)
+
+let make () : (string, int) Hashtbl.t = Hashtbl.create 4
+let export tbl = Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) tbl
+let unsorted tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let sorted_direct tbl =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let sorted_pipe tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
+
+let allowed tbl = (Hashtbl.iter (fun _ _ -> ()) tbl [@lint.allow "D2"])

@@ -1,0 +1,11 @@
+(* D3 fixtures: polymorphic comparison instantiated at float (directly
+   or through a container) is a finding; integer uses and Float.equal
+   are not. Expected: 4 findings, 1 suppression. *)
+
+let eq (a : float) b = a = b
+let cmp (a : float) b = compare a b
+let bigger (a : float) b = max a b
+let deep (a : float list) b = a = b
+let fine (a : float) b = Float.equal a b
+let ints (a : int) b = a = b
+let allowed (a : float) b = (a = b [@lint.allow "D3"])

@@ -1,0 +1,8 @@
+(* File-wide suppression fixture: the floating attribute silences both
+   rules everywhere in the unit (and exercises the comma-separated
+   payload). Expected: 0 findings, 2 suppressions. *)
+
+[@@@lint.allow "D1, P1"]
+
+let a () = Random.self_init ()
+let b xs = List.hd xs

@@ -1,0 +1,9 @@
+(* P1 fixtures: each partial function appears once, plus one suppressed
+   site and one total alternative. Expected: 4 findings, 1 suppression. *)
+
+let first xs = List.hd xs
+let rest xs = List.tl xs
+let third xs = List.nth xs 2
+let force o = Option.get o
+let allowed xs = (List.hd xs [@lint.allow "P1"])
+let safe = function [] -> None | x :: _ -> Some x

@@ -1,0 +1,13 @@
+(* R1 fixtures: unguarded module-level mutable state, including inside
+   a nested module; Atomic and a binding-level allow are exempt.
+   Expected: 4 findings, 1 suppression. *)
+
+let cache : (string, int) Hashtbl.t = Hashtbl.create 16
+let counter = ref 0
+let lazy_state = lazy (Array.make 4 0)
+let safe = Atomic.make 0
+let[@lint.allow "R1"] allowed = ref 0
+
+module Inner = struct
+  let buf = Buffer.create 16
+end

@@ -1,0 +1,11 @@
+(* R1 fixture: a structure that binds its own Mutex.t counts as guarded
+   (the Warnings pattern) — no findings expected. *)
+
+let lock = Mutex.create ()
+let per_key : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let bump key =
+  Mutex.lock lock;
+  let n = try Hashtbl.find per_key key with Not_found -> 0 in
+  Hashtbl.replace per_key key (n + 1);
+  Mutex.unlock lock

@@ -1,0 +1,236 @@
+(* Lint engine tests: each rule against its seeded fixture in
+   test/lintfx/, suppression accounting, baseline round-trips, and the
+   dangers/lint/v1 report shape.
+
+   The fixtures are a separate library so dune has already produced
+   their .cmt files by the time this binary links; the loader scans the
+   build tree relative to the test's cwd (_build/default/test). *)
+
+module Loader = Dangers_lint.Loader
+module Engine = Dangers_lint.Engine
+module Rules = Dangers_lint.Rules
+module Rule = Dangers_lint.Rule
+module Finding = Dangers_lint.Finding
+module Baseline = Dangers_lint.Baseline
+module Report = Dangers_lint.Report
+module Json = Dangers_obs.Json
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+
+let fixture_prefix = "test/lintfx/"
+let fixtures = lazy (Loader.load ~build_dir:"." ~prefixes:[ fixture_prefix ])
+
+let results =
+  lazy
+    (let loaded = Lazy.force fixtures in
+     Engine.check_sources ~all_files:true ~rules:Rules.all
+       loaded.Loader.sources)
+
+let findings () = fst (Lazy.force results)
+let suppressed () = snd (Lazy.force results)
+
+let in_file base f = Filename.basename f.Finding.file = base
+
+let by rule base =
+  List.filter
+    (fun f -> f.Finding.rule = rule && in_file base f)
+    (findings ())
+
+let mentions sub f =
+  let m = f.Finding.message and n = String.length sub in
+  let rec go i =
+    i + n <= String.length m && (String.sub m i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_loader_finds_fixtures () =
+  let loaded = Lazy.force fixtures in
+  checki "seven fixture units" 7 (List.length loaded.Loader.sources);
+  checkb "all cmts readable" true (loaded.Loader.unreadable = []);
+  checkb "paths keep the build-root prefix" true
+    (List.for_all
+       (fun (s : Loader.source) ->
+         String.length s.Loader.path > String.length fixture_prefix
+         && String.sub s.Loader.path 0 (String.length fixture_prefix)
+            = fixture_prefix)
+       loaded.Loader.sources)
+
+let test_d1_seeded () =
+  let fs = by "D1" "fx_d1.ml" in
+  checki "four banned calls" 4 (List.length fs);
+  checkb "self_init named" true (List.exists (mentions "Random.self_init") fs);
+  checkb "gettimeofday named" true
+    (List.exists (mentions "Unix.gettimeofday") fs);
+  checkb "Sys.time named" true (List.exists (mentions "Sys.time") fs);
+  checkb "Hashtbl.hash named" true (List.exists (mentions "Hashtbl.hash") fs);
+  checkb "report order follows the file" true
+    (let lines = List.map (fun f -> f.Finding.line) fs in
+     lines = List.sort compare lines)
+
+let test_d2_seeded () =
+  let fs = by "D2" "fx_d2.ml" in
+  checki "iter and unsorted fold only" 2 (List.length fs);
+  checkb "iter flagged" true (List.exists (mentions "Hashtbl.iter") fs);
+  checkb "unsorted fold flagged" true
+    (List.exists (mentions "Hashtbl.fold") fs)
+
+let test_d3_seeded () =
+  let fs = by "D3" "fx_d3.ml" in
+  checki "float instantiations only" 4 (List.length fs);
+  checkb "= flagged twice (direct and through list)" true
+    (List.length (List.filter (mentions "polymorphic =") fs) = 2);
+  checkb "compare flagged" true
+    (List.exists (mentions "polymorphic compare") fs);
+  checkb "max flagged" true (List.exists (mentions "polymorphic max") fs)
+
+let test_r1_seeded () =
+  let fs = by "R1" "fx_r1.ml" in
+  checki "unguarded state incl. nested module" 4 (List.length fs);
+  List.iter
+    (fun name ->
+      checkb (name ^ " named") true (List.exists (mentions ("'" ^ name ^ "'")) fs))
+    [ "cache"; "counter"; "lazy_state"; "buf" ]
+
+let test_r1_mutex_guard () =
+  checki "mutex-bearing structure is exempt" 0
+    (List.length (List.filter (in_file "fx_r1_guarded.ml") (findings ())))
+
+let test_p1_seeded () =
+  let fs = by "P1" "fx_p1.ml" in
+  checki "all four partials" 4 (List.length fs);
+  List.iter
+    (fun name ->
+      checkb (name ^ " flagged") true (List.exists (mentions name) fs))
+    [ "List.hd"; "List.tl"; "List.nth"; "Option.get" ]
+
+let test_suppression_accounting () =
+  checki "one allow per rule fixture plus two file-wide" 7 (suppressed ());
+  checki "file-wide allow silences the whole unit" 0
+    (List.length (List.filter (in_file "fx_filewide.ml") (findings ())))
+
+let test_scope_filter () =
+  (* Without all_files the fixtures match no rule's scope (they live
+     under test/, the rules watch lib/), so a scoped run is silent. *)
+  let loaded = Lazy.force fixtures in
+  let fs, supp = Engine.check_sources ~rules:Rules.all loaded.Loader.sources in
+  checki "nothing in scope" 0 (List.length fs);
+  checki "no suppressions counted" 0 supp
+
+let test_baseline_round_trip () =
+  let fs = findings () in
+  let b = Baseline.of_findings fs in
+  let applied = Baseline.apply b fs in
+  checki "everything absorbed" (List.length fs) applied.Baseline.baselined;
+  checkb "nothing fresh" true (applied.Baseline.fresh = []);
+  checkb "nothing stale" true (applied.Baseline.stale = []);
+  checkb "json round-trips" true (Baseline.of_json (Baseline.to_json b) = b);
+  checkb "duplicate keys collapse to a counted entry" true
+    (List.exists
+       (fun (e : Baseline.entry) -> e.Baseline.count = 2)
+       b.Baseline.entries)
+
+let test_baseline_stale_and_fresh () =
+  let d1 = by "D1" "fx_d1.ml" and p1 = by "P1" "fx_p1.ml" in
+  let b = Baseline.of_findings d1 in
+  let applied = Baseline.apply b p1 in
+  checki "unbaselined findings stay fresh" (List.length p1)
+    (List.length applied.Baseline.fresh);
+  checki "nothing absorbed" 0 applied.Baseline.baselined;
+  checki "every entry is stale" (List.length b.Baseline.entries)
+    (List.length applied.Baseline.stale)
+
+let test_baseline_count_is_a_budget () =
+  (* fx_d3 carries two identical '=' findings; a baseline allowing one
+     must absorb exactly one and fail the other. *)
+  let dups =
+    List.filter (mentions "polymorphic =") (by "D3" "fx_d3.ml")
+  in
+  checki "two duplicate findings" 2 (List.length dups);
+  match Baseline.of_findings dups with
+  | { Baseline.entries = [ entry ] } ->
+      let b = { Baseline.entries = [ { entry with Baseline.count = 1 } ] } in
+      let applied = Baseline.apply b dups in
+      checki "one absorbed" 1 applied.Baseline.baselined;
+      checki "one fresh" 1 (List.length applied.Baseline.fresh)
+  | _ -> Alcotest.fail "expected a single merged baseline entry"
+
+let test_report_json_schema () =
+  let report =
+    Engine.run ~all_files:true ~rules:Rules.all ~build_dir:"."
+      ~prefixes:[ fixture_prefix ] ()
+  in
+  checkb "fixtures are not clean" false (Report.clean report);
+  checki "exit code 1" 1 (Report.exit_code report);
+  let json = Report.to_json report in
+  checks "schema id" "dangers/lint/v1" (Json.string_of (Json.member "schema" json));
+  checki "findings serialized" (List.length report.Report.findings)
+    (List.length (Json.list_of (Json.member "findings" json)));
+  checki "suppressed count serialized" (suppressed ())
+    (Json.int_of (Json.member "suppressed" json));
+  checkb "clean flag serialized" true
+    (Json.member "clean" json = Json.Bool false)
+
+let test_report_clean_exit () =
+  let fs = findings () in
+  let report =
+    Engine.run ~all_files:true ~rules:Rules.all
+      ~baseline:(Baseline.of_findings fs) ~build_dir:"."
+      ~prefixes:[ fixture_prefix ] ()
+  in
+  checkb "baselined run is clean" true (Report.clean report);
+  checki "exit code 0" 0 (Report.exit_code report);
+  checki "everything baselined" (List.length fs) report.Report.baselined
+
+let test_rules_registry () =
+  Alcotest.check (Alcotest.list Alcotest.string) "id order"
+    [ "D1"; "D2"; "D3"; "R1"; "P1" ] (Rules.ids ());
+  checkb "lookup is case-insensitive" true
+    (match Rules.find "d3" with
+    | Some r -> r.Rule.id = "D3"
+    | None -> false);
+  checkb "unknown rule is None" true (Rules.find "Z9" = None)
+
+let test_finding_format () =
+  match findings () with
+  | [] -> Alcotest.fail "fixtures produced no findings"
+  | f :: _ ->
+      let line = Format.asprintf "%a" Finding.pp f in
+      let expected_prefix =
+        Printf.sprintf "%s:%d:%d: [%s]" f.Finding.file f.Finding.line
+          f.Finding.col f.Finding.rule
+      in
+      checkb "pp is compiler-style" true
+        (String.length line >= String.length expected_prefix
+        && String.sub line 0 (String.length expected_prefix) = expected_prefix);
+      checks "baseline key is rule|file|message"
+        (f.Finding.rule ^ "|" ^ f.Finding.file ^ "|" ^ f.Finding.message)
+        (Finding.key f);
+      checkb "finding json round-trips" true
+        (Finding.of_json (Finding.to_json f) = f)
+
+let suite =
+  [
+    Alcotest.test_case "loader finds fixtures" `Quick test_loader_finds_fixtures;
+    Alcotest.test_case "D1 flags banned calls" `Quick test_d1_seeded;
+    Alcotest.test_case "D2 flags unordered iteration" `Quick test_d2_seeded;
+    Alcotest.test_case "D3 flags float compares" `Quick test_d3_seeded;
+    Alcotest.test_case "R1 flags unguarded state" `Quick test_r1_seeded;
+    Alcotest.test_case "R1 honors a module mutex" `Quick test_r1_mutex_guard;
+    Alcotest.test_case "P1 flags partial functions" `Quick test_p1_seeded;
+    Alcotest.test_case "suppressions are honored" `Quick
+      test_suppression_accounting;
+    Alcotest.test_case "rule scopes filter files" `Quick test_scope_filter;
+    Alcotest.test_case "baseline round-trips" `Quick test_baseline_round_trip;
+    Alcotest.test_case "baseline reports stale entries" `Quick
+      test_baseline_stale_and_fresh;
+    Alcotest.test_case "baseline counts are budgets" `Quick
+      test_baseline_count_is_a_budget;
+    Alcotest.test_case "report json matches dangers/lint/v1" `Quick
+      test_report_json_schema;
+    Alcotest.test_case "baselined report exits clean" `Quick
+      test_report_clean_exit;
+    Alcotest.test_case "rule registry lookup" `Quick test_rules_registry;
+    Alcotest.test_case "finding format and key" `Quick test_finding_format;
+  ]

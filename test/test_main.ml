@@ -26,4 +26,5 @@ let () =
       ("runner", Test_runner.suite);
       ("microbench", Test_microbench.suite);
       ("obs", Test_obs.suite);
+      ("lint", Test_lint.suite);
     ]

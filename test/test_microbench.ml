@@ -105,13 +105,23 @@ let test_compare_ok_within_threshold () =
   checkb "10% drift passes at 20%" true (Compare.ok report);
   checki "no regressions" 0 (List.length report.Compare.regressions)
 
-let test_compare_missing_bench_fails () =
+let test_compare_missing_bench_tolerated () =
+  let before = Dangers_obs.Warnings.count ~key:"bench.compare.missing" in
   let report = compare_files [ ("lock", 100.); ("gone", 50.) ] [ ("lock", 100.) ] in
-  checkb "lost coverage fails the check" false (Compare.ok report);
+  checkb "lost coverage no longer fails the check" true (Compare.ok report);
   Alcotest.check (Alcotest.list Alcotest.string) "names the lost bench"
     [ "gone" ] report.Compare.only_old;
+  checki "registers a warn-once for the lost bench" (before + 1)
+    (Dangers_obs.Warnings.count ~key:"bench.compare.missing");
   let report2 = compare_files [ ("lock", 100.) ] [ ("lock", 100.); ("extra", 9.) ] in
-  checkb "new benches are fine" true (Compare.ok report2)
+  checkb "new benches are fine" true (Compare.ok report2);
+  checki "new-only benches do not warn" (before + 1)
+    (Dangers_obs.Warnings.count ~key:"bench.compare.missing");
+  (* A regression still fails even when benches are also missing. *)
+  let report3 =
+    compare_files [ ("lock", 100.); ("gone", 50.) ] [ ("lock", 150.) ]
+  in
+  checkb "regressions still fail" false (Compare.ok report3)
 
 let suite =
   [
@@ -125,6 +135,6 @@ let suite =
       test_compare_flags_regression;
     Alcotest.test_case "compare passes 10% drift" `Quick
       test_compare_ok_within_threshold;
-    Alcotest.test_case "compare fails on lost bench" `Quick
-      test_compare_missing_bench_fails;
+    Alcotest.test_case "compare tolerates lost bench" `Quick
+      test_compare_missing_bench_tolerated;
   ]

@@ -42,6 +42,20 @@ let test_percentile () =
     (Invalid_argument "Stats.percentile: empty array") (fun () ->
       ignore (Stats.percentile [||] ~p:0.5))
 
+let test_percentile_nan_and_duplicates () =
+  (* Float.compare is total: NaN sorts below every number, so a
+     NaN-polluted sample gives a pinned answer instead of a sort-order
+     lottery (polymorphic compare happens to agree today, but this test
+     keeps the behavior nailed down). *)
+  let xs = [| 2.; Float.nan; 1. |] in
+  checkb "p0 is the NaN" true (Float.is_nan (Stats.percentile xs ~p:0.));
+  checkf "p1 unaffected by the NaN's position" 2. (Stats.percentile xs ~p:1.);
+  let dup = [| 5.; 1.; 5.; 1. |] in
+  checkf "median of duplicate pairs interpolates" 3.
+    (Stats.percentile dup ~p:0.5);
+  checkf "p0 with duplicates" 1. (Stats.percentile dup ~p:0.);
+  checkf "p1 with duplicates" 5. (Stats.percentile dup ~p:1.)
+
 let test_loglog_slope_exact () =
   (* y = 3 x^2 has slope exactly 2 in log-log space. *)
   let points = List.map (fun x -> (x, 3. *. (x ** 2.))) [ 1.; 2.; 4.; 8.; 16. ] in
@@ -147,6 +161,8 @@ let suite =
     Alcotest.test_case "moments" `Quick test_moments;
     Alcotest.test_case "confidence shrinks" `Quick test_confidence_shrinks;
     Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile nan and duplicates" `Quick
+      test_percentile_nan_and_duplicates;
     Alcotest.test_case "loglog slope quadratic" `Quick test_loglog_slope_exact;
     Alcotest.test_case "loglog slope cubic" `Quick test_loglog_slope_cubic;
     Alcotest.test_case "loglog rejects non-positive" `Quick test_loglog_rejects;
