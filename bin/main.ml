@@ -88,6 +88,35 @@ let jobs_term =
 
 let resolve_jobs jobs = if jobs = 0 then Task_pool.default_jobs () else jobs
 
+let sim_domains_term =
+  Arg.(value & opt int 1
+       & info [ "sim-domains" ]
+           ~docv:"N"
+           ~doc:"Domains for the conservative parallel simulation engine \
+                 $(i,inside) each run (as opposed to $(b,--jobs), which \
+                 parallelises across independent runs). Results are \
+                 byte-identical at any value; only schemes built on the \
+                 parallel engine (see `dangers list`) get faster. 0 means \
+                 one per core.")
+
+(* The ambient budget is harmless for serial schemes (they never consult
+   it), but silently ignoring an explicit request would read as a speedup
+   that never happened — say so, on stderr, outside the deterministic
+   stdout stream. *)
+let note_serial_schemes ~sim_domains names =
+  let sim_domains =
+    if sim_domains = 0 then Task_pool.default_jobs () else sim_domains
+  in
+  if sim_domains > 1 then
+    List.iter
+      (fun name ->
+        if not (Scheme.parallel_capable name) then
+          Printf.eprintf
+            "note: scheme %s does not use the parallel engine; \
+             --sim-domains %d runs it serially (unchanged results)\n%!"
+            name sim_domains)
+      (List.sort_uniq String.compare names)
+
 (* --- shared observability flags --- *)
 
 type obs_opts = {
@@ -159,17 +188,21 @@ let write_observations opts observations =
 
 (* Run tasks with per-task observation when any sink is requested, plainly
    otherwise — the items are identical either way. *)
-let run_tasks ~opts ~jobs tasks =
+let run_tasks ?(sim_domains = 1) ~opts ~jobs tasks =
+  let sim_domains =
+    if sim_domains = 0 then Task_pool.default_jobs () else sim_domains
+  in
+  let sim_domains = if sim_domains > 1 then Some sim_domains else None in
   if observing opts then begin
     let observed =
-      Sweep.run_observed ~jobs
+      Sweep.run_observed ~jobs ?sim_domains
         ~trace:(opts.trace_out <> None)
         ~trace_capacity:opts.trace_capacity tasks
     in
     write_observations opts (List.map snd observed);
     List.map fst observed
   end
-  else Sweep.run ~jobs tasks
+  else Sweep.run ~jobs ?sim_domains tasks
 
 (* Scheme-specific post-run facts, one line, stable order. *)
 let pp_diagnostics ppf outcome =
@@ -210,7 +243,7 @@ let experiment_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Shorter runs, fewer seeds.")
   in
-  let run ids quick seed jobs opts =
+  let run ids quick seed jobs sim_domains opts =
     let selected =
       match ids with
       | [] -> Ok Registry.all
@@ -227,7 +260,7 @@ let experiment_cmd =
         1
     | Ok experiments ->
         Sweep.experiment_tasks ~quick experiments ~seeds:[ seed ]
-        |> run_tasks ~opts ~jobs:(resolve_jobs jobs)
+        |> run_tasks ~sim_domains ~opts ~jobs:(resolve_jobs jobs)
         |> List.iter (function
              | Sweep.Experiment_item { result; _ } ->
                  Format.printf "%a@." Experiment.pp_result result
@@ -237,7 +270,8 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate the paper's tables and figures (analytic vs measured).")
-    Term.(const run $ ids $ quick $ seed_term $ jobs_term $ obs_term)
+    Term.(const run $ ids $ quick $ seed_term $ jobs_term $ sim_domains_term
+          $ obs_term)
 
 (* --- analytic --- *)
 
@@ -335,7 +369,8 @@ let simulate_cmd =
   let span =
     Arg.(value & opt float 120. & info [ "span" ] ~doc:"Measured seconds.")
   in
-  let run params scheme span seed opts =
+  let run params scheme span seed sim_domains opts =
+    note_serial_schemes ~sim_domains [ Scheme.name scheme ];
     let task =
       Sweep.Scheme_task
         {
@@ -346,7 +381,7 @@ let simulate_cmd =
           span;
         }
     in
-    match run_tasks ~opts ~jobs:1 [ task ] with
+    match run_tasks ~sim_domains ~opts ~jobs:1 [ task ] with
     | [ Sweep.Scheme_item { outcome; _ } ] ->
         Format.printf "%a@." Repl_stats.pp_summary outcome.Scheme.summary;
         Format.printf "%a" pp_diagnostics outcome;
@@ -355,7 +390,8 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one scheme under generator load.")
-    Term.(const run $ params_term $ scheme $ span $ seed_term $ obs_term)
+    Term.(const run $ params_term $ scheme $ span $ seed_term
+          $ sim_domains_term $ obs_term)
 
 (* --- sweep --- *)
 
@@ -405,7 +441,8 @@ let sweep_cmd =
     Arg.(value & opt (some string) None
          & info [ "out" ] ~docv:"FILE" ~doc:"Write the output to FILE.")
   in
-  let run params ids schemes quick nseeds span format out seed jobs opts =
+  let run params ids schemes quick nseeds span format out seed jobs sim_domains
+      opts =
     let scheme_names =
       if List.mem "all" schemes then Scheme.names () else schemes
     in
@@ -440,7 +477,8 @@ let sweep_cmd =
         @ Sweep.scheme_tasks ~span ~seeds ~specs:[ Scheme.spec params ]
             scheme_names
       in
-      let items = run_tasks ~opts ~jobs:(resolve_jobs jobs) tasks in
+      note_serial_schemes ~sim_domains scheme_names;
+      let items = run_tasks ~sim_domains ~opts ~jobs:(resolve_jobs jobs) tasks in
       let emit text =
         match out with
         | None -> print_string text
@@ -468,7 +506,8 @@ let sweep_cmd =
              pool. Results are in task order and byte-identical at any \
              $(b,--jobs).")
     Term.(const run $ params_term $ ids $ schemes $ quick $ seeds $ span
-          $ format $ out $ seed_term $ jobs_term $ obs_term)
+          $ format $ out $ seed_term $ jobs_term $ sim_domains_term
+          $ obs_term)
 
 (* --- report --- *)
 

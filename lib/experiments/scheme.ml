@@ -13,6 +13,7 @@ module Lazy_group_impl = Dangers_replication.Lazy_group
 module Lazy_master_impl = Dangers_replication.Lazy_master
 module Lazy_group_undo = Dangers_replication.Lazy_group_undo
 module Two_tier_impl = Dangers_core.Two_tier
+module Par_eager_impl = Dangers_replication.Par_eager
 
 type spec = {
   params : Params.t;
@@ -240,6 +241,45 @@ module Two_tier : SCHEME = struct
   let run c ~seed ~warmup ~span = (run_outcome c ~seed ~warmup ~span).summary
 end
 
+module Par_eager_group : SCHEME = struct
+  type config = spec
+
+  let name = "par-eager-group"
+
+  let doc =
+    "Eager update-anywhere re-derived as a message-passing distributed \
+     system, one parallel-engine partition per node (honours --sim-domains)."
+
+  let configure c =
+    let c = checked c in
+    (match c.delay with
+    | Some d when not (Delay.min_bound d > 0.) ->
+        invalid_arg
+          (Format.asprintf
+             "par-eager-group: delay model %a has a zero minimum transmit \
+              delay and admits no conservative lookahead; use a Constant or \
+              Uniform model with a positive lower bound"
+             Delay.pp d)
+    | _ -> ());
+    c
+
+  let run_outcome c ~seed ~warmup ~span =
+    (* The one scheme that actually spends the ambient --sim-domains
+       budget; results are byte-identical at any value by construction. *)
+    let domains = Dangers_sim.Observe.ambient_domains () in
+    let sys =
+      Par_eager_impl.create ?profile:c.profile ?initial_value:c.initial_value
+        ?delay:c.delay c.params ~seed
+    in
+    Par_eager_impl.start sys;
+    Par_eager_impl.measure ~domains sys ~warmup ~span;
+    let summary = Par_eager_impl.summary sys in
+    Par_eager_impl.stop_load sys;
+    { summary; diagnostics = Par_eager_impl.diagnostics sys }
+
+  let run c ~seed ~warmup ~span = (run_outcome c ~seed ~warmup ~span).summary
+end
+
 let all : t list =
   [
     (module Eager_group);
@@ -248,7 +288,16 @@ let all : t list =
     (module Lazy_master);
     (module Lazy_undo);
     (module Two_tier);
+    (module Par_eager_group);
   ]
+
+(* Which registry entries can actually spend a --sim-domains budget;
+   everything else ignores it and runs serially (trivially byte-identical
+   at any budget). The CLI uses this to tell the user when the flag will
+   have no effect. *)
+let parallel_capable_names = [ "par-eager-group" ]
+
+let parallel_capable name = List.mem name parallel_capable_names
 
 let name (module S : SCHEME) = S.name
 let doc (module S : SCHEME) = S.doc

@@ -105,6 +105,11 @@ val find : string -> t option
 (** Case-insensitive lookup by [name]; underscores are accepted for
     hyphens ("eager_group" finds "eager-group"). *)
 
+val parallel_capable : string -> bool
+(** Whether the scheme spends the ambient [--sim-domains] budget
+    ({!Dangers_sim.Observe.with_domains}). Every scheme is byte-identical
+    at any budget; only capable ones get faster from it. *)
+
 val named : string -> t
 (** Like {!find}. @raise Invalid_argument on an unknown name, listing the
     valid ones. *)

@@ -7,6 +7,8 @@ module Mode = Dangers_lock.Mode
 module Lock_manager = Dangers_lock.Lock_manager
 module Engine = Dangers_sim.Engine
 module Heap = Dangers_sim.Heap
+module Observe = Dangers_sim.Observe
+module Par_engine = Dangers_sim.Par_engine
 module Params = Dangers_analytic.Params
 module Scheme = Dangers_experiments.Scheme
 
@@ -116,6 +118,42 @@ let e2e_eager_group () =
     (Scheme.run_named "eager-group" (Scheme.spec params) ~seed:7 ~warmup:0.
        ~span:30.)
 
+(* Pure window-synchronization machinery: 8 partitions pass a token around
+   a ring with every hop at exactly the lookahead bound, so each window
+   fires one event and drains one message — all barrier and merge
+   overhead, no simulation payload. This is the cost a parallel run must
+   amortize against its per-window batch. *)
+let parsim_window_ring () =
+  let parts = 8 in
+  let t = Par_engine.create ~parts ~lookahead:0.01 () in
+  Par_engine.set_handler t (fun ~src:_ ~dst ~time hops ->
+      ignore
+        (Engine.schedule_at (Par_engine.engine t dst) ~time (fun () ->
+             if hops < 10_000 then
+               Par_engine.post t ~src:dst ~dst:((dst + 1) mod parts)
+                 ~delay:0.01 (hops + 1))));
+  Par_engine.post t ~src:0 ~dst:1 ~delay:0.01 0;
+  Par_engine.run t;
+  if Par_engine.events_fired t < 10_000 then
+    failwith "Suite.parsim_window_ring: short run"
+
+(* The partitioned update-anywhere scheme at the paper's headline scale
+   (100 nodes): every update X-locks all 100 replicas and broadcasts its
+   apply, so the run is dominated by cross-partition message routing and
+   per-partition event heaps — exactly what --sim-domains spreads across
+   cores. Benchmarked at one domain and at four so BENCH_micro records the
+   measured speedup next to [host_cores]; on a single-core host the two
+   entries are expected to tie (see docs/PARALLEL_SIM.md). *)
+let par_eager_n100_params =
+  { Params.default with Params.nodes = 100; db_size = 10_000; tps = 1. }
+
+let e2e_par_eager ~domains () =
+  Observe.with_domains domains (fun () ->
+      ignore
+        (Scheme.run_named "par-eager-group"
+           (Scheme.spec par_eager_n100_params)
+           ~seed:7 ~warmup:0. ~span:4.))
+
 let benches ~quick =
   let scale full b =
     Harness.with_samples (if quick then max 2 (full / 5) else full) b
@@ -127,5 +165,10 @@ let benches ~quick =
     scale 10 (Harness.bench "engine/event-throughput" engine_event_throughput);
     scale 20 (Harness.bench ~runs:10 "engine/cancel-churn" engine_cancel_churn);
     scale 20 (Harness.bench ~runs:10 "heap/reuse-after-clear" heap_reuse_after_clear);
+    scale 10 (Harness.bench "parsim/window-ring" parsim_window_ring);
     scale 5 (Harness.bench ~warmup:1 "e2e/eager-group-n10" e2e_eager_group);
+    scale 4
+      (Harness.bench ~warmup:1 "e2e/par-eager-n100-d1" (e2e_par_eager ~domains:1));
+    scale 4
+      (Harness.bench ~warmup:1 "e2e/par-eager-n100-d4" (e2e_par_eager ~domains:4));
   ]

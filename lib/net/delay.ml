@@ -22,6 +22,12 @@ let sample t rng =
   | Uniform { lo; hi } -> if Float.equal hi lo then lo else lo +. Rng.float rng (hi -. lo)
   | Exponential { mean } -> Rng.exponential rng ~mean
 
+let min_bound = function
+  | Zero -> 0.
+  | Constant d -> d
+  | Uniform { lo; _ } -> lo
+  | Exponential _ -> 0.
+
 let pp ppf = function
   | Zero -> Format.pp_print_string ppf "zero"
   | Constant d -> Format.fprintf ppf "constant(%gs)" d

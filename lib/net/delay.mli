@@ -17,4 +17,10 @@ val sample : t -> Dangers_util.Rng.t -> float
 val validate : t -> unit
 (** @raise Invalid_argument on negative or inverted parameters. *)
 
+val min_bound : t -> float
+(** Infimum of {!sample}: the smallest delay the model can produce
+    ([Zero] and [Exponential] give 0). The conservative parallel engine
+    uses a positive minimum as its lookahead horizon — a model whose
+    bound is 0 admits no lookahead and cannot drive it. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,623 @@
+module Params = Dangers_analytic.Params
+module Profile = Dangers_workload.Profile
+module Generator = Dangers_workload.Generator
+module Engine = Dangers_sim.Engine
+module Par_engine = Dangers_sim.Par_engine
+module Observe = Dangers_sim.Observe
+module Metrics = Dangers_sim.Metrics
+module Fstore = Dangers_storage.Store.Fstore
+module Oid = Dangers_storage.Oid
+module Timestamp = Dangers_storage.Timestamp
+module Op = Dangers_txn.Op
+module Delay = Dangers_net.Delay
+module Network = Dangers_net.Network
+module Rng = Dangers_util.Rng
+module Domain_pool = Dangers_util.Domain_pool
+module Obs = Dangers_obs.Metrics
+module Profiling = Dangers_obs.Profiling
+module Repl_stats = Repl_stats
+
+(* Transaction identity: home node plus a home-local serial. Retries are
+   new transactions (fresh tid), so a stale message can never be confused
+   with the current attempt. *)
+type owner = { home : int; tid : int }
+
+type msg =
+  | Lock_req of { owner : owner; oid : int }
+  | Lock_grant of { owner : owner; oid : int }
+  | Commit_apply of { owner : owner; writes : (int * float * Timestamp.t) list }
+  | Release of { owner : owner }
+  | Probe of { initiator : owner; subject : owner; ttl : int }
+  | Probe_at of { initiator : owner; waiter : owner; oid : int; ttl : int }
+  | Victim of { owner : owner }
+
+type lmode = S | X
+
+type waiter = { w_owner : owner; w_mode : lmode }
+
+type entry = {
+  mutable holders : owner list;  (* S: many; X: exactly one *)
+  mutable hmode : lmode;
+  mutable queue : waiter list;  (* FIFO; appends are O(n) but queues are short *)
+}
+
+type txn = {
+  t_owner : owner;
+  t_ops : Op.t array;
+  t_started : float;
+  mutable t_op : int;  (* index of the op being locked/worked *)
+  mutable t_awaiting : (int * int) list;  (* (node, oid) grants outstanding *)
+  mutable t_deadline : Engine.event_id option;
+  mutable t_done : bool;
+}
+
+type node = {
+  id : int;
+  engine : Engine.t;
+  metrics : Metrics.t;
+  store : Fstore.t;
+  lamport : Timestamp.Clock.t;
+  locks : (int, entry) Hashtbl.t;
+  held : (owner, int list ref) Hashtbl.t;  (* every oid held or queued here *)
+  active : (int, txn) Hashtbl.t;  (* home transactions by tid *)
+  mutable next_tid : int;
+  gen_rng : Rng.t;
+  delay_rng : Rng.t;
+  retry_rng : Rng.t;
+}
+
+type t = {
+  params : Params.t;
+  profile : Profile.t;
+  delay : Delay.t;
+  lookahead : float;
+  faults : Network.faults option;
+  nodes : node array;
+  par : msg Par_engine.t;
+  mutable generators : Generator.t list;
+}
+
+let scheme_name = "par-eager-group"
+
+(* Extra counters beyond the shared Repl_stats names. *)
+let c_timeout_aborts = "timeout_aborts"
+let c_probes = "deadlock_probes"
+let c_apply_dropped = "apply_dropped"
+
+let node_count t = Array.length t.nodes
+
+let lock_timeout t =
+  (* Generous next to any plausible wait chain: a probe round trip is
+     2 x lookahead and a transaction's own work is actions x action_time.
+     Purely a liveness backstop for cycles formed between probes. *)
+  25.
+  *. ((float_of_int t.params.Params.actions *. t.params.Params.action_time)
+     +. (4. *. t.lookahead))
+
+let send_delay t node = Float.max t.lookahead (Delay.sample t.delay node.delay_rng)
+
+(* --- lock table ------------------------------------------------------ *)
+
+let entry_for node oid =
+  match Hashtbl.find_opt node.locks oid with
+  | Some e -> e
+  | None ->
+      let e = { holders = []; hmode = X; queue = [] } in
+      Hashtbl.add node.locks oid e;
+      e
+
+let note_interest node owner oid =
+  match Hashtbl.find_opt node.held owner with
+  | Some oids -> if not (List.mem oid !oids) then oids := oid :: !oids
+  | None -> Hashtbl.add node.held owner (ref [ oid ])
+
+let owner_equal a b = a.home = b.home && a.tid = b.tid
+
+(* Request a lock at this node. Queued requests wait behind earlier queued
+   ones even when instantaneously compatible — FIFO fairness, and writers
+   cannot starve. *)
+let request node ~owner ~mode oid =
+  let e = entry_for node oid in
+  note_interest node owner oid;
+  match (e.holders, mode) with
+  | [], _ ->
+      e.holders <- [ owner ];
+      e.hmode <- mode;
+      `Granted
+  | _, S when e.hmode = S && e.queue = [] ->
+      e.holders <- owner :: e.holders;
+      `Granted
+  | _ ->
+      e.queue <- e.queue @ [ { w_owner = owner; w_mode = mode } ];
+      `Queued e.holders
+
+let promote node oid ~grant =
+  let e = entry_for node oid in
+  if e.holders = [] then
+    match e.queue with
+    | [] -> ()
+    | { w_mode = X; w_owner } :: rest ->
+        e.holders <- [ w_owner ];
+        e.hmode <- X;
+        e.queue <- rest;
+        grant w_owner
+    | { w_mode = S; _ } :: _ ->
+        let rec split acc = function
+          | { w_mode = S; w_owner } :: rest -> split (w_owner :: acc) rest
+          | rest -> (List.rev acc, rest)
+        in
+        let readers, rest = split [] e.queue in
+        e.holders <- readers;
+        e.hmode <- S;
+        e.queue <- rest;
+        List.iter grant readers
+
+let release_owner node owner ~grant =
+  match Hashtbl.find_opt node.held owner with
+  | None -> ()
+  | Some oids ->
+      Hashtbl.remove node.held owner;
+      List.iter
+        (fun oid ->
+          match Hashtbl.find_opt node.locks oid with
+          | None -> ()
+          | Some e ->
+              e.holders <-
+                List.filter (fun o -> not (owner_equal o owner)) e.holders;
+              e.queue <-
+                List.filter (fun w -> not (owner_equal w.w_owner owner)) e.queue;
+              promote node oid ~grant:(grant ~oid))
+        !oids
+
+(* --- protocol -------------------------------------------------------- *)
+
+let rec send t ~src ~dst msg =
+  if src = dst then
+    (* Home-local protocol step: decouple from the current callback (the
+       lock table may be mid-mutation) but stay at the same simulated
+       time. *)
+    ignore
+      (Engine.schedule t.nodes.(src).engine ~delay:0. (fun () ->
+           handle t ~src ~dst msg))
+  else Par_engine.post t.par ~src ~dst ~delay:(send_delay t t.nodes.(src)) msg
+
+(* A lock at [site] became grantable for [owner]: tell its home. *)
+and granted t site ~oid owner =
+  if owner.home = site.id then on_granted t ~site:site.id ~oid owner
+  else send t ~src:site.id ~dst:owner.home (Lock_grant { owner; oid })
+
+(* Probes: initiated where a request blocks, chased from the subject's
+   home to wherever it is waiting, and back through that lock's holders.
+   A cycle returns to the initiator, which becomes the victim. *)
+and probe_blockers t site ~waiter ~holders =
+  List.iter
+    (fun blocker ->
+      if not (owner_equal blocker waiter) then begin
+        Metrics.incr site.metrics c_probes;
+        send t ~src:site.id ~dst:blocker.home
+          (Probe { initiator = waiter; subject = blocker; ttl = 2 * node_count t })
+      end)
+    holders
+
+and blocked t site ~owner ~holders =
+  Metrics.incr site.metrics Repl_stats.waits;
+  probe_blockers t site ~waiter:owner ~holders
+
+and handle t ~src ~dst msg =
+  let node = t.nodes.(dst) in
+  match msg with
+  | Lock_req { owner; oid } -> (
+      match request node ~owner ~mode:X oid with
+      | `Granted -> granted t node ~oid owner
+      | `Queued holders -> blocked t node ~owner ~holders)
+  | Lock_grant { owner; oid } ->
+      (* [src] is the granting site. A grant for a dead transaction needs
+         no reply: the abort already sent that site a Release. *)
+      if owner.home = dst then on_granted t ~site:src ~oid owner
+  | Commit_apply { owner; writes } ->
+      List.iter
+        (fun (oid, value, stamp) ->
+          Timestamp.Clock.witness node.lamport stamp;
+          match Fstore.apply_if_newer node.store (Oid.of_int oid) value stamp with
+          | `Applied -> Metrics.incr node.metrics Repl_stats.replica_applied
+          | `Stale -> Metrics.incr node.metrics Repl_stats.stale_discards)
+        writes;
+      release_owner node owner ~grant:(fun ~oid o -> granted t node ~oid o)
+  | Release { owner } ->
+      release_owner node owner ~grant:(fun ~oid o -> granted t node ~oid o)
+  | Probe { initiator; subject; ttl } -> (
+      if ttl > 0 && subject.home = dst then
+        match Hashtbl.find_opt node.active subject.tid with
+        | None -> ()
+        | Some txn ->
+            if (not txn.t_done) && owner_equal txn.t_owner subject then
+              List.iter
+                (fun (site, oid) ->
+                  send t ~src:dst ~dst:site
+                    (Probe_at { initiator; waiter = subject; oid; ttl = ttl - 1 }))
+                txn.t_awaiting)
+  | Probe_at { initiator; waiter; oid; ttl } -> (
+      if ttl > 0 then
+        match Hashtbl.find_opt node.locks oid with
+        | None -> ()
+        | Some e ->
+            let still_queued =
+              List.exists (fun w -> owner_equal w.w_owner waiter) e.queue
+            in
+            if still_queued then
+              List.iter
+                (fun holder ->
+                  if owner_equal holder initiator then
+                    send t ~src:dst ~dst:initiator.home (Victim { owner = initiator })
+                  else begin
+                    Metrics.incr node.metrics c_probes;
+                    send t ~src:dst ~dst:holder.home
+                      (Probe { initiator; subject = holder; ttl = ttl - 1 })
+                  end)
+                e.holders)
+  | Victim { owner } -> (
+      if owner.home = dst then
+        match Hashtbl.find_opt node.active owner.tid with
+        | None -> ()
+        | Some txn ->
+            (* Still blocked: a genuine cycle. Already granted everything:
+               the probe is stale; let it run. *)
+            if (not txn.t_done) && txn.t_awaiting <> [] then begin
+              Metrics.incr node.metrics Repl_stats.deadlocks;
+              abort_and_retry t node txn
+            end)
+
+and on_granted t ~site ~oid owner =
+  let node = t.nodes.(owner.home) in
+  match Hashtbl.find_opt node.active owner.tid with
+  | None -> ()
+  | Some txn ->
+      if not txn.t_done then begin
+        txn.t_awaiting <-
+          List.filter
+            (fun (s, o) -> not (s = site && o = oid))
+            txn.t_awaiting;
+        if txn.t_awaiting = [] then work t node txn
+      end
+
+(* The op's locks are all held: charge Action_Time, then move on. *)
+and work t node txn =
+  ignore
+    (Engine.schedule node.engine ~delay:t.params.Params.action_time (fun () ->
+         if not txn.t_done then next_op t node txn))
+
+and next_op t node txn =
+  txn.t_op <- txn.t_op + 1;
+  if txn.t_op >= Array.length txn.t_ops then commit t node txn
+  else begin
+    let op = txn.t_ops.(txn.t_op) in
+    let oid = Oid.to_int (Op.oid op) in
+    if Op.is_update op then begin
+      (* Update-everywhere: X at every replica, requested in one scatter.
+         Remote requests are outstanding immediately; the local one only
+         if it queued. *)
+      let awaiting = ref [] in
+      for dst = node_count t - 1 downto 0 do
+        if dst <> node.id then awaiting := (dst, oid) :: !awaiting
+      done;
+      let local =
+        match request node ~owner:txn.t_owner ~mode:X oid with
+        | `Granted -> []
+        | `Queued holders ->
+            blocked t node ~owner:txn.t_owner ~holders;
+            [ (node.id, oid) ]
+      in
+      txn.t_awaiting <- local @ !awaiting;
+      for dst = 0 to node_count t - 1 do
+        if dst <> node.id then
+          send t ~src:node.id ~dst (Lock_req { owner = txn.t_owner; oid })
+      done;
+      if txn.t_awaiting = [] then work t node txn
+    end
+    else begin
+      (* Reads touch only the local replica (the model ignores reads). *)
+      match request node ~owner:txn.t_owner ~mode:S oid with
+      | `Granted -> work t node txn
+      | `Queued holders ->
+          txn.t_awaiting <- [ (node.id, oid) ];
+          blocked t node ~owner:txn.t_owner ~holders
+    end
+  end
+
+and commit t node txn =
+  finish_txn t node txn;
+  let writes =
+    Array.to_list txn.t_ops
+    |> List.filter Op.is_update
+    |> List.map (fun op ->
+           let oid = Op.oid op in
+           let value =
+             Op.apply ~read:(Fstore.read node.store)
+               ~current:(Fstore.read node.store oid) op
+           in
+           let stamp = Timestamp.Clock.tick node.lamport in
+           Fstore.write node.store oid value stamp;
+           (Oid.to_int oid, value, stamp))
+  in
+  release_owner node txn.t_owner ~grant:(fun ~oid o -> granted t node ~oid o);
+  broadcast_apply t node ~owner:txn.t_owner ~writes;
+  Metrics.incr node.metrics Repl_stats.commits;
+  Metrics.sample node.metrics Repl_stats.duration_sample
+    (Engine.now node.engine -. txn.t_started)
+
+and broadcast_apply t node ~owner ~writes =
+  let apply = Commit_apply { owner; writes } in
+  for dst = 0 to node_count t - 1 do
+    if dst <> node.id then begin
+      let post ?(extra = 0.) m =
+        Par_engine.post t.par ~src:node.id ~dst
+          ~delay:(send_delay t node +. Float.max 0. extra)
+          m
+      in
+      match t.faults with
+      | None -> post apply
+      | Some faults ->
+          if faults.Network.blocked ~src:node.id ~dst then begin
+            (* Partitioned link: the update is lost to this replica, but
+               its locks must still release — the control plane is
+               reliable (see the mli). *)
+            Metrics.incr node.metrics c_apply_dropped;
+            post (Release { owner })
+          end
+          else begin
+            match faults.Network.on_transmit ~src:node.id ~dst with
+            | Network.Pass -> post apply
+            | Network.Drop ->
+                Metrics.incr node.metrics c_apply_dropped;
+                post (Release { owner })
+            | Network.Duplicate ->
+                post apply;
+                post apply
+            | Network.Delay_extra extra -> post ~extra apply
+          end
+    end
+  done
+
+and finish_txn _t node txn =
+  txn.t_done <- true;
+  (match txn.t_deadline with
+  | Some ev ->
+      Engine.cancel node.engine ev;
+      txn.t_deadline <- None
+  | None -> ());
+  Hashtbl.remove node.active txn.t_owner.tid
+
+and abort_and_retry t node txn =
+  finish_txn t node txn;
+  Metrics.incr node.metrics Repl_stats.restarts;
+  release_owner node txn.t_owner ~grant:(fun ~oid o -> granted t node ~oid o);
+  for dst = 0 to node_count t - 1 do
+    if dst <> node.id then send t ~src:node.id ~dst (Release { owner = txn.t_owner })
+  done;
+  let backoff =
+    let duration =
+      float_of_int t.params.Params.actions *. t.params.Params.action_time
+    in
+    (0.5 +. Rng.float node.retry_rng 1.0) *. duration
+  in
+  ignore
+    (Engine.schedule node.engine ~delay:backoff (fun () ->
+         start_txn t node txn.t_ops))
+
+and start_txn t node ops =
+  let tid = node.next_tid in
+  node.next_tid <- tid + 1;
+  let owner = { home = node.id; tid } in
+  let txn =
+    {
+      t_owner = owner;
+      t_ops = ops;
+      t_started = Engine.now node.engine;
+      t_op = -1;
+      t_awaiting = [];
+      t_deadline = None;
+      t_done = false;
+    }
+  in
+  Hashtbl.add node.active tid txn;
+  txn.t_deadline <-
+    Some
+      (Engine.schedule node.engine ~delay:(lock_timeout t) (fun () ->
+           if not txn.t_done then
+             if txn.t_awaiting <> [] then begin
+               Metrics.incr node.metrics c_timeout_aborts;
+               abort_and_retry t node txn
+             end
+             else
+               (* Working, not blocked; no cycle can involve it. *)
+               txn.t_deadline <- None));
+  next_op t node txn
+
+(* --- construction and driving --------------------------------------- *)
+
+let create ?profile ?(initial_value = 0.) ?delay ?faults params ~seed =
+  Params.validate params;
+  let profile =
+    match profile with Some p -> p | None -> Profile.of_params params
+  in
+  let delay =
+    match delay with
+    | Some d -> d
+    | None -> Delay.Constant (Float.max params.Params.message_delay 0.05)
+  in
+  Delay.validate delay;
+  let lookahead = Delay.min_bound delay in
+  if not (lookahead > 0.) then
+    invalid_arg
+      (Format.asprintf
+         "Par_eager.create: delay model %a has a zero minimum transmit \
+          delay, so it admits no conservative lookahead"
+         Delay.pp delay);
+  let obs = Observe.ambient_obs () in
+  let par = Par_engine.create ?obs ~parts:params.Params.nodes ~lookahead () in
+  let root = Rng.create ~seed in
+  let nodes =
+    Array.init params.Params.nodes (fun id ->
+        let rng = Rng.split root in
+        let node =
+          {
+            id;
+            engine = Par_engine.engine par id;
+            metrics = Metrics.create (Par_engine.engine par id);
+            store =
+              Fstore.create ~db_size:params.Params.db_size ~init:(fun _ ->
+                  initial_value);
+            lamport = Timestamp.Clock.create ~node:id;
+            locks = Hashtbl.create 64;
+            held = Hashtbl.create 64;
+            active = Hashtbl.create 16;
+            next_tid = 0;
+            gen_rng = Rng.split rng;
+            delay_rng = Rng.split rng;
+            retry_rng = Rng.split rng;
+          }
+        in
+        node)
+  in
+  let t =
+    { params; profile; delay; lookahead; faults; nodes; par; generators = [] }
+  in
+  (match obs with
+  | None -> ()
+  | Some registry ->
+      Array.iter
+        (fun node ->
+          Obs.register_source registry (fun () ->
+              [
+                Obs.Count
+                  ("engine.events_fired_total", Engine.events_fired node.engine);
+                Obs.Gauge
+                  ( "engine.queue_high_water",
+                    float_of_int (Engine.queue_high_water node.engine) );
+              ]);
+          Obs.register_source registry (fun () ->
+              List.map
+                (fun name ->
+                  Obs.Count
+                    ("scheme." ^ name ^ "_total", Metrics.total_count node.metrics name))
+                (Metrics.counter_names node.metrics)))
+        nodes);
+  Par_engine.set_handler par (fun ~src ~dst ~time msg ->
+      ignore
+        (Engine.schedule_at (Par_engine.engine par dst) ~time (fun () ->
+             handle t ~src ~dst msg)));
+  t
+
+let start t =
+  if t.generators <> [] then invalid_arg "Par_eager.start: already started";
+  t.generators <-
+    Array.to_list
+      (Array.map
+         (fun node ->
+           Generator.start ~engine:node.engine ~rng:node.gen_rng
+             ~tps:t.params.Params.tps ~profile:t.profile
+             ~db_size:t.params.Params.db_size
+             ~submit:(fun ops -> start_txn t node (Array.of_list ops)))
+         t.nodes)
+
+let stop_load t =
+  List.iter Generator.stop t.generators;
+  t.generators <- []
+
+let with_pool ~domains f =
+  if domains < 1 then invalid_arg "Par_eager: domains must be >= 1";
+  if domains = 1 then f None
+  else begin
+    let pool = Domain_pool.create ~workers:domains in
+    Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) (fun () ->
+        f (Some pool))
+  end
+
+let profiled t phase f =
+  match Observe.ambient_obs () with
+  | None -> f ()
+  | Some registry ->
+      ignore t;
+      let (), p = Profiling.timed phase f in
+      Obs.record_phase registry p
+
+let measure ?(domains = 1) t ~warmup ~span =
+  with_pool ~domains (fun pool ->
+      profiled t "warmup" (fun () ->
+          Par_engine.run ?pool t.par ~until:warmup);
+      Array.iter (fun node -> Metrics.start_window node.metrics) t.nodes;
+      profiled t "measured" (fun () ->
+          Par_engine.run ?pool t.par ~until:(warmup +. span)))
+
+let quiesce ?(domains = 1) ?(max_events = 200_000_000) t =
+  stop_load t;
+  with_pool ~domains (fun pool -> Par_engine.run ?pool ~max_events t.par)
+
+let summary t =
+  let sum name =
+    Array.fold_left
+      (fun acc node -> acc + Metrics.count node.metrics name)
+      0 t.nodes
+  in
+  let window = Metrics.window_elapsed t.nodes.(0).metrics in
+  let rate count =
+    if window <= 0. then 0. else float_of_int count /. window
+  in
+  let commits = sum Repl_stats.commits in
+  let waits = sum Repl_stats.waits in
+  let deadlocks = sum Repl_stats.deadlocks in
+  let restarts = sum Repl_stats.restarts in
+  let duration_total, duration_count =
+    Array.fold_left
+      (fun (total, count) node ->
+        let s = Metrics.sample_stats node.metrics Repl_stats.duration_sample in
+        (total +. Dangers_util.Stats.total s, count + Dangers_util.Stats.count s))
+      (0., 0) t.nodes
+  in
+  {
+    Repl_stats.scheme = scheme_name;
+    window;
+    commits;
+    waits;
+    deadlocks;
+    restarts;
+    reconciliations = 0;
+    commit_rate = rate commits;
+    wait_rate = rate waits;
+    deadlock_rate = rate deadlocks;
+    reconciliation_rate = 0.;
+    mean_duration =
+      (if duration_count = 0 then 0.
+       else duration_total /. float_of_int duration_count);
+  }
+
+let diagnostics t =
+  let sum name =
+    Array.fold_left
+      (fun acc node -> acc + Metrics.total_count node.metrics name)
+      0 t.nodes
+  in
+  [
+    ("windows", float_of_int (Par_engine.windows t.par));
+    ("lookahead_stalls", float_of_int (Par_engine.stalls t.par));
+    ("null_messages", float_of_int (Par_engine.null_messages t.par));
+    ("channel_posts", float_of_int (Par_engine.posts_total t.par));
+    ("deadlock_probes", float_of_int (sum c_probes));
+    ("timeout_aborts", float_of_int (sum c_timeout_aborts));
+    ("apply_dropped", float_of_int (sum c_apply_dropped));
+  ]
+
+let converged t =
+  let reference = t.nodes.(0).store in
+  Array.for_all (fun node -> Fstore.content_equal reference node.store) t.nodes
+
+let store_fingerprint t idx =
+  if idx < 0 || idx >= Array.length t.nodes then
+    invalid_arg "Par_eager.store_fingerprint: bad node index";
+  let store = t.nodes.(idx).store in
+  Fstore.fold store ~init:[] ~f:(fun acc _ value stamp ->
+      (value, stamp.Timestamp.counter) :: acc)
+  |> List.rev
+
+let lookahead t = t.lookahead
+let events_fired t = Par_engine.events_fired t.par

@@ -53,8 +53,19 @@ let run_task = function
       let outcome = Scheme.run_outcome_named scheme spec ~seed ~warmup ~span in
       Scheme_item { scheme; seed; outcome }
 
-let run ?(jobs = 1) tasks =
-  Array.to_list (Task_pool.map ~jobs ~f:run_task (Array.of_list tasks))
+(* The --sim-domains budget is ambient (Domain.DLS) and the worker domains
+   are fresh, so it must be installed inside the per-task callback, on the
+   domain that actually runs the task. *)
+let with_sim_domains sim_domains f =
+  match sim_domains with
+  | None -> f ()
+  | Some domains -> Observe.with_domains domains f
+
+let run ?(jobs = 1) ?sim_domains tasks =
+  Array.to_list
+    (Task_pool.map ~jobs
+       ~f:(fun task -> with_sim_domains sim_domains (fun () -> run_task task))
+       (Array.of_list tasks))
 
 (* --- observed runs --- *)
 
@@ -97,8 +108,10 @@ let run_task_observed ?(trace = false) ?trace_capacity task =
   in
   (item, observation)
 
-let run_observed ?(jobs = 1) ?(trace = false) ?trace_capacity tasks =
+let run_observed ?(jobs = 1) ?sim_domains ?(trace = false) ?trace_capacity tasks =
   Array.to_list
     (Task_pool.map ~jobs
-       ~f:(run_task_observed ~trace ?trace_capacity)
+       ~f:(fun task ->
+         with_sim_domains sim_domains (fun () ->
+             run_task_observed ~trace ?trace_capacity task))
        (Array.of_list tasks))

@@ -42,9 +42,14 @@ val scheme_tasks :
 val run_task : task -> item
 (** @raise Invalid_argument on an unknown experiment id or scheme name. *)
 
-val run : ?jobs:int -> task list -> item list
+val run : ?jobs:int -> ?sim_domains:int -> task list -> item list
 (** Execute every task on up to [jobs] domains (default 1) and return the
-    items in task order — byte-identical to a serial run. *)
+    items in task order — byte-identical to a serial run. [sim_domains]
+    installs an ambient intra-simulation domain budget
+    ({!Dangers_sim.Observe.with_domains}) around each task: schemes built
+    on the conservative parallel engine run their partitions on that many
+    domains; every other scheme ignores it. Items are byte-identical at
+    any [sim_domains] (and any [jobs]). *)
 
 (** {1 Observed runs}
 
@@ -73,7 +78,8 @@ val run_task_observed :
   ?trace:bool -> ?trace_capacity:int -> task -> item * observation
 
 val run_observed :
-  ?jobs:int -> ?trace:bool -> ?trace_capacity:int -> task list ->
+  ?jobs:int -> ?sim_domains:int -> ?trace:bool -> ?trace_capacity:int ->
+  task list ->
   (item * observation) list
 (** Items and observations in task order at any [jobs]. Wall-clock
     profiles vary run to run, of course; everything else is

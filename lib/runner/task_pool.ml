@@ -1,3 +1,9 @@
+(* The persistent barrier pool the conservative parallel simulation engine
+   schedules its windows on; re-exported here so runner-level code has one
+   place to reach for both pooling styles (spawn-per-task below,
+   persistent-with-barrier for Par_engine). *)
+module Pool = Dangers_util.Domain_pool
+
 (* Queried once: [Domain.recommended_domain_count] reads the cgroup/CPU
    topology on every call, and benchmark reports should name one stable
    number for the host. Forced from the coordinating domain when the pool

@@ -11,6 +11,12 @@
     simulator in this repo qualifies — a run builds its own engine, stores
     and RNG from scratch. *)
 
+module Pool = Dangers_util.Domain_pool
+(** The persistent barrier-style pool {!Dangers_sim.Par_engine} runs its
+    synchronization windows on — spawn once, reuse across thousands of
+    windows — as opposed to the spawn-per-call {!map} below, which is
+    right for coarse independent tasks. *)
+
 val host_cores : unit -> int
 (** The hardware's usable parallelism, [Domain.recommended_domain_count]
     detected once and memoized. Benchmark exports record this so

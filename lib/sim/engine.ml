@@ -149,6 +149,17 @@ let cancel t event =
 
 let pending t = t.live
 
+(* Cancelled roots are popped eagerly so the answer is the time of an event
+   that will actually fire; this keeps the parallel engine's window bound
+   (the global minimum of these) exact rather than pessimistic. *)
+let rec next_time t =
+  if t.size = 0 then None
+  else if t.evs.(0).cancelled then begin
+    remove_min t;
+    next_time t
+  end
+  else Some t.times.(0)
+
 let rec step t =
   if t.size = 0 then false
   else begin

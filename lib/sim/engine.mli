@@ -31,6 +31,11 @@ val cancel : t -> event_id -> unit
 val pending : t -> int
 (** Number of scheduled (uncancelled) events. *)
 
+val next_time : t -> float option
+(** Simulated time of the next event that will actually fire, or [None] on
+    an empty (or all-cancelled) queue. The conservative parallel engine
+    uses the minimum of these across partitions as its window bound. *)
+
 val step : t -> bool
 (** Fire the next event; [false] when the queue is empty. *)
 

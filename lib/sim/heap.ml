@@ -58,6 +58,10 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      (* Overwrite the vacated slot with a still-live element so popped
+         values (and anything their closures capture) are collectable
+         immediately, not pinned until the slot is re-pushed. *)
+      t.data.(t.size) <- t.data.(0);
       sift_down t 0
     end;
     Some top
@@ -69,11 +73,15 @@ let pop_exn t =
   | None -> invalid_arg "Heap.pop_exn: empty heap"
 
 (* Keep the backing array: a cleared heap that is refilled (the common
-   reuse pattern in benchmarks and repeated runs) must not regrow from
-   scratch. Elements are not overwritten — 'a has no universal dummy — but
-   the array only pins values that were already pushed once, and the next
-   fill overwrites them. *)
-let clear t = t.size <- 0
+   reuse pattern in benchmarks, repeated runs, and per-partition engine
+   reuse) must not regrow from scratch. 'a has no universal dummy, so
+   every slot is overwritten with one surviving element instead: a clear
+   pins at most that single value, not the whole previous population —
+   with event closures that difference is the entire captured simulation
+   state. *)
+let clear t =
+  if t.size > 0 then Array.fill t.data 0 (Array.length t.data) t.data.(0);
+  t.size <- 0
 
 let capacity t = Array.length t.data
 

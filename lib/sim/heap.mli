@@ -22,7 +22,9 @@ val pop_exn : 'a t -> 'a
 
 val clear : 'a t -> unit
 (** Empty the heap, keeping the backing array so a refill does not regrow
-    from the initial capacity. *)
+    from the initial capacity. At most one previously-pushed element stays
+    reachable through the retained array (every slot is overwritten with
+    it); the rest are immediately collectable. *)
 
 val capacity : 'a t -> int
 (** Current backing-array capacity (>= {!length}). *)

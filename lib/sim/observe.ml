@@ -1,16 +1,24 @@
 type context = {
   obs : Dangers_obs.Metrics.t option;
   tracer : Trace.t option;
+  domains : int;
 }
 
-let empty = { obs = None; tracer = None }
+let empty = { obs = None; tracer = None; domains = 1 }
 let key = Domain.DLS.new_key (fun () -> empty)
 let current () = Domain.DLS.get key
 
 let with_observation ?obs ?tracer f =
   let saved = current () in
-  Domain.DLS.set key { obs; tracer };
+  Domain.DLS.set key { obs; tracer; domains = saved.domains };
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key saved) f
+
+let with_domains domains f =
+  if domains < 1 then invalid_arg "Observe.with_domains: domains must be >= 1";
+  let saved = current () in
+  Domain.DLS.set key { saved with domains };
   Fun.protect ~finally:(fun () -> Domain.DLS.set key saved) f
 
 let ambient_obs () = (current ()).obs
 let ambient_tracer () = (current ()).tracer
+let ambient_domains () = (current ()).domains

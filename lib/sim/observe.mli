@@ -16,7 +16,20 @@ val with_observation :
   ?obs:Dangers_obs.Metrics.t -> ?tracer:Trace.t -> (unit -> 'a) -> 'a
 (** Install the given registry/tracer as this domain's ambient context for
     the duration of the callback (restoring the previous context even on
-    exceptions). Omitted arguments clear the corresponding slot. *)
+    exceptions). Omitted arguments clear the corresponding slot; the
+    ambient domain budget (see {!with_domains}) is preserved. *)
+
+val with_domains : int -> (unit -> 'a) -> 'a
+(** Install a simulation-domain budget — the CLI's [--sim-domains N] —
+    as part of this domain's ambient context for the duration of the
+    callback, preserving the registry/tracer slots. Schemes that support
+    partitioned execution size their {!Dangers_util.Domain_pool} from
+    {!ambient_domains}; every other scheme ignores it and runs serially
+    (which is trivially byte-identical at any budget).
+    @raise Invalid_argument if [domains < 1]. *)
 
 val ambient_obs : unit -> Dangers_obs.Metrics.t option
 val ambient_tracer : unit -> Trace.t option
+
+val ambient_domains : unit -> int
+(** The installed budget; 1 with nothing installed. *)

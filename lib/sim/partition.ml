@@ -1,0 +1,110 @@
+type 'msg post = {
+  p_time : float;
+  p_src : int;
+  p_dst : int;
+  p_seq : int;
+  p_msg : 'msg;
+}
+
+type 'msg t = {
+  parts : int;
+  lookahead : float;
+  (* Per-source accumulation, newest first. Written only by the domain
+     running [src]'s window; read only at the barrier, which orders those
+     writes before the coordinator's reads. *)
+  boxes : 'msg post list array;
+  seqs : int array;
+  horizons : float array;
+  mutable posts_total : int;
+  mutable delivered_total : int;
+}
+
+let create ~parts ~lookahead =
+  if parts < 1 then invalid_arg "Partition.create: parts must be >= 1";
+  if not (Float.is_finite lookahead && lookahead > 0.) then
+    invalid_arg "Partition.create: lookahead must be positive and finite";
+  {
+    parts;
+    lookahead;
+    boxes = Array.make parts [];
+    seqs = Array.make parts 0;
+    horizons = Array.make parts 0.;
+    posts_total = 0;
+    delivered_total = 0;
+  }
+
+let parts t = t.parts
+let lookahead t = t.lookahead
+
+let check_part t what p =
+  if p < 0 || p >= t.parts then
+    invalid_arg (Printf.sprintf "Partition.%s: partition %d outside [0, %d)" what p t.parts)
+
+let post t ~src ~dst ~time msg =
+  check_part t "post" src;
+  check_part t "post" dst;
+  if not (Float.is_finite time) then invalid_arg "Partition.post: non-finite time";
+  let seq = t.seqs.(src) in
+  t.seqs.(src) <- seq + 1;
+  t.boxes.(src) <-
+    { p_time = time; p_src = src; p_dst = dst; p_seq = seq; p_msg = msg }
+    :: t.boxes.(src)
+
+let advance t ~part ~time =
+  check_part t "advance" part;
+  if time > t.horizons.(part) then t.horizons.(part) <- time
+
+let advance_all t ~time =
+  for p = 0 to t.parts - 1 do
+    advance t ~part:p ~time
+  done
+
+let horizon t ~part =
+  check_part t "horizon" part;
+  t.horizons.(part)
+
+let safe_time t ~dst =
+  check_part t "safe_time" dst;
+  if t.parts = 1 then infinity
+  else begin
+    let least = ref infinity in
+    for src = 0 to t.parts - 1 do
+      if src <> dst && t.horizons.(src) < !least then least := t.horizons.(src)
+    done;
+    !least +. t.lookahead
+  end
+
+let pending t = Array.fold_left (fun acc box -> acc + List.length box) 0 t.boxes
+
+let compare_posts a b =
+  let c = Float.compare a.p_time b.p_time in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.p_src b.p_src in
+    if c <> 0 then c else Int.compare a.p_seq b.p_seq
+
+let drain t ~deliver =
+  let all = ref [] in
+  for src = t.parts - 1 downto 0 do
+    all := List.rev_append t.boxes.(src) !all;
+    t.boxes.(src) <- []
+  done;
+  let ordered = List.sort compare_posts !all in
+  List.iter
+    (fun post ->
+      (* The receiver finished its window through [horizons.(dst)]; an
+         earlier delivery would rewrite its past. *)
+      if post.p_time < t.horizons.(post.p_dst) then
+        invalid_arg
+          (Printf.sprintf
+             "Partition.drain: post from %d to %d at t=%.9g precedes the \
+              receiver's completed horizon %.9g (conservative synchronization \
+              violated)"
+             post.p_src post.p_dst post.p_time t.horizons.(post.p_dst));
+      t.posts_total <- t.posts_total + 1;
+      deliver post;
+      t.delivered_total <- t.delivered_total + 1)
+    ordered
+
+let posts_total t = t.posts_total
+let delivered_total t = t.delivered_total

@@ -1,0 +1,69 @@
+(** Cross-partition message channels for the conservative parallel engine.
+
+    Each partition of a {!Par_engine} run owns a private {!Engine.t}; the
+    only way state crosses partitions is a timestamped message posted
+    here. Posts accumulate in per-source outboxes during a window (each
+    outbox is written only by the domain running that partition, so no
+    synchronization is needed beyond the window barrier) and are drained
+    at the barrier in one deterministic merge order: ascending
+    [(time, source, per-source sequence)]. That order is a function of
+    the simulation state alone — never of which OS thread ran what — and
+    is what makes a parallel run byte-identical to the serial one.
+
+    The router also tracks each partition's {e completed horizon} (the
+    simulated time through which it has fired every event); a receiver's
+    {!safe_time} is the least sender horizon plus the lookahead, and no
+    delivery may precede it — the conservative (Chandy–Misra) invariant,
+    checked on every drain. *)
+
+type 'msg post = private {
+  p_time : float;  (** delivery time at the destination *)
+  p_src : int;
+  p_dst : int;
+  p_seq : int;  (** per-source send sequence *)
+  p_msg : 'msg;
+}
+
+type 'msg t
+
+val create : parts:int -> lookahead:float -> 'msg t
+(** @raise Invalid_argument unless [parts >= 1] and [lookahead] is
+    positive and finite. *)
+
+val parts : _ t -> int
+val lookahead : _ t -> float
+
+val post : 'msg t -> src:int -> dst:int -> time:float -> 'msg -> unit
+(** Enqueue a delivery. May be called concurrently for distinct [src]
+    (each source box is single-writer); the caller — {!Par_engine.post} —
+    enforces the conservative contract that [time] lies at or beyond the
+    current window horizon.
+    @raise Invalid_argument on an out-of-range index or non-finite
+    [time]. *)
+
+val advance : _ t -> part:int -> time:float -> unit
+(** Record that [part] has completed its window through [time].
+    Monotonic; single-writer per partition. *)
+
+val advance_all : _ t -> time:float -> unit
+val horizon : _ t -> part:int -> float
+
+val safe_time : _ t -> dst:int -> float
+(** Earliest time at which a not-yet-posted message could still arrive at
+    [dst]: the minimum over other partitions' completed horizons, plus the
+    lookahead ([infinity] for a single partition). Deliveries below this
+    bound are causality violations. *)
+
+val pending : _ t -> int
+(** Posts accumulated since the last {!drain}. *)
+
+val drain : 'msg t -> deliver:('msg post -> unit) -> unit
+(** Deliver every pending post in ascending [(time, src, seq)] order and
+    clear the outboxes. Call only from the coordinating domain, at the
+    window barrier.
+    @raise Invalid_argument if a post's time precedes its destination's
+    completed horizon (a conservative-synchronization violation — a
+    message was produced with less than the promised lookahead). *)
+
+val posts_total : _ t -> int
+val delivered_total : _ t -> int

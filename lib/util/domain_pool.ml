@@ -1,0 +1,136 @@
+(* One mutex guards every field; workers sleep on [work] between
+   generations and the coordinator sleeps on [finished] at the barrier.
+   Indices are claimed one at a time under the lock — a window body is a
+   batch of simulation events, microseconds at least, so cursor contention
+   is noise. *)
+
+type job = { n : int; f : int -> unit }
+
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t;  (* workers: a new generation (or shutdown) arrived *)
+  finished : Condition.t;  (* coordinator: the current generation completed *)
+  workers : int;
+  mutable job : job option;
+  mutable generation : int;
+  mutable next : int;  (* next unclaimed index of the current job *)
+  mutable running : int;  (* claimed indices whose [f] has not returned *)
+  mutable failure : (int * exn * Printexc.raw_backtrace) option;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* Claim-and-run loop shared by workers and the coordinator. Call with the
+   mutex held; returns with the mutex held, after this generation has no
+   unclaimed indices (the barrier itself is the coordinator's wait for
+   [running = 0]). *)
+let drain_current t job =
+  while t.next < job.n do
+    let i = t.next in
+    t.next <- i + 1;
+    t.running <- t.running + 1;
+    Mutex.unlock t.mutex;
+    let outcome =
+      try
+        job.f i;
+        None
+      with e -> Some (i, e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock t.mutex;
+    (match outcome with
+    | None -> ()
+    | Some (i, e, bt) ->
+        (match t.failure with
+        | Some (j, _, _) when j <= i -> ()
+        | _ -> t.failure <- Some (i, e, bt));
+        (* Abandon unclaimed indices: the generation is failing anyway. *)
+        t.next <- job.n);
+    t.running <- t.running - 1;
+    if t.running = 0 && t.next >= job.n then Condition.broadcast t.finished
+  done
+
+let worker_loop t =
+  Mutex.lock t.mutex;
+  let seen = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if t.stop then continue := false
+    else
+      match t.job with
+      | Some job when t.generation <> !seen ->
+          seen := t.generation;
+          drain_current t job
+      | _ -> Condition.wait t.work t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let create ~workers =
+  if workers < 1 || workers > 128 then
+    invalid_arg "Domain_pool.create: workers must be in [1, 128]";
+  let t =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      workers;
+      job = None;
+      generation = 0;
+      next = 0;
+      running = 0;
+      failure = None;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (workers - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.workers
+
+let parallel_for t ~n ~f =
+  if n < 0 then invalid_arg "Domain_pool.parallel_for: negative n";
+  if n = 0 then ()
+  else if t.workers = 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Domain_pool.parallel_for: pool is shut down"
+    end;
+    if t.job <> None then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Domain_pool.parallel_for: reentrant call"
+    end;
+    let job = { n; f } in
+    t.job <- Some job;
+    t.generation <- t.generation + 1;
+    t.next <- 0;
+    t.running <- 0;
+    t.failure <- None;
+    Condition.broadcast t.work;
+    (* The coordinator is a worker too: claim indices until none are left,
+       then wait out stragglers. *)
+    drain_current t job;
+    while t.running > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    t.job <- None;
+    let failure = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  let domains = t.domains in
+  t.domains <- [];
+  Mutex.unlock t.mutex;
+  List.iter Domain.join domains

@@ -344,6 +344,76 @@ let test_fuzz_names_round_trip () =
      && Option.is_some
           (String.index_opt cmd '9' (* crude: seed digits present *)))
 
+(* --- Fault injection under parallel execution ---
+
+   The partitioned eager scheme consults its fault hooks from partition
+   windows that may run on several domains, so the hooks must be pure
+   functions of (src, dst) — and a fixed plan must then replay
+   byte-identically at any --sim-domains. *)
+
+module Par_eager = Dangers_replication.Par_eager
+module Params = Dangers_analytic.Params
+module Observe = Dangers_sim.Observe
+
+(* A deterministic lossy plan: node 3 is cut off from node 0's applies,
+   one pair duplicates, one pair reorders. Pure in (src, dst), as the
+   parallel engine requires. *)
+let pure_faults =
+  {
+    Network.blocked = (fun ~src ~dst -> src = 0 && dst = 3);
+    on_transmit =
+      (fun ~src ~dst ->
+        match ((2 * src) + dst) mod 7 with
+        | 0 -> Network.Drop
+        | 1 -> Network.Duplicate
+        | 2 -> Network.Delay_extra 0.075
+        | _ -> Network.Pass);
+  }
+
+let par_eager_faulty_state ~domains =
+  let params = { Params.default with db_size = 150; nodes = 4; tps = 3. } in
+  let t = Par_eager.create ~faults:pure_faults params ~seed:23 in
+  Par_eager.start t;
+  Par_eager.measure ~domains t ~warmup:1. ~span:10.;
+  Par_eager.quiesce ~domains t;
+  ( Format.asprintf "%a" Dangers_replication.Repl_stats.pp_summary
+      (Par_eager.summary t),
+    List.init 4 (Par_eager.store_fingerprint t),
+    Par_eager.diagnostics t )
+
+let test_par_eager_faults_deterministic () =
+  let (_, fingerprints, diags) as serial = par_eager_faulty_state ~domains:1 in
+  checkb "plan actually bites" true (List.assoc "apply_dropped" diags > 0.);
+  (* drops leave real divergence — determinism below is not vacuous *)
+  checkb "blocked replica diverges" true
+    (List.nth fingerprints 3 <> List.nth fingerprints 1);
+  List.iter
+    (fun domains ->
+      checkb
+        (Printf.sprintf "faulty replay identical at domains=%d" domains)
+        true
+        (par_eager_faulty_state ~domains = serial))
+    [ 2; 4 ]
+
+(* The legacy single-heap fuzzer ignores the ambient domain budget — an
+   installed budget must not leak into its RNG streams or plans. *)
+let test_fuzz_ignores_sim_domains () =
+  let case =
+    { Fuzz.scheme = Fuzz.Eager_group; seed = 77; nodes = 3; txns = 20;
+      level = Fuzz.Chaotic }
+  in
+  let plain = Fuzz.run case in
+  let budgeted = Observe.with_domains 2 (fun () -> Fuzz.run case) in
+  checki "same submissions" plain.Fuzz.txns_submitted
+    budgeted.Fuzz.txns_submitted;
+  checki "same crashes" plain.Fuzz.crashes_fired budgeted.Fuzz.crashes_fired;
+  checki "same violations"
+    (List.length plain.Fuzz.violations)
+    (List.length budgeted.Fuzz.violations);
+  Alcotest.check Alcotest.string "same plan"
+    (Format.asprintf "%a" Fault_plan.pp plain.Fuzz.plan)
+    (Format.asprintf "%a" Fault_plan.pp budgeted.Fuzz.plan)
+
 let suite =
   [
     Alcotest.test_case "plan deterministic" `Quick test_plan_deterministic;
@@ -371,4 +441,8 @@ let suite =
     Alcotest.test_case "fuzz sabotage caught" `Quick test_fuzz_sabotage_caught;
     Alcotest.test_case "fuzz names round trip" `Quick
       test_fuzz_names_round_trip;
+    Alcotest.test_case "parallel faults deterministic" `Slow
+      test_par_eager_faults_deterministic;
+    Alcotest.test_case "fuzz ignores sim-domains budget" `Slow
+      test_fuzz_ignores_sim_domains;
   ]

@@ -24,6 +24,7 @@ let () =
       ("rules-e2e", Test_rules_e2e.suite);
       ("fault", Test_fault.suite);
       ("runner", Test_runner.suite);
+      ("parallel-sim", Test_parallel_sim.suite);
       ("microbench", Test_microbench.suite);
       ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
