@@ -111,10 +111,12 @@ let note_serial_schemes ~sim_domains names =
     List.iter
       (fun name ->
         if not (Scheme.parallel_capable name) then
-          Printf.eprintf
-            "note: scheme %s does not use the parallel engine; \
-             --sim-domains %d runs it serially (unchanged results)\n%!"
-            name sim_domains)
+          Dangers_obs.Warnings.warn
+            ~key:("cli.sim_domains.serial:" ^ name)
+            (Printf.sprintf
+               "note: scheme %s does not use the parallel engine; \
+                --sim-domains %d runs it serially (unchanged results)"
+               name sim_domains))
       (List.sort_uniq String.compare names)
 
 (* --- shared observability flags --- *)
@@ -627,13 +629,13 @@ let trace_cmd =
     Params.validate params;
     let module Lazy_master = Dangers_replication.Lazy_master in
     let module Common = Dangers_replication.Common in
-    let module Engine = Dangers_sim.Engine in
+    let module Clock = Dangers_runtime.Clock in
     let sys = Lazy_master.create params ~seed in
-    let engine = (Lazy_master.base sys).Common.engine in
+    let clock = (Lazy_master.base sys).Common.clock in
     let tracer = Trace.create () in
-    Engine.set_tracer engine (Some tracer);
+    Clock.set_tracer clock (Some tracer);
     Lazy_master.start sys;
-    Engine.run_for engine span;
+    Clock.run_for clock span;
     Lazy_master.stop_load sys;
     let last = if last < 0 then 60 else last in
     let entries = Trace.entries tracer in
@@ -1058,6 +1060,147 @@ let bench_cmd =
           BENCH_micro.json; optionally diff against a baseline.")
     Term.(const run $ quick $ out $ input $ baseline $ threshold)
 
+(* --- serve: the wall-clock two-tier service --- *)
+
+let socket_term =
+  Arg.(value & opt string "/tmp/dangers.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket the service listens on / connects to.")
+
+let serve_cmd =
+  let scheme =
+    Arg.(value & opt string "two-tier"
+         & info [ "scheme" ]
+             ~doc:"Scheme to serve. Only $(b,two-tier) — the paper's \
+                   solution — has a live service today; the runtime \
+                   abstraction is what a second one would build on.")
+  in
+  let base_nodes =
+    Arg.(value & opt int 0
+         & info [ "base-nodes" ]
+             ~doc:"Base-tier size (default: half the nodes, at least 1).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master RNG seed.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write the final dangers/metrics/v1 snapshot as JSON.")
+  in
+  let quiet =
+    Arg.(value & flag
+         & info [ "quiet" ] ~doc:"Suppress per-connection stderr notes.")
+  in
+  let run params scheme socket base_nodes seed metrics_out quiet =
+    if String.lowercase_ascii scheme <> "two-tier" then begin
+      Printf.eprintf
+        "serve: unsupported scheme %s (only two-tier has a live service)\n"
+        scheme;
+      1
+    end
+    else begin
+      let base_nodes =
+        if base_nodes = 0 then max 1 (params.Params.nodes / 2) else base_nodes
+      in
+      let config =
+        {
+          Dangers_live.Server.socket_path = socket;
+          base_nodes;
+          params;
+          seed;
+          metrics_out;
+          quiet;
+        }
+      in
+      match Dangers_live.Server.serve config with
+      | (_ : Dangers_live.Protocol.stats) -> 0
+      | exception Invalid_argument message ->
+          Printf.eprintf "serve: %s\n" message;
+          1
+      | exception Unix.Unix_error (err, fn, arg) ->
+          Printf.eprintf "serve: %s %s: %s\n" fn arg (Unix.error_message err);
+          1
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the two-tier scheme as a wall-clock service on the live \
+          runtime: clients connect over a Unix socket, are assigned \
+          mobile nodes, and submit tentative transactions, sync, and \
+          query through the framed protocol. Stop with a client Shutdown \
+          or SIGINT; request latency is recorded in the \
+          serve.request_seconds histogram.")
+    Term.(
+      const run $ params_term $ scheme $ socket_term $ base_nodes $ seed
+      $ metrics_out $ quiet)
+
+let load_cmd =
+  let clients =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~doc:"Worker domains, one connection each.")
+  in
+  let txns =
+    Arg.(value & opt int 10_000
+         & info [ "txns" ] ~doc:"Total transactions across all workers.")
+  in
+  let burst =
+    Arg.(value & opt int 20
+         & info [ "burst" ]
+             ~doc:"Tentative submits per disconnect/sync churn cycle.")
+  in
+  let ops =
+    Arg.(value & opt int 2 & info [ "ops" ] ~doc:"Updates per transaction.")
+  in
+  let db_size =
+    Arg.(value & opt int Params.default.Params.db_size
+         & info [ "db-size" ]
+             ~doc:"Object-id range; must match the server's --db-size.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload RNG seed.")
+  in
+  let shutdown =
+    Arg.(value & flag
+         & info [ "shutdown" ]
+             ~doc:"Send Shutdown to the server after the final stats fetch.")
+  in
+  let run socket clients txns burst ops db_size seed shutdown =
+    let config =
+      {
+        Dangers_live.Load_gen.socket_path = socket;
+        clients;
+        txns;
+        burst;
+        ops_per_txn = ops;
+        db_size;
+        seed;
+        shutdown;
+      }
+    in
+    match Dangers_live.Load_gen.run config with
+    | report ->
+        Format.printf "%a@." Dangers_live.Load_gen.pp_report report;
+        if report.Dangers_live.Load_gen.errors = [] then 0 else 1
+    | exception Invalid_argument message ->
+        Printf.eprintf "load: %s\n" message;
+        1
+    | exception Unix.Unix_error (err, fn, arg) ->
+        Printf.eprintf "load: %s %s: %s\n" fn arg (Unix.error_message err);
+        1
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Replay churning mobile users against a running `dangers serve`: \
+          each client disconnects, submits a burst of tentative \
+          transactions, reconnects and syncs, and queries a master value; \
+          prints throughput and latency percentiles.")
+    Term.(
+      const run $ socket_term $ clients $ txns $ burst $ ops $ db_size $ seed
+      $ shutdown)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -1072,5 +1215,5 @@ let () =
           [
             list_cmd; experiment_cmd; sweep_cmd; analytic_cmd; simulate_cmd;
             trace_cmd; report_cmd; scenario_cmd; fuzz_cmd; bench_cmd;
-            lint_cmd;
+            lint_cmd; serve_cmd; load_cmd;
           ]))

@@ -16,7 +16,7 @@
    Run with: dune exec examples/checkbook.exe *)
 
 module Params = Dangers_analytic.Params
-module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Metrics = Dangers_sim.Metrics
 module Oid = Dangers_storage.Oid
 module Fstore = Dangers_storage.Store.Fstore
@@ -87,8 +87,8 @@ let two_tier_story () =
       ~mobility:(Connectivity.day_cycle ~connected:5. ~disconnected:10_000.)
       ~base_nodes:1 params ~seed:3
   in
-  let engine = (Two_tier.base sys).Common.engine in
-  Engine.run engine ~until:10_010.;
+  let clock = (Two_tier.base sys).Common.clock in
+  Clock.run clock ~until:10_010.;
   (* Both checkbooks (mobile nodes 1 and 2) are now offline. *)
   Two_tier.submit sys ~node:1 (Commutative.debit account 800.);
   Two_tier.submit sys ~node:2 (Commutative.debit account 800.);

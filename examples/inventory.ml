@@ -11,7 +11,7 @@
    Run with: dune exec examples/inventory.exe *)
 
 module Params = Dangers_analytic.Params
-module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Oid = Dangers_storage.Oid
 module Fstore = Dangers_storage.Store.Fstore
 module Profile = Dangers_workload.Profile
@@ -33,7 +33,7 @@ let lazy_group_run ~rule ~seed =
     Lazy_group.create ~profile ~initial_value:opening_stock ~rule params ~seed
   in
   Lazy_group.start sys;
-  Engine.run_for (Lazy_group.base sys).Common.engine 60.;
+  Clock.run_for (Lazy_group.base sys).Common.clock 60.;
   Lazy_group.stop_load sys;
   Lazy_group.force_sync sys;
   let store = (Lazy_group.base sys).Common.stores.(0) in
@@ -52,7 +52,7 @@ let two_tier_run ~seed =
       params ~seed
   in
   Two_tier.start sys;
-  Engine.run_for (Two_tier.base sys).Common.engine 120.;
+  Clock.run_for (Two_tier.base sys).Common.clock 120.;
   Two_tier.quiesce_and_sync sys;
   Printf.printf
     "  two-tier:              tentative=%d accepted=%d rejected=%d converged=%b\n"

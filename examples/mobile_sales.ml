@@ -13,7 +13,7 @@
    Run with: dune exec examples/mobile_sales.exe *)
 
 module Params = Dangers_analytic.Params
-module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Oid = Dangers_storage.Oid
 module Fstore = Dangers_storage.Store.Fstore
 module Op = Dangers_txn.Op
@@ -36,13 +36,13 @@ let () =
       ~mobility:(Connectivity.day_cycle ~connected:5. ~disconnected:50_000.)
       ~base_nodes:1 params ~seed:11
   in
-  let engine = (Two_tier.base sys).Common.engine in
+  let clock = (Two_tier.base sys).Common.clock in
   let base_store = (Two_tier.base sys).Common.stores.(0) in
   Printf.printf "catalog price of product 0: $%.2f\n"
     (Fstore.read base_store (catalog 0));
 
   (* Salesmen go on the road. *)
-  Engine.run engine ~until:50_010.;
+  Clock.run clock ~until:50_010.;
 
   (* A quote is a derived write: order := current catalog price - discount.
      The tentative run evaluates it against the salesman's (stale) replica;

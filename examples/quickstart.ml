@@ -10,7 +10,7 @@
    Run with: dune exec examples/quickstart.exe *)
 
 module Params = Dangers_analytic.Params
-module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Oid = Dangers_storage.Oid
 module Fstore = Dangers_storage.Store.Fstore
 module Connectivity = Dangers_net.Connectivity
@@ -29,13 +29,13 @@ let () =
     Two_tier.create ~initial_value:1000. ~acceptance:Acceptance.Non_negative
       ~mobility ~base_nodes:1 params ~seed:7
   in
-  let engine = (Two_tier.base bank).Common.engine in
+  let clock = (Two_tier.base bank).Common.clock in
   let account = Oid.of_int 0 in
   let balance () = Fstore.read (Two_tier.base bank).Common.stores.(0) account in
   Printf.printf "opening balance: $%.2f\n" (balance ());
 
   (* Let the mobile node go offline. *)
-  Engine.run engine ~until:100_010.;
+  Clock.run clock ~until:100_010.;
   let laptop = 1 in
 
   (* Two tentative checks against the same $1000. *)

@@ -56,7 +56,7 @@ let () =
   add Model.Lazy_master (run "lazy-master");
   let two_tier =
     Scheme.run_outcome_named "two-tier"
-      (Scheme.spec ~mobility:Connectivity.base_node
+      (Scheme.spec ~connectivity:Connectivity.base_node
          ~base_nodes:(max 1 (nodes / 2)) params)
       ~seed ~warmup ~span
   in

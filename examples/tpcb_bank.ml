@@ -16,7 +16,7 @@ module Profile = Dangers_workload.Profile
 module Params = Dangers_analytic.Params
 module Oid = Dangers_storage.Oid
 module Fstore = Dangers_storage.Store.Fstore
-module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Common = Dangers_replication.Common
 module Repl_stats = Dangers_replication.Repl_stats
 module Lazy_group = Dangers_replication.Lazy_group
@@ -36,7 +36,7 @@ let () =
       ~rule:Reconcile.Additive params ~seed:13
   in
   Lazy_group.start sys;
-  Engine.run_for (Lazy_group.base sys).Common.engine 60.;
+  Clock.run_for (Lazy_group.base sys).Common.clock 60.;
   Lazy_group.stop_load sys;
   Lazy_group.force_sync sys;
   let store = (Lazy_group.base sys).Common.stores.(0) in

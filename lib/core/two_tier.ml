@@ -10,7 +10,8 @@ module Timestamp = Dangers_storage.Timestamp
 module Txn_id = Dangers_txn.Txn_id
 module Executor = Dangers_txn.Executor
 module Lock_manager = Dangers_lock.Lock_manager
-module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
+module Runtime = Dangers_runtime.Runtime
 module Metrics = Dangers_sim.Metrics
 module Rng = Dangers_util.Rng
 module Repl_stats = Dangers_replication.Repl_stats
@@ -35,8 +36,9 @@ type t = {
   retry_rng : Rng.t;
   mutable network : slave_update list Network.t option;
   mutable schedules : Connectivity.t list;
-  mutable pending_installs : Engine.event_id list;
+  mutable pending_installs : Clock.event_id list;
   mutable rejections_rev : (Tentative.t * string) list;
+  mutable sync_listeners : (mobile:int -> unit) list;
   initial_value : float;
   mutable committed_rev : Op.t list list; (* base commits, newest first *)
   unsafe_skip_acceptance : bool;
@@ -123,7 +125,7 @@ let run_base_transaction t ?(acceptance = Acceptance.Always)
   let metrics = common.Common.metrics in
   let rec attempt () =
     let owner_id = Txn_id.Gen.next common.Common.txn_gen in
-    let started = Engine.now common.Common.engine in
+    let started = Clock.now common.Common.clock in
     let steps =
       List.map
         (fun op ->
@@ -191,10 +193,9 @@ let run_base_transaction t ?(acceptance = Acceptance.Always)
       ~on_deadlock:(fun ~cycle:_ ->
         Metrics.incr metrics Repl_stats.deadlocks;
         Metrics.incr metrics Repl_stats.restarts;
-        ignore
-          (Engine.schedule common.Common.engine
-             ~delay:(Common.backoff_delay common t.retry_rng)
-             attempt))
+        Clock.schedule_unit common.Common.clock
+          ~delay:(Common.backoff_delay common t.retry_rng)
+          attempt)
   in
   attempt ()
 
@@ -207,7 +208,8 @@ let finish_sync t mobile_index =
     Mobile_node.refresh_from m.record
       t.common.Common.stores.(host_of t mobile_index);
     m.needs_refresh <- false;
-    Metrics.incr t.common.Common.metrics "syncs"
+    Metrics.incr t.common.Common.metrics "syncs";
+    List.iter (fun listener -> listener ~mobile:mobile_index) t.sync_listeners
   end
   else m.needs_refresh <- true
 
@@ -275,26 +277,47 @@ let scope_ok t ~node ops =
       owner < t.base_count || owner = node)
     ops
 
-let submit t ~node ops =
+type submit_result =
+  [ `Committed of (Oid.t * float) list
+  | `Rejected of string
+  | `Tentative
+  | `Scope_violation ]
+
+let submit_with t ~node ~on_result ops =
   let metrics = t.common.Common.metrics in
-  if not (scope_ok t ~node ops) then Metrics.incr metrics "scope_violations"
+  if not (scope_ok t ~node ops) then begin
+    Metrics.incr metrics "scope_violations";
+    on_result `Scope_violation
+  end
   else if not (is_mobile t node) then
-    run_base_transaction t ~ops ~on_done:(fun _ -> ()) ()
+    run_base_transaction t ~ops
+      ~on_done:(fun result -> on_result (result :> submit_result))
+      ()
   else begin
     let m = t.mobiles.(node - t.base_count) in
     if m.connected && not m.syncing then
-      run_base_transaction t ~ops ~on_done:(fun _ -> ()) ()
+      run_base_transaction t ~ops
+        ~on_done:(fun result -> on_result (result :> submit_result))
+        ()
     else begin
       Metrics.incr metrics "tentative_commits";
       ignore
         (Mobile_node.run_tentative m.record ~ops ~acceptance:t.acceptance
-           ~now:(Engine.now t.common.Common.engine))
+           ~now:(Clock.now t.common.Common.clock));
+      on_result `Tentative
     end
   end
 
-let create ?obs ?profile ?(initial_value = 0.) ?(acceptance = Acceptance.Always)
-    ?(delay = Delay.Zero) ?faults ?mobility ?(mobile_owned_per_node = 0)
-    ?(unsafe_skip_acceptance = false) ~base_nodes params ~seed =
+let submit t ~node ops = submit_with t ~node ~on_result:ignore ops
+
+let on_sync t listener = t.sync_listeners <- listener :: t.sync_listeners
+
+let master_value t oid = Fstore.read (master_store t oid) oid
+
+let create ?obs ?runtime ?profile ?(initial_value = 0.)
+    ?(acceptance = Acceptance.Always) ?(delay = Delay.Zero) ?faults ?mobility
+    ?(mobile_owned_per_node = 0) ?(unsafe_skip_acceptance = false) ~base_nodes
+    params ~seed =
   if base_nodes < 1 || base_nodes > params.Params.nodes then
     invalid_arg "Two_tier.create: base_nodes out of range";
   let mobile_total = params.Params.nodes - base_nodes in
@@ -302,7 +325,7 @@ let create ?obs ?profile ?(initial_value = 0.) ?(acceptance = Acceptance.Always)
     invalid_arg "Two_tier.create: negative mobile_owned_per_node";
   if mobile_owned_per_node * mobile_total >= params.Params.db_size then
     invalid_arg "Two_tier.create: mobile-owned blocks exceed the database";
-  let common = Common.make ?obs ?profile ~initial_value params ~seed in
+  let common = Common.make ?obs ?runtime ?profile ~initial_value params ~seed in
   let obs = common.Common.obs in
   let owner =
     Array.init params.Params.db_size (fun i ->
@@ -313,7 +336,7 @@ let create ?obs ?profile ?(initial_value = 0.) ?(acceptance = Acceptance.Always)
   let base_executor =
     Executor.create
       ~on_wait:(fun () -> Metrics.incr common.Common.metrics Repl_stats.waits)
-      ~engine:common.Common.engine
+      ~clock:common.Common.clock
       ~locks:(Lock_manager.create ?obs ())
       ~action_time:params.Params.action_time ()
   in
@@ -340,6 +363,7 @@ let create ?obs ?profile ?(initial_value = 0.) ?(acceptance = Acceptance.Always)
       network = None;
       schedules = [];
       rejections_rev = [];
+      sync_listeners = [];
       initial_value;
       committed_rev = [];
       pending_installs = [];
@@ -347,7 +371,7 @@ let create ?obs ?profile ?(initial_value = 0.) ?(acceptance = Acceptance.Always)
     }
   in
   let net =
-    Network.create ?obs ?faults ~engine:common.Common.engine
+    Network.create ?obs ?faults ~clock:common.Common.clock
       ~rng:(Rng.split common.Common.rng) ~delay ~nodes:params.Params.nodes
       ~deliver:(fun ~src ~dst u -> deliver t ~src ~dst u) ()
   in
@@ -371,9 +395,9 @@ let create ?obs ?profile ?(initial_value = 0.) ?(acceptance = Acceptance.Always)
       let node = base_nodes + i in
       let offset = Rng.float stagger_rng cycle in
       let install =
-        Engine.schedule common.Common.engine ~delay:offset (fun () ->
+        Clock.schedule common.Common.clock ~delay:offset (fun () ->
             let schedule =
-              Connectivity.install ~engine:common.Common.engine
+              Connectivity.install ~clock:common.Common.clock
                 ~rng:(Rng.split stagger_rng) ~spec
                 ~set_connected:(fun connected ->
                   Network.set_connected net ~node connected)
@@ -400,7 +424,7 @@ let rejection_log t = List.rev t.rejections_rev
 let connect_all t =
   (* Mobility installs still waiting to fire must not resurrect toggles
      after the quiesce. *)
-  List.iter (Engine.cancel t.common.Common.engine) t.pending_installs;
+  List.iter (Clock.cancel t.common.Common.clock) t.pending_installs;
   t.pending_installs <- [];
   List.iter Connectivity.stop t.schedules;
   t.schedules <- [];

@@ -44,6 +44,7 @@ type t
 
 val create :
   ?obs:Dangers_obs.Metrics.t ->
+  ?runtime:Dangers_runtime.Runtime.t ->
   ?profile:Profile.t ->
   ?initial_value:float ->
   ?acceptance:Acceptance.t ->
@@ -58,7 +59,10 @@ val create :
   t
 (** Defaults: [Always] acceptance, zero delay, the Table 2 day-cycle
     mobility derived from [params] (fixed phases, staggered starts), no
-    mobile-mastered objects. @raise Invalid_argument if [base_nodes] is not
+    mobile-mastered objects, and a fresh simulator runtime — pass
+    [Dangers_runtime.Runtime.live_virtual ()] or [live_wall ()] to run
+    the identical scheme code on the live timer wheel (the serving
+    path). @raise Invalid_argument if [base_nodes] is not
     in [1, params.nodes] or mobile-owned blocks exceed the database.
 
     [faults] plugs a fault injector into the slave-update network.
@@ -79,6 +83,28 @@ val mobile : t -> node:int -> Mobile_node.t
 val submit : t -> node:int -> Op.t list -> unit
 (** What the generators call: routes to a direct base transaction or a
     tentative transaction depending on the node's connectivity. *)
+
+type submit_result =
+  [ `Committed of (Oid.t * float) list
+  | `Rejected of string
+  | `Tentative
+  | `Scope_violation ]
+
+val submit_with :
+  t -> node:int -> on_result:(submit_result -> unit) -> Op.t list -> unit
+(** {!submit} with the outcome reported: [`Tentative] fires immediately
+    (the transaction is queued on the mobile), the base outcomes fire
+    when the base transaction finishes — that asynchrony is what lets a
+    live server answer each client request exactly once. *)
+
+val on_sync : t -> (mobile:int -> unit) -> unit
+(** Subscribe to sync completions: fires after protocol step 4 (replica
+    refresh) each time a mobile finishes replaying its queue. [mobile]
+    is the mobile index, i.e. node id minus {!base_count}. *)
+
+val master_value : t -> Oid.t -> float
+(** Read an object's current master copy (wherever it is mastered) —
+    the live protocol's query path. *)
 
 val run_base_transaction :
   t -> ?acceptance:Acceptance.t ->

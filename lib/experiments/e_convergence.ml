@@ -14,7 +14,7 @@ module Convergence = Dangers_replication.Convergence
 module Reconcile = Dangers_replication.Reconcile
 module Lazy_group = Dangers_replication.Lazy_group
 module Common = Dangers_replication.Common
-module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Experiment_ = Experiment
 
 (* Notes: [sites] replicas each replace every one of [registers] keys once,
@@ -81,7 +81,7 @@ let lazy_group_loss ~rule ~seed ~span =
   let profile = Profile.create ~update_kind:Profile.Increments ~actions:2 () in
   let sys = Lazy_group.create ~profile ~initial_value:0. ~rule params ~seed in
   Lazy_group.start sys;
-  Engine.run_for (Lazy_group.base sys).Common.engine span;
+  Clock.run_for (Lazy_group.base sys).Common.clock span;
   Lazy_group.stop_load sys;
   Lazy_group.force_sync sys;
   let store = (Lazy_group.base sys).Common.stores.(0) in

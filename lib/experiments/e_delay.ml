@@ -47,12 +47,12 @@ let experiment =
               in
               let eager ~seed =
                 Scheme.run_named "eager-group"
-                  (Scheme.spec ~delay base)
+                  (Scheme.spec ~transport_delay:delay base)
                   ~seed ~warmup:5. ~span
               in
               let lazy_group ~seed =
                 Scheme.run_named "lazy-group"
-                  (Scheme.spec ~delay base)
+                  (Scheme.spec ~transport_delay:delay base)
                   ~seed ~warmup:5. ~span
               in
               let duration = mean (fun s -> s.Repl_stats.mean_duration) eager in

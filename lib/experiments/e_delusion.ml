@@ -17,7 +17,7 @@ module Lazy_group = Dangers_replication.Lazy_group
 module Common = Dangers_replication.Common
 module Connectivity = Dangers_net.Connectivity
 module Two_tier = Dangers_core.Two_tier
-module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Experiment_ = Experiment
 
 let params =
@@ -26,7 +26,7 @@ let params =
 let lazy_divergence ~rule ~seed ~span =
   let sys = Lazy_group.create ~rule params ~seed in
   Lazy_group.start sys;
-  Engine.run_for (Lazy_group.base sys).Common.engine span;
+  Clock.run_for (Lazy_group.base sys).Common.clock span;
   Lazy_group.stop_load sys;
   Lazy_group.force_sync sys;
   Lazy_group.divergence sys
@@ -73,7 +73,7 @@ let experiment =
             params ~seed
         in
         Two_tier.start tt;
-        Engine.run_for (Two_tier.base tt).Common.engine (Experiment.last_point spans);
+        Clock.run_for (Two_tier.base tt).Common.clock (Experiment.last_point spans);
         Two_tier.quiesce_and_sync tt;
         let _, d_first, _ = Experiment.first_point points in
         let _, d_last, lww_last = Experiment.last_point points in

@@ -66,7 +66,7 @@ let experiment =
               in
               let rate =
                 Experiment.mean_over_seeds ~seeds (fun seed ->
-                    (Scheme.run_named "lazy-group" (Scheme.spec ~mobility ~mobile_nodes:[ 0 ] params) ~seed
+                    (Scheme.run_named "lazy-group" (Scheme.spec ~connectivity:mobility ~mobile_nodes:[ 0 ] params) ~seed
                        ~warmup:cycle ~span)
                       .Repl_stats.reconciliation_rate)
               in

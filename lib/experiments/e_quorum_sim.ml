@@ -20,7 +20,7 @@ let run_point ~nodes ~uptime ~seed ~span =
       ~mean_downtime:20. params ~seed
   in
   Quorum_sim.start sim;
-  Dangers_sim.Engine.run_for (Quorum_sim.base sim).Common.engine span;
+  Dangers_runtime.Clock.run_for (Quorum_sim.base sim).Common.clock span;
   Quorum_sim.stop_load sim;
   ( Quorum_sim.availability sim,
     Quorum_sim.catch_ups sim,

@@ -76,8 +76,8 @@ let measure_two_tier ~seed =
         }
       params ~seed
   in
-  let engine = (Two_tier.base sys).Common.engine in
-  Dangers_sim.Engine.run engine ~until:1_000_010.;
+  let clock = (Two_tier.base sys).Common.clock in
+  Dangers_runtime.Clock.run clock ~until:1_000_010.;
   let mobile = nodes - 1 in
   (* Both objects mastered at base node 0 (owner = oid mod base_nodes), so
      the batch matches Table 1's one-object-owner accounting. *)

@@ -30,7 +30,7 @@ let connected_deadlock_rates ~seeds ~span =
       let two_tier =
         Experiment.mean_over_seeds ~seeds (fun seed ->
             (Scheme.run_named "two-tier"
-               (Scheme.spec ~mobility:Connectivity.base_node
+               (Scheme.spec ~connectivity:Connectivity.base_node
                   ~base_nodes:(nodes / 2) params)
                ~seed ~warmup:5. ~span)
               .Repl_stats.deadlock_rate)

@@ -27,7 +27,7 @@ let run_point ~dt ~seed ~cycles =
     Lazy_group_undo.create ~mobility ~mobile_nodes:[ 0 ] params ~seed
   in
   Lazy_group_undo.start sys;
-  Dangers_sim.Engine.run_for (Lazy_group_undo.base sys).Common.engine
+  Dangers_runtime.Clock.run_for (Lazy_group_undo.base sys).Common.clock
     (float_of_int cycles *. (dt +. connected_time));
   Lazy_group_undo.stop_load sys;
   Lazy_group_undo.force_sync sys;

@@ -18,23 +18,23 @@ module Par_eager_impl = Dangers_replication.Par_eager
 type spec = {
   params : Params.t;
   profile : Profile.t option;
-  delay : Delay.t option;
+  transport_delay : Delay.t option;
   rule : Reconcile.rule option;
-  mobility : Connectivity.spec option;
+  connectivity : Connectivity.spec option;
   mobile_nodes : int list option;
   acceptance : Acceptance.t option;
   initial_value : float option;
   base_nodes : int option;
 }
 
-let spec ?profile ?delay ?rule ?mobility ?mobile_nodes ?acceptance
-    ?initial_value ?base_nodes params =
+let spec ?profile ?transport_delay ?rule ?connectivity ?mobile_nodes
+    ?acceptance ?initial_value ?base_nodes params =
   {
     params;
     profile;
-    delay;
+    transport_delay;
     rule;
-    mobility;
+    connectivity;
     mobile_nodes;
     acceptance;
     initial_value;
@@ -84,7 +84,7 @@ end) : SCHEME = struct
   let run_outcome c ~seed ~warmup ~span =
     let sys =
       Eager_impl.create ?profile:c.profile ?initial_value:c.initial_value
-        ?delay:c.delay O.ownership c.params ~seed
+        ?delay:c.transport_delay O.ownership c.params ~seed
     in
     Eager_impl.start sys;
     Common.measure (Eager_impl.base sys) ~warmup ~span;
@@ -117,8 +117,8 @@ module Lazy_group : SCHEME = struct
   let run_outcome c ~seed ~warmup ~span =
     let sys =
       Lazy_group_impl.create ?profile:c.profile
-        ?initial_value:c.initial_value ?rule:c.rule ?delay:c.delay
-        ?mobility:c.mobility ?mobile_nodes:c.mobile_nodes c.params ~seed
+        ?initial_value:c.initial_value ?rule:c.rule ?delay:c.transport_delay
+        ?mobility:c.connectivity ?mobile_nodes:c.mobile_nodes c.params ~seed
     in
     Lazy_group_impl.start sys;
     Common.measure (Lazy_group_impl.base sys) ~warmup ~span;
@@ -143,7 +143,7 @@ module Lazy_master : SCHEME = struct
   let run_outcome c ~seed ~warmup ~span =
     let sys =
       Lazy_master_impl.create ?profile:c.profile
-        ?initial_value:c.initial_value ?delay:c.delay c.params ~seed
+        ?initial_value:c.initial_value ?delay:c.transport_delay c.params ~seed
     in
     Lazy_master_impl.start sys;
     Common.measure (Lazy_master_impl.base sys) ~warmup ~span;
@@ -167,7 +167,7 @@ module Lazy_undo : SCHEME = struct
   let run_outcome c ~seed ~warmup ~span =
     let sys =
       Lazy_group_undo.create ?profile:c.profile
-        ?initial_value:c.initial_value ?mobility:c.mobility
+        ?initial_value:c.initial_value ?mobility:c.connectivity
         ?mobile_nodes:c.mobile_nodes c.params ~seed
     in
     Lazy_group_undo.start sys;
@@ -213,7 +213,7 @@ module Two_tier : SCHEME = struct
     let sys =
       Two_tier_impl.create ?profile:c.profile
         ?initial_value:c.initial_value ?acceptance:c.acceptance
-        ?delay:c.delay ?mobility:c.mobility ~base_nodes c.params ~seed
+        ?delay:c.transport_delay ?mobility:c.connectivity ~base_nodes c.params ~seed
     in
     Two_tier_impl.start sys;
     Common.measure (Two_tier_impl.base sys) ~warmup ~span;
@@ -252,7 +252,7 @@ module Par_eager_group : SCHEME = struct
 
   let configure c =
     let c = checked c in
-    (match c.delay with
+    (match c.transport_delay with
     | Some d when not (Delay.min_bound d > 0.) ->
         invalid_arg
           (Format.asprintf
@@ -269,7 +269,7 @@ module Par_eager_group : SCHEME = struct
     let domains = Dangers_sim.Observe.ambient_domains () in
     let sys =
       Par_eager_impl.create ?profile:c.profile ?initial_value:c.initial_value
-        ?delay:c.delay c.params ~seed
+        ?delay:c.transport_delay c.params ~seed
     in
     Par_eager_impl.start sys;
     Par_eager_impl.measure ~domains sys ~warmup ~span;

@@ -28,9 +28,9 @@ module Acceptance = Dangers_core.Acceptance
 type spec = {
   params : Params.t;
   profile : Profile.t option;  (** workload shape; default [Profile.of_params] *)
-  delay : Delay.t option;  (** message delay (eager, lazy-*, two-tier) *)
+  transport_delay : Delay.t option;  (** message delay (eager, lazy-*, two-tier) *)
   rule : Reconcile.rule option;  (** reconciliation rule (lazy-group) *)
-  mobility : Connectivity.spec option;  (** connect/disconnect cycling *)
+  connectivity : Connectivity.spec option;  (** connect/disconnect cycling *)
   mobile_nodes : int list option;  (** which nodes cycle (lazy-group, undo) *)
   acceptance : Acceptance.t option;  (** acceptance criterion (two-tier) *)
   initial_value : float option;  (** starting value of every object *)
@@ -40,9 +40,9 @@ type spec = {
 
 val spec :
   ?profile:Profile.t ->
-  ?delay:Delay.t ->
+  ?transport_delay:Delay.t ->
   ?rule:Reconcile.rule ->
-  ?mobility:Connectivity.spec ->
+  ?connectivity:Connectivity.spec ->
   ?mobile_nodes:int list ->
   ?acceptance:Acceptance.t ->
   ?initial_value:float ->

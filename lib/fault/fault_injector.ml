@@ -1,5 +1,5 @@
 module Rng = Dangers_util.Rng
-module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Network = Dangers_net.Network
 module Trace = Dangers_sim.Trace
 
@@ -9,8 +9,8 @@ type t = {
   down : bool array;
   mutable active_blocks : int array option;  (** node -> block, while split *)
   mutable started : bool;
-  mutable engine : Engine.t option;
-  mutable scheduled : Engine.event_id list;
+  mutable clock : Clock.t option;
+  mutable scheduled : Clock.event_id list;
   mutable set_connected : node:int -> bool -> unit;
   mutable flush_node : node:int -> unit;
   mutable on_crash : node:int -> unit;
@@ -29,7 +29,7 @@ let create ~plan ~rng =
     down = Array.make plan.Fault_plan.nodes false;
     active_blocks = None;
     started = false;
-    engine = None;
+    clock = None;
     scheduled = [];
     set_connected = nop_connect;
     flush_node = nop_node;
@@ -65,7 +65,7 @@ let faults t =
   }
 
 let trace t event =
-  match t.engine with None -> () | Some engine -> Engine.trace engine event
+  match t.clock with None -> () | Some clock -> Clock.trace clock event
 
 let crash t ~node =
   if not t.down.(node) then begin
@@ -102,17 +102,17 @@ let heal_partition t =
     flush_all t
   end
 
-let start t ~engine ?(set_connected = nop_connect) ?(flush_node = nop_node)
+let start t ~clock ?(set_connected = nop_connect) ?(flush_node = nop_node)
     ?(on_crash = nop_node) ?(on_restart = nop_node) () =
   if t.started then invalid_arg "Fault_injector.start: already started";
   t.started <- true;
-  t.engine <- Some engine;
+  t.clock <- Some clock;
   t.set_connected <- set_connected;
   t.flush_node <- flush_node;
   t.on_crash <- on_crash;
   t.on_restart <- on_restart;
   let at time f =
-    t.scheduled <- Engine.schedule_at engine ~time f :: t.scheduled
+    t.scheduled <- Clock.schedule_at clock ~time f :: t.scheduled
   in
   List.iter
     (fun (c : Fault_plan.crash) ->
@@ -126,9 +126,9 @@ let start t ~engine ?(set_connected = nop_connect) ?(flush_node = nop_node)
     t.plan.Fault_plan.partition_list
 
 let stop t =
-  (match t.engine with
+  (match t.clock with
   | None -> ()
-  | Some engine -> List.iter (Engine.cancel engine) t.scheduled);
+  | Some clock -> List.iter (Clock.cancel clock) t.scheduled);
   t.scheduled <- [];
   heal_partition t;
   Array.iteri (fun node down -> if down then restart t ~node) t.down

@@ -1,16 +1,16 @@
-(** Turns a {!Fault_plan} into engine events and network hooks.
+(** Turns a {!Fault_plan} into clock events and network hooks.
 
     One injector perturbs one system: pass {!faults} to the scheme's
     [create ~faults], then {!start} with the scheme's control levers. The
     injector schedules every crash, restart, partition and heal from the
-    plan on the engine, traces them, and answers liveness queries the
-    workload driver needs ({!is_down}). Message-level faults (drop,
+    plan on the runtime clock, traces them, and answers liveness queries
+    the workload driver needs ({!is_down}). Message-level faults (drop,
     duplicate, extra delay) are drawn from the injector's own RNG inside
     the [on_transmit] hook, so the whole perturbation is a deterministic
     function of (plan, rng). *)
 
 module Rng = Dangers_util.Rng
-module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Network = Dangers_net.Network
 
 type t
@@ -25,7 +25,7 @@ val faults : t -> Network.faults
 
 val start :
   t ->
-  engine:Engine.t ->
+  clock:Clock.t ->
   ?set_connected:(node:int -> bool -> unit) ->
   ?flush_node:(node:int -> unit) ->
   ?on_crash:(node:int -> unit) ->

@@ -1,5 +1,5 @@
 module Rng = Dangers_util.Rng
-module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Params = Dangers_analytic.Params
 module Connectivity = Dangers_net.Connectivity
 module Op = Dangers_txn.Op
@@ -93,7 +93,7 @@ let gen_ops rng ~db_size ~actions =
 
 (* Pre-draw the whole workload, then schedule it; submissions landing on a
    crashed node are skipped (the node is down — there is no one to type). *)
-let schedule_workload ~engine ~rng ~injector ~case ~db_size ~submit =
+let schedule_workload ~clock ~rng ~injector ~case ~db_size ~submit =
   let p = params ~nodes:case.nodes in
   let submitted = ref 0 in
   for _ = 1 to case.txns do
@@ -101,7 +101,7 @@ let schedule_workload ~engine ~rng ~injector ~case ~db_size ~submit =
     let node = Rng.int rng case.nodes in
     let ops = gen_ops rng ~db_size ~actions:p.Params.actions in
     ignore
-      (Engine.schedule_at engine ~time (fun () ->
+      (Clock.schedule_at clock ~time (fun () ->
            if not (Fault_injector.is_down injector ~node) then begin
              incr submitted;
              submit ~node ops
@@ -143,22 +143,22 @@ let run_eager ~ownership case =
       ownership p ~seed:case.seed
   in
   let base = Eager_impl.base sys in
-  let engine = base.Common.engine in
+  let clock = base.Common.clock in
   let recoveries = attach_recoveries base in
   let recovery_at = Array.of_list recoveries in
   (* Eager has no network: only crashes apply, exercising the journal. *)
-  Fault_injector.start injector ~engine
+  Fault_injector.start injector ~clock
     ~on_crash:(fun ~node -> Recovery.crash recovery_at.(node))
     ~on_restart:(fun ~node -> Recovery.restart recovery_at.(node))
     ();
   let submitted =
-    schedule_workload ~engine ~rng:work_rng ~injector ~case
+    schedule_workload ~clock ~rng:work_rng ~injector ~case
       ~db_size:p.Params.db_size
       ~submit:(fun ~node ops -> Eager_impl.submit sys ~node ops)
   in
-  Engine.run engine ~until:horizon;
+  Clock.run clock ~until:horizon;
   Fault_injector.stop injector;
-  Engine.run engine ~max_events:200_000_000;
+  Clock.run clock ~max_events:200_000_000;
   finish ~injector ~plan ~submitted
     (Invariants.recovery_journals recoveries
     @ Invariants.eager_one_copy_serializable sys ~history:(List.rev !history))
@@ -181,10 +181,10 @@ let run_lazy_group ~sabotage case =
       ~seed:case.seed
   in
   let base = Lazy_group.base sys in
-  let engine = base.Common.engine in
+  let clock = base.Common.clock in
   let recoveries = attach_recoveries base in
   let recovery_at = Array.of_list recoveries in
-  Fault_injector.start injector ~engine
+  Fault_injector.start injector ~clock
     ~set_connected:(fun ~node state ->
       Lazy_group.set_node_connected sys ~node state)
     ~flush_node:(fun ~node -> Lazy_group.flush_node sys ~node)
@@ -192,11 +192,11 @@ let run_lazy_group ~sabotage case =
     ~on_restart:(fun ~node -> Recovery.restart recovery_at.(node))
     ();
   let submitted =
-    schedule_workload ~engine ~rng:work_rng ~injector ~case
+    schedule_workload ~clock ~rng:work_rng ~injector ~case
       ~db_size:p.Params.db_size
       ~submit:(fun ~node ops -> Lazy_group.submit sys ~node ops)
   in
-  Engine.run engine ~until:horizon;
+  Clock.run clock ~until:horizon;
   Fault_injector.stop injector;
   Lazy_group.force_sync sys;
   (* A dropped or double-applied update legitimately breaks convergence, so
@@ -233,17 +233,17 @@ let run_two_tier ~sabotage case =
       ~faults:(Fault_injector.faults injector) ~mobility
       ~unsafe_skip_acceptance:sabotage ~base_nodes p ~seed:case.seed
   in
-  let engine = (Two_tier.base sys).Common.engine in
-  Fault_injector.start injector ~engine
+  let clock = (Two_tier.base sys).Common.clock in
+  Fault_injector.start injector ~clock
     ~set_connected:(fun ~node state -> Two_tier.set_node_connected sys ~node state)
     ~flush_node:(fun ~node -> Two_tier.flush_node sys ~node)
     ();
   let submitted =
-    schedule_workload ~engine ~rng:work_rng ~injector ~case
+    schedule_workload ~clock ~rng:work_rng ~injector ~case
       ~db_size:p.Params.db_size
       ~submit:(fun ~node ops -> Two_tier.submit sys ~node ops)
   in
-  Engine.run engine ~until:horizon;
+  Clock.run clock ~until:horizon;
   Fault_injector.stop injector;
   Two_tier.quiesce_and_sync sys;
   finish ~injector ~plan ~submitted

@@ -1,0 +1,217 @@
+module Rng = Dangers_util.Rng
+module Stats = Dangers_util.Stats
+module Op = Dangers_txn.Op
+module Oid = Dangers_storage.Oid
+
+type config = {
+  socket_path : string;
+  clients : int;
+  txns : int;
+  burst : int;
+  ops_per_txn : int;
+  db_size : int;
+  seed : int;
+  shutdown : bool;
+}
+
+type worker_result = {
+  w_submitted : int;
+  w_tentative : int;
+  w_committed : int;
+  w_rejected : int;
+  w_scope_violations : int;
+  w_syncs : int;
+  w_submit_latencies : float list;
+  w_sync_latencies : float list;
+  w_errors : string list;
+}
+
+type report = {
+  submitted : int;
+  tentative : int;
+  committed : int;
+  rejected : int;
+  scope_violations : int;
+  syncs : int;
+  elapsed_seconds : float;
+  throughput_tps : float;
+  submit_p50 : float;
+  submit_p95 : float;
+  submit_p99 : float;
+  sync_p50 : float;
+  sync_p99 : float;
+  errors : string list;
+  server_stats : Protocol.stats option;
+}
+
+let now_seconds () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let rpc fd request =
+  Protocol.send fd Protocol.request request;
+  match Protocol.recv fd Protocol.response with
+  | Some response -> response
+  | None -> failwith "load: server closed the connection"
+
+(* One transaction: [ops_per_txn] increments on distinct objects, the
+   churn workload of a mobile sales rep (§7): all objects are
+   base-mastered, so every tentative transaction is in scope. *)
+let gen_ops rng ~db_size ~ops_per_txn =
+  let k = min ops_per_txn db_size in
+  Rng.sample_without_replacement rng ~n:db_size ~k
+  |> Array.to_list
+  |> List.map (fun i ->
+         Op.Increment (Oid.of_int i, float_of_int (1 + Rng.int rng 8) *. 0.25))
+
+let empty_result =
+  {
+    w_submitted = 0;
+    w_tentative = 0;
+    w_committed = 0;
+    w_rejected = 0;
+    w_scope_violations = 0;
+    w_syncs = 0;
+    w_submit_latencies = [];
+    w_sync_latencies = [];
+    w_errors = [];
+  }
+
+let worker config ~index ~txns =
+  let rng = Rng.create ~seed:(config.seed + (1000 * (index + 1))) in
+  let fd = connect config.socket_path in
+  let result = ref empty_result in
+  let fail message =
+    result := { !result with w_errors = message :: (!result).w_errors }
+  in
+  (try
+     (match rpc fd Protocol.Hello with
+     | Protocol.Assigned _ -> ()
+     | _ -> fail "unexpected Hello response");
+     let remaining = ref txns in
+     while !remaining > 0 && (!result).w_errors = [] do
+       let burst = min config.burst !remaining in
+       (* Churn cycle: go offline, work tentatively, reconnect and sync. *)
+       (match rpc fd (Protocol.Set_connected false) with
+       | Protocol.Done -> ()
+       | _ -> fail "unexpected Set_connected response");
+       for _ = 1 to burst do
+         let ops = gen_ops rng ~db_size:config.db_size ~ops_per_txn:config.ops_per_txn in
+         let started = now_seconds () in
+         let response = rpc fd (Protocol.Submit ops) in
+         let latency = now_seconds () -. started in
+         let r = !result in
+         let r =
+           { r with w_submitted = r.w_submitted + 1;
+                    w_submit_latencies = latency :: r.w_submit_latencies }
+         in
+         result :=
+           (match response with
+           | Protocol.Tentative -> { r with w_tentative = r.w_tentative + 1 }
+           | Protocol.Committed _ -> { r with w_committed = r.w_committed + 1 }
+           | Protocol.Rejected _ -> { r with w_rejected = r.w_rejected + 1 }
+           | Protocol.Scope_violation ->
+               { r with w_scope_violations = r.w_scope_violations + 1 }
+           | Protocol.Error message ->
+               { r with w_errors = message :: r.w_errors }
+           | _ -> { r with w_errors = "unexpected Submit response" :: r.w_errors })
+       done;
+       remaining := !remaining - burst;
+       let started = now_seconds () in
+       (match rpc fd Protocol.Sync with
+       | Protocol.Synced ->
+           let latency = now_seconds () -. started in
+           let r = !result in
+           result :=
+             { r with w_syncs = r.w_syncs + 1;
+                      w_sync_latencies = latency :: r.w_sync_latencies }
+       | _ -> fail "unexpected Sync response");
+       match rpc fd (Protocol.Query (Oid.of_int (Rng.int rng config.db_size))) with
+       | Protocol.Value _ -> ()
+       | _ -> fail "unexpected Query response"
+     done
+   with
+  | Failure message -> fail message
+  | Unix.Unix_error (err, fn, _) ->
+      fail (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+  | Dangers_runtime.Codec.Malformed message -> fail ("malformed response: " ^ message));
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  !result
+
+let percentile_of latencies ~p =
+  match latencies with
+  | [] -> 0.
+  | _ -> Stats.percentile (Array.of_list latencies) ~p
+
+let run config =
+  if config.clients <= 0 then invalid_arg "Load_gen.run: clients must be positive";
+  if config.txns <= 0 then invalid_arg "Load_gen.run: txns must be positive";
+  if config.burst <= 0 then invalid_arg "Load_gen.run: burst must be positive";
+  let share index =
+    (* Split txns as evenly as possible; the first workers take the rest. *)
+    (config.txns / config.clients)
+    + (if index < config.txns mod config.clients then 1 else 0)
+  in
+  let started = now_seconds () in
+  let domains =
+    List.init config.clients (fun index ->
+        Domain.spawn (fun () -> worker config ~index ~txns:(share index)))
+  in
+  let results = List.map Domain.join domains in
+  let elapsed = now_seconds () -. started in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let submit_latencies = List.concat_map (fun r -> r.w_submit_latencies) results in
+  let sync_latencies = List.concat_map (fun r -> r.w_sync_latencies) results in
+  let server_stats =
+    try
+      let fd = connect config.socket_path in
+      let stats =
+        match rpc fd Protocol.Stats with
+        | Protocol.Stats_reply stats -> Some stats
+        | _ -> None
+      in
+      if config.shutdown then ignore (rpc fd Protocol.Shutdown);
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      stats
+    with _ -> None
+  in
+  let submitted = sum (fun r -> r.w_submitted) in
+  {
+    submitted;
+    tentative = sum (fun r -> r.w_tentative);
+    committed = sum (fun r -> r.w_committed);
+    rejected = sum (fun r -> r.w_rejected);
+    scope_violations = sum (fun r -> r.w_scope_violations);
+    syncs = sum (fun r -> r.w_syncs);
+    elapsed_seconds = elapsed;
+    throughput_tps = (if elapsed > 0. then float_of_int submitted /. elapsed else 0.);
+    submit_p50 = percentile_of submit_latencies ~p:0.50;
+    submit_p95 = percentile_of submit_latencies ~p:0.95;
+    submit_p99 = percentile_of submit_latencies ~p:0.99;
+    sync_p50 = percentile_of sync_latencies ~p:0.50;
+    sync_p99 = percentile_of sync_latencies ~p:0.99;
+    errors = List.concat_map (fun r -> r.w_errors) results;
+    server_stats;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>load: %d txn(s) in %.3fs — %.0f txn/s@,\
+     outcomes: %d tentative, %d committed, %d rejected, %d scope violation(s), \
+     %d sync(s)@,\
+     submit latency: p50 %.6fs  p95 %.6fs  p99 %.6fs@,\
+     sync latency:   p50 %.6fs  p99 %.6fs@]" r.submitted r.elapsed_seconds
+    r.throughput_tps r.tentative r.committed r.rejected r.scope_violations
+    r.syncs r.submit_p50 r.submit_p95 r.submit_p99 r.sync_p50 r.sync_p99;
+  (match r.server_stats with
+  | None -> ()
+  | Some s ->
+      Format.fprintf ppf
+        "@,server: %d base commit(s), %d accepted, %d rejected, %d scope \
+         violation(s)"
+        s.Protocol.commits s.Protocol.tentative_accepted
+        s.Protocol.tentative_rejected s.Protocol.scope_violations);
+  List.iter (fun e -> Format.fprintf ppf "@,error: %s" e) r.errors

@@ -1,0 +1,48 @@
+(** Load generator for the live two-tier service: replays the paper's
+    churning mobile users against a {!Server} over its Unix socket.
+
+    Each of [clients] worker domains opens its own connection, is
+    assigned a mobile node by [Hello], and then loops the §7 usage
+    pattern: disconnect, submit a burst of tentative increment
+    transactions, reconnect-and-sync (the base replays the queue under
+    the acceptance criterion), and read back one master value. Workers
+    measure per-request wall latency; the report aggregates counts,
+    throughput and latency percentiles, plus the server's own counters
+    (fetched over a final connection, which optionally also sends
+    [Shutdown]). *)
+
+type config = {
+  socket_path : string;
+  clients : int;  (** worker domains, one connection each *)
+  txns : int;  (** total submits across all workers *)
+  burst : int;  (** submits per disconnect/sync churn cycle *)
+  ops_per_txn : int;
+  db_size : int;  (** must match the server's [--db-size] *)
+  seed : int;
+  shutdown : bool;  (** send [Shutdown] after the final stats fetch *)
+}
+
+type report = {
+  submitted : int;
+  tentative : int;
+  committed : int;
+  rejected : int;
+  scope_violations : int;
+  syncs : int;
+  elapsed_seconds : float;
+  throughput_tps : float;
+  submit_p50 : float;
+  submit_p95 : float;
+  submit_p99 : float;
+  sync_p50 : float;
+  sync_p99 : float;
+  errors : string list;  (** empty on a clean run *)
+  server_stats : Protocol.stats option;
+}
+
+val run : config -> report
+(** Blocks until every worker finishes its share.
+    @raise Invalid_argument on non-positive [clients], [txns] or
+    [burst]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,4 +1,4 @@
-module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Rng = Dangers_util.Rng
 
 type distribution = Fixed | Exponential
@@ -32,11 +32,11 @@ let day_cycle ~connected ~disconnected =
   }
 
 type t = {
-  engine : Engine.t;
+  clock : Clock.t;
   rng : Rng.t;
   spec : spec;
   set_connected : bool -> unit;
-  mutable next_event : Engine.event_id option;
+  mutable next_event : Clock.event_id option;
   mutable toggle_count : int;
   mutable stopped : bool;
 }
@@ -55,7 +55,7 @@ let rec arm t ~connected =
     if Float.is_finite span then
       t.next_event <-
         Some
-          (Engine.schedule t.engine ~delay:span (fun () ->
+          (Clock.schedule t.clock ~delay:span (fun () ->
                (* [stop] cancels this event, but guard anyway: a stop racing
                   an in-flight toggle (e.g. issued from another event at the
                   same timestamp) must never fire a late [set_connected]. *)
@@ -68,14 +68,14 @@ let rec arm t ~connected =
     else t.next_event <- None
   end
 
-let install ~engine ~rng ~spec ~set_connected =
+let install ~clock ~rng ~spec ~set_connected =
   if spec.time_between_disconnects <= 0. then
     invalid_arg "Connectivity.install: time_between_disconnects must be positive";
   if spec.disconnected_time < 0. then
     invalid_arg "Connectivity.install: disconnected_time must be >= 0";
   let t =
     {
-      engine;
+      clock;
       rng;
       spec;
       set_connected;
@@ -92,7 +92,7 @@ let stop t =
   t.stopped <- true;
   match t.next_event with
   | Some event ->
-      Engine.cancel t.engine event;
+      Clock.cancel t.clock event;
       t.next_event <- None
   | None -> ()
 

@@ -32,14 +32,14 @@ val day_cycle : connected:float -> disconnected:float -> spec
 type t
 
 val install :
-  engine:Dangers_sim.Engine.t ->
+  clock:Dangers_runtime.Clock.t ->
   rng:Dangers_util.Rng.t ->
   spec:spec ->
   set_connected:(bool -> unit) ->
   t
 (** Start driving [set_connected] on the schedule. The initial state is
     applied immediately (time 0 of the schedule); subsequent toggles are
-    engine events. *)
+    clock events. *)
 
 val stop : t -> unit
 (** Cancel future toggles; the current state persists. *)

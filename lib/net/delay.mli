@@ -1,11 +1,14 @@
-(** Message-delay models.
+(** Message-delay models — an alias for {!Dangers_runtime.Delay}, where
+    the type now lives (the runtime owns delay policy; the simulated and
+    live transports both sample it). Kept here so existing
+    [Dangers_net.Delay] callers and the historical docs keep working.
 
     The paper's closed-form analysis *ignores* propagation delay
     (Message_Delay in Table 2) and notes that real delays only make the
     rates worse. The simulator defaults to [Zero] to match the equations,
     and offers non-trivial models for the "delays make it worse" ablation. *)
 
-type t =
+type t = Dangers_runtime.Delay.t =
   | Zero  (** The model's assumption. *)
   | Constant of float
   | Uniform of { lo : float; hi : float }

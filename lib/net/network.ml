@@ -1,23 +1,24 @@
-module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
+module Runtime = Dangers_runtime.Runtime
 module Rng = Dangers_util.Rng
 
 type 'msg parked = { p_src : int; p_dst : int; p_msg : 'msg }
 
-type fault_action = Pass | Drop | Duplicate | Delay_extra of float
+type fault_action = Runtime.fault_action =
+  | Pass
+  | Drop
+  | Duplicate
+  | Delay_extra of float
 
-type faults = {
+type faults = Runtime.faults = {
   blocked : src:int -> dst:int -> bool;
   on_transmit : src:int -> dst:int -> fault_action;
 }
 
-let no_faults =
-  {
-    blocked = (fun ~src:_ ~dst:_ -> false);
-    on_transmit = (fun ~src:_ ~dst:_ -> Pass);
-  }
+let no_faults = Runtime.no_faults
 
 type 'msg t = {
-  engine : Engine.t;
+  clock : Clock.t;
   rng : Rng.t;
   delay : Delay.t;
   node_count : int;
@@ -36,12 +37,12 @@ type 'msg t = {
   latency : Dangers_obs.Metrics.histogram option;
 }
 
-let create ?obs ?(faults = no_faults) ~engine ~rng ~delay ~nodes ~deliver () =
+let create ?obs ?(faults = no_faults) ~clock ~rng ~delay ~nodes ~deliver () =
   if nodes <= 0 then invalid_arg "Network.create: nodes must be positive";
   Delay.validate delay;
   let t =
     {
-      engine;
+      clock;
       rng;
       delay;
       node_count = nodes;
@@ -88,7 +89,7 @@ let is_connected t ~node =
   t.connected.(node)
 
 let park t ~at message =
-  Engine.trace t.engine (Dangers_sim.Trace.Message_parked { at });
+  Clock.trace t.clock (Dangers_sim.Trace.Message_parked { at });
   Queue.add message t.parked.(at);
   t.parked_count <- t.parked_count + 1
 
@@ -99,7 +100,7 @@ let park t ~at message =
 let arrive t ({ p_src; p_dst; p_msg } as message) =
   if t.connected.(p_dst) then begin
     t.delivered <- t.delivered + 1;
-    Engine.trace t.engine
+    Clock.trace t.clock
       (Dangers_sim.Trace.Message_delivered { src = p_src; dst = p_dst });
     t.deliver ~src:p_src ~dst:p_dst p_msg
   end
@@ -110,7 +111,7 @@ let schedule_arrival t message ~extra =
   (match t.latency with
   | None -> ()
   | Some h -> Dangers_obs.Metrics.observe h delay);
-  ignore (Engine.schedule t.engine ~delay (fun () -> arrive t message))
+  Clock.schedule_unit t.clock ~delay (fun () -> arrive t message)
 
 (* Put a message on the wire, consulting the per-message fault hook. *)
 let transmit t ({ p_src; p_dst; _ } as message) =
@@ -118,11 +119,11 @@ let transmit t ({ p_src; p_dst; _ } as message) =
   | Pass -> schedule_arrival t message ~extra:0.
   | Drop ->
       t.dropped <- t.dropped + 1;
-      Engine.trace t.engine
+      Clock.trace t.clock
         (Dangers_sim.Trace.Message_dropped { src = p_src; dst = p_dst })
   | Duplicate ->
       t.duplicated <- t.duplicated + 1;
-      Engine.trace t.engine
+      Clock.trace t.clock
         (Dangers_sim.Trace.Message_duplicated { src = p_src; dst = p_dst });
       schedule_arrival t message ~extra:0.;
       schedule_arrival t message ~extra:0.
@@ -142,7 +143,7 @@ let send t ~src ~dst msg =
   check_node t dst "Network.send";
   if src = dst then invalid_arg "Network.send: src = dst";
   t.sent <- t.sent + 1;
-  Engine.trace t.engine (Dangers_sim.Trace.Message_sent { src; dst });
+  Clock.trace t.clock (Dangers_sim.Trace.Message_sent { src; dst });
   route t { p_src = src; p_dst = dst; p_msg = msg }
 
 let broadcast t ~src msg =
@@ -169,7 +170,7 @@ let set_connected t ~node state =
   check_node t node "Network.set_connected";
   if t.connected.(node) <> state then begin
     t.connected.(node) <- state;
-    Engine.trace t.engine
+    Clock.trace t.clock
       (if state then Dangers_sim.Trace.Node_connected { node }
        else Dangers_sim.Trace.Node_disconnected { node });
     if state then reroute_parked t ~node;
@@ -183,3 +184,23 @@ let messages_delivered t = t.delivered
 let messages_parked t = t.parked_count
 let messages_dropped t = t.dropped
 let messages_duplicated t = t.duplicated
+
+(* Compile-time proof that the simulated network satisfies the runtime's
+   transport interface — the contract a third transport must meet. *)
+module _ : Runtime.TRANSPORT = struct
+  type nonrec 'msg t = 'msg t
+
+  let create = create
+  let nodes = nodes
+  let is_connected = is_connected
+  let send = send
+  let broadcast = broadcast
+  let set_connected = set_connected
+  let flush_node = flush_node
+  let on_connectivity_change = on_connectivity_change
+  let messages_sent = messages_sent
+  let messages_delivered = messages_delivered
+  let messages_parked = messages_parked
+  let messages_dropped = messages_dropped
+  let messages_duplicated = messages_duplicated
+end

@@ -1,4 +1,5 @@
-(** Simulated message network with store-and-forward for disconnected nodes.
+(** Message network with store-and-forward for disconnected nodes — the
+    canonical {!Dangers_runtime.Runtime.TRANSPORT} implementation.
 
     Nodes are integers in [0, nodes). A message is delivered by invoking the
     network's [deliver] callback after the sampled delay — but only when both
@@ -7,21 +8,29 @@
     mobile pattern of exchanging deferred replica updates at reconnect
     (§2, §4). Base nodes simply never disconnect.
 
+    All timing goes through the runtime {!Dangers_runtime.Clock}: on a
+    simulator clock this is the simulated network it always was, and on a
+    live clock the same delivery semantics play out in real elapsed time
+    (the live runtime's in-process transport).
+
     A {!faults} hook lets a fault injector perturb delivery: drop, duplicate
     or delay individual messages, and block (partition) pairs of nodes.
     Without hooks the network is loss-free and duplicate-free. *)
 
 type 'msg t
 
-(** {1 Fault hooks} *)
+(** {1 Fault hooks}
 
-type fault_action =
+    The types live in {!Dangers_runtime.Runtime} (any transport can be
+    fault-injected); re-exported here with full equality. *)
+
+type fault_action = Dangers_runtime.Runtime.fault_action =
   | Pass  (** deliver normally *)
   | Drop  (** lose the message (counted and traced) *)
   | Duplicate  (** put two copies in flight, each with its own delay *)
   | Delay_extra of float  (** add this much latency (reordering) *)
 
-type faults = {
+type faults = Dangers_runtime.Runtime.faults = {
   blocked : src:int -> dst:int -> bool;
       (** partition test, consulted at transmission time; blocked messages
           park at the sender and are retried by {!flush_node} *)
@@ -36,7 +45,7 @@ val no_faults : faults
 val create :
   ?obs:Dangers_obs.Metrics.t ->
   ?faults:faults ->
-  engine:Dangers_sim.Engine.t ->
+  clock:Dangers_runtime.Clock.t ->
   rng:Dangers_util.Rng.t ->
   delay:Delay.t ->
   nodes:int ->

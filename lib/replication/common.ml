@@ -1,5 +1,7 @@
 module Params = Dangers_analytic.Params
 module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
+module Runtime = Dangers_runtime.Runtime
 module Metrics = Dangers_sim.Metrics
 module Fstore = Dangers_storage.Store.Fstore
 module Timestamp = Dangers_storage.Timestamp
@@ -14,7 +16,8 @@ type base = {
   params : Params.t;
   profile : Profile.t;
   initial_value : float;
-  engine : Engine.t;
+  runtime : Runtime.t;
+  clock : Clock.t;
   metrics : Metrics.t;
   rng : Rng.t;
   stores : Fstore.t array;
@@ -24,7 +27,7 @@ type base = {
   obs : Obs.t option;
 }
 
-let make ?obs ?profile ?(initial_value = 0.) params ~seed =
+let make ?obs ?runtime ?profile ?(initial_value = 0.) params ~seed =
   Params.validate params;
   let profile =
     match profile with Some p -> p | None -> Profile.of_params params
@@ -36,20 +39,24 @@ let make ?obs ?profile ?(initial_value = 0.) params ~seed =
   let obs =
     match obs with Some _ -> obs | None -> Dangers_sim.Observe.ambient_obs ()
   in
-  let engine = Engine.create () in
-  (match Dangers_sim.Observe.ambient_tracer () with
-  | None -> ()
-  | Some tracer -> Engine.set_tracer engine (Some tracer));
-  let metrics = Metrics.create engine in
+  let runtime =
+    match runtime with Some r -> r | None -> Runtime.sim ()
+  in
+  let clock = runtime.Runtime.clock in
+  (* Attach the ambient tracer unless the runtime came with one. *)
+  (match (Dangers_sim.Observe.ambient_tracer (), Clock.tracer clock) with
+  | Some tracer, None -> Clock.set_tracer clock (Some tracer)
+  | (None | Some _), _ -> ());
+  let metrics = Metrics.create ~now:(fun () -> Clock.now clock) () in
   (match obs with
   | None -> ()
   | Some registry ->
       Obs.register_source registry (fun () ->
           [
-            Obs.Count ("engine.events_fired_total", Engine.events_fired engine);
+            Obs.Count ("engine.events_fired_total", Clock.events_fired clock);
             Obs.Gauge
               ( "engine.queue_high_water",
-                float_of_int (Engine.queue_high_water engine) );
+                float_of_int (Clock.queue_high_water clock) );
           ]);
       (* The scheme's own simulated-time counters (commits, restarts,
          replica_applied, ...), since-creation totals rather than the
@@ -63,7 +70,8 @@ let make ?obs ?profile ?(initial_value = 0.) params ~seed =
     params;
     profile;
     initial_value;
-    engine;
+    runtime;
+    clock;
     metrics;
     rng = Rng.create ~seed;
     stores =
@@ -82,7 +90,7 @@ let start_generators base ~submit =
   base.generators <-
     List.init base.params.Params.nodes (fun node ->
         let rng = Rng.split base.rng in
-        Generator.start ~engine:base.engine ~rng ~tps:base.params.Params.tps
+        Generator.start ~clock:base.clock ~rng ~tps:base.params.Params.tps
           ~profile:base.profile ~db_size:base.params.Params.db_size
           ~submit:(fun ops -> submit ~node ops))
 
@@ -99,11 +107,11 @@ let backoff_delay base rng =
 let commit_duration base ~started =
   Metrics.incr base.metrics Repl_stats.commits;
   Metrics.sample base.metrics Repl_stats.duration_sample
-    (Engine.now base.engine -. started)
+    (Clock.now base.clock -. started)
 
 (* A drain that never ends is a bug (a generator or connectivity schedule
    left running); surface it instead of hanging. *)
-let drain base = Engine.run ~max_events:200_000_000 base.engine
+let drain base = Clock.run ~max_events:200_000_000 base.clock
 
 let profiled base phase f =
   match base.obs with
@@ -113,6 +121,6 @@ let profiled base phase f =
       Obs.record_phase registry p
 
 let measure base ~warmup ~span =
-  profiled base "warmup" (fun () -> Engine.run_for base.engine warmup);
+  profiled base "warmup" (fun () -> Clock.run_for base.clock warmup);
   Metrics.start_window base.metrics;
-  profiled base "measured" (fun () -> Engine.run_for base.engine span)
+  profiled base "measured" (fun () -> Clock.run_for base.clock span)

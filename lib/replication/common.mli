@@ -4,6 +4,8 @@
 
 module Params = Dangers_analytic.Params
 module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
+module Runtime = Dangers_runtime.Runtime
 module Metrics = Dangers_sim.Metrics
 module Fstore = Dangers_storage.Store.Fstore
 module Timestamp = Dangers_storage.Timestamp
@@ -16,7 +18,8 @@ type base = {
   params : Params.t;
   profile : Profile.t;
   initial_value : float;
-  engine : Engine.t;
+  runtime : Runtime.t;  (** the execution runtime this system was built on *)
+  clock : Clock.t;  (** = [runtime.clock]; every event the scheme schedules *)
   metrics : Metrics.t;
   rng : Rng.t;
   stores : Fstore.t array;  (** one replica of the whole database per node *)
@@ -30,14 +33,17 @@ type base = {
 
 val make :
   ?obs:Dangers_obs.Metrics.t ->
+  ?runtime:Runtime.t ->
   ?profile:Profile.t -> ?initial_value:float -> Params.t -> seed:int -> base
 (** Validates the parameters. The profile defaults to the model's
     ([Profile.of_params]); every object starts at [initial_value]
-    (default 0). When [obs] is given, pull sources for the engine
-    ([engine.events_fired_total], [engine.queue_high_water]) and the
-    scheme's simulated-time counters ([scheme.*_total], since-creation
-    totals) are registered, and {!measure} records per-phase wall-clock
-    and allocation profiles. *)
+    (default 0). The runtime defaults to a fresh simulator
+    ([Runtime.sim ()]); pass [Runtime.live_virtual]/[live_wall] to run
+    the same scheme on the live timer wheel. When [obs] is given, pull
+    sources for the clock ([engine.events_fired_total],
+    [engine.queue_high_water]) and the scheme's simulated-time counters
+    ([scheme.*_total], since-creation totals) are registered, and
+    {!measure} records per-phase wall-clock and allocation profiles. *)
 
 val start_generators : base -> submit:(node:int -> Dangers_txn.Op.t list -> unit) -> unit
 (** One Poisson generator per node at [params.tps], each on its own RNG
@@ -56,7 +62,7 @@ val commit_duration : base -> started:float -> unit
     counter. *)
 
 val drain : base -> unit
-(** Run the engine until no events remain (generators must be stopped). *)
+(** Run the clock until no events remain (generators must be stopped). *)
 
 val measure : base -> warmup:float -> span:float -> unit
 (** Run [warmup] seconds, reset the metrics window, run [span] more. *)

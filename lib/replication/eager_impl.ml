@@ -3,6 +3,7 @@ module Profile = Dangers_workload.Profile
 module Op = Dangers_txn.Op
 module Oid = Dangers_storage.Oid
 module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Metrics = Dangers_sim.Metrics
 module Fstore = Dangers_storage.Store.Fstore
 module Timestamp = Dangers_storage.Timestamp
@@ -38,7 +39,7 @@ let create ?obs ?profile ?initial_value ?(delay = Dangers_net.Delay.Zero)
   let executor =
     Executor.create
       ~on_wait:(fun () -> Metrics.incr common.Common.metrics Repl_stats.waits)
-      ~engine:common.Common.engine ~locks
+      ~clock:common.Common.clock ~locks
       ~action_time:params.Params.action_time ()
   in
   let nodes = params.Params.nodes in
@@ -131,7 +132,7 @@ let submit t ~node ops =
   in
   let rec attempt () =
     let owner = Txn_id.Gen.next common.Common.txn_gen in
-    let started = Engine.now common.Common.engine in
+    let started = Clock.now common.Common.clock in
     let steps =
       match fixed_steps with Some steps -> steps | None -> build_steps ()
     in
@@ -144,7 +145,7 @@ let submit t ~node ops =
         Metrics.incr metrics Repl_stats.deadlocks;
         Metrics.incr metrics Repl_stats.restarts;
         ignore
-          (Engine.schedule common.Common.engine
+          (Clock.schedule common.Common.clock
              ~delay:(Common.backoff_delay common t.retry_rng)
              attempt))
   in

@@ -6,6 +6,7 @@ module Connectivity = Dangers_net.Connectivity
 module Delay = Dangers_net.Delay
 module Network = Dangers_net.Network
 module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Metrics = Dangers_sim.Metrics
 module Fstore = Dangers_storage.Store.Fstore
 module Timestamp = Dangers_storage.Timestamp
@@ -22,7 +23,7 @@ type t = {
   retry_rng : Rng.t;
   expected : float array; (* initial_value + committed increment deltas *)
   mutable schedules : Connectivity.t list;
-  mutable pending_installs : Engine.event_id list;
+  mutable pending_installs : Clock.event_id list;
 }
 
 let base t = t.common
@@ -99,7 +100,7 @@ let deliver t ~src:_ ~dst updates =
       ~on_deadlock:(fun ~cycle:_ ->
         Metrics.incr common.Common.metrics "replica_restarts";
         ignore
-          (Engine.schedule common.Common.engine
+          (Clock.schedule common.Common.clock
              ~delay:(Common.backoff_delay common t.retry_rng)
              attempt))
   in
@@ -145,7 +146,7 @@ let submit t ~node ops =
   let common = t.common in
   let rec attempt () =
     let owner = Txn_id.Gen.next common.Common.txn_gen in
-    let started = Engine.now common.Common.engine in
+    let started = Clock.now common.Common.clock in
     let steps =
       List.map
         (fun op ->
@@ -162,7 +163,7 @@ let submit t ~node ops =
         Metrics.incr common.Common.metrics Repl_stats.deadlocks;
         Metrics.incr common.Common.metrics Repl_stats.restarts;
         ignore
-          (Engine.schedule common.Common.engine
+          (Clock.schedule common.Common.clock
              ~delay:(Common.backoff_delay common t.retry_rng)
              attempt))
   in
@@ -176,7 +177,7 @@ let create ?obs ?profile ?initial_value ?(rule = Reconcile.Timestamp_priority)
     Array.init params.Params.nodes (fun _ ->
         Executor.create
           ~on_wait:(fun () -> Metrics.incr common.Common.metrics Repl_stats.waits)
-          ~engine:common.Common.engine
+          ~clock:common.Common.clock
           ~locks:(Lock_manager.create ?obs ())
           ~action_time:params.Params.action_time ())
   in
@@ -194,7 +195,7 @@ let create ?obs ?profile ?initial_value ?(rule = Reconcile.Timestamp_priority)
     }
   in
   let network =
-    Network.create ?obs ?faults ~engine:common.Common.engine
+    Network.create ?obs ?faults ~clock:common.Common.clock
       ~rng:(Rng.split common.Common.rng) ~delay ~nodes:params.Params.nodes
       ~deliver:(fun ~src ~dst updates -> deliver t ~src ~dst updates) ()
   in
@@ -215,9 +216,9 @@ let create ?obs ?profile ?initial_value ?(rule = Reconcile.Timestamp_priority)
         (fun node ->
           let offset = Rng.float stagger_rng cycle in
           let install =
-            Engine.schedule common.Common.engine ~delay:offset (fun () ->
+            Clock.schedule common.Common.clock ~delay:offset (fun () ->
                 let schedule =
-                  Connectivity.install ~engine:common.Common.engine
+                  Connectivity.install ~clock:common.Common.clock
                     ~rng:(Rng.split stagger_rng) ~spec
                     ~set_connected:(fun connected ->
                       Network.set_connected network ~node connected)
@@ -252,7 +253,7 @@ let set_node_connected t ~node state = Network.set_connected (network t) ~node s
 let flush_node t ~node = Network.flush_node (network t) ~node
 
 let force_sync t =
-  List.iter (Engine.cancel t.common.Common.engine) t.pending_installs;
+  List.iter (Clock.cancel t.common.Common.clock) t.pending_installs;
   t.pending_installs <- [];
   List.iter Connectivity.stop t.schedules;
   t.schedules <- [];

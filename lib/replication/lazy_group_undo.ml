@@ -6,6 +6,7 @@ module Connectivity = Dangers_net.Connectivity
 module Delay = Dangers_net.Delay
 module Network = Dangers_net.Network
 module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Metrics = Dangers_sim.Metrics
 module Fstore = Dangers_storage.Store.Fstore
 module Timestamp = Dangers_storage.Timestamp
@@ -46,7 +47,7 @@ type t = {
   mutable undone_count : int;
   lag : Stats.t;
   mutable schedules : Connectivity.t list;
-  mutable pending_installs : Engine.event_id list;
+  mutable pending_installs : Clock.event_id list;
 }
 
 let base t = t.common
@@ -131,7 +132,7 @@ let deliver t ~src ~dst message =
             t.durable_count <- t.durable_count + 1;
             Metrics.incr t.common.Common.metrics "durable";
             Stats.add t.lag
-              (Engine.now t.common.Common.engine -. pending.p_committed_at);
+              (Clock.now t.common.Common.clock -. pending.p_committed_at);
             Hashtbl.remove t.pending txn
           end)
   | Nack txn ->
@@ -173,7 +174,7 @@ let submit t ~node ops =
         p_origin = node;
         p_updates = List.rev !updates;
         p_undo = !undo;
-        p_committed_at = Engine.now t.common.Common.engine;
+        p_committed_at = Clock.now t.common.Common.clock;
         p_acks = 0;
         p_aborted = false;
       };
@@ -200,7 +201,7 @@ let create ?obs ?profile ?initial_value ?mobility ?mobile_nodes params ~seed =
     }
   in
   let net =
-    Network.create ?obs ~engine:common.Common.engine
+    Network.create ?obs ~clock:common.Common.clock
       ~rng:(Rng.split common.Common.rng) ~delay:Delay.Zero
       ~nodes:params.Params.nodes
       ~deliver:(fun ~src ~dst message -> deliver t ~src ~dst message) ()
@@ -223,9 +224,9 @@ let create ?obs ?profile ?initial_value ?mobility ?mobile_nodes params ~seed =
         (fun node ->
           let offset = Rng.float stagger_rng cycle in
           let install =
-            Engine.schedule common.Common.engine ~delay:offset (fun () ->
+            Clock.schedule common.Common.clock ~delay:offset (fun () ->
                 let schedule =
-                  Connectivity.install ~engine:common.Common.engine
+                  Connectivity.install ~clock:common.Common.clock
                     ~rng:(Rng.split stagger_rng) ~spec
                     ~set_connected:(fun connected ->
                       Network.set_connected net ~node connected)
@@ -245,7 +246,7 @@ let undone t = t.undone_count
 let durability_lag t = t.lag
 
 let force_sync t =
-  List.iter (Engine.cancel t.common.Common.engine) t.pending_installs;
+  List.iter (Clock.cancel t.common.Common.clock) t.pending_installs;
   t.pending_installs <- [];
   List.iter Connectivity.stop t.schedules;
   t.schedules <- [];

@@ -5,6 +5,7 @@ module Oid = Dangers_storage.Oid
 module Delay = Dangers_net.Delay
 module Network = Dangers_net.Network
 module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Metrics = Dangers_sim.Metrics
 module Fstore = Dangers_storage.Store.Fstore
 module Timestamp = Dangers_storage.Timestamp
@@ -87,7 +88,7 @@ let submit t ~node ops =
   let common = t.common in
   let rec attempt () =
     let owner = Txn_id.Gen.next common.Common.txn_gen in
-    let started = Engine.now common.Common.engine in
+    let started = Clock.now common.Common.clock in
     let steps =
       List.map
         (fun op ->
@@ -104,7 +105,7 @@ let submit t ~node ops =
         Metrics.incr common.Common.metrics Repl_stats.deadlocks;
         Metrics.incr common.Common.metrics Repl_stats.restarts;
         ignore
-          (Engine.schedule common.Common.engine
+          (Clock.schedule common.Common.clock
              ~delay:(Common.backoff_delay common t.retry_rng)
              attempt))
   in
@@ -121,7 +122,7 @@ let create ?obs ?profile ?initial_value ?(delay = Delay.Zero)
   let master_executor =
     Executor.create
       ~on_wait:(fun () -> Metrics.incr common.Common.metrics Repl_stats.waits)
-      ~engine:common.Common.engine
+      ~clock:common.Common.clock
       ~locks:(Lock_manager.create ?obs ())
       ~action_time:params.Params.action_time ()
   in
@@ -136,7 +137,7 @@ let create ?obs ?profile ?initial_value ?(delay = Delay.Zero)
   in
   t.network <-
     Some
-      (Network.create ?obs ~engine:common.Common.engine
+      (Network.create ?obs ~clock:common.Common.clock
          ~rng:(Rng.split common.Common.rng) ~delay ~nodes:params.Params.nodes
          ~deliver:(fun ~src ~dst u -> deliver t ~src ~dst u) ());
   t

@@ -2,6 +2,7 @@ module Params = Dangers_analytic.Params
 module Profile = Dangers_workload.Profile
 module Generator = Dangers_workload.Generator
 module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Par_engine = Dangers_sim.Par_engine
 module Observe = Dangers_sim.Observe
 module Metrics = Dangers_sim.Metrics
@@ -463,7 +464,7 @@ let create ?profile ?(initial_value = 0.) ?delay ?faults params ~seed =
           {
             id;
             engine = Par_engine.engine par id;
-            metrics = Metrics.create (Par_engine.engine par id);
+            metrics = Metrics.of_engine (Par_engine.engine par id);
             store =
               Fstore.create ~db_size:params.Params.db_size ~init:(fun _ ->
                   initial_value);
@@ -514,7 +515,7 @@ let start t =
     Array.to_list
       (Array.map
          (fun node ->
-           Generator.start ~engine:node.engine ~rng:node.gen_rng
+           Generator.start ~clock:(Clock.of_engine node.engine) ~rng:node.gen_rng
              ~tps:t.params.Params.tps ~profile:t.profile
              ~db_size:t.params.Params.db_size
              ~submit:(fun ops -> start_txn t node (Array.of_list ops)))

@@ -119,7 +119,7 @@ let create ?initial_value ~quorum ~uptime ~mean_downtime params ~seed =
   in
   for node = 0 to params.Params.nodes - 1 do
     let schedule =
-      Connectivity.install ~engine:common.Common.engine
+      Connectivity.install ~clock:common.Common.clock
         ~rng:(Rng.split common.Common.rng) ~spec
         ~set_connected:(fun state -> set_up t ~node state)
     in

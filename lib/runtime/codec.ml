@@ -1,0 +1,74 @@
+exception Malformed of string
+
+type reader = { data : string; mutable pos : int }
+type 'a t = { encode : Buffer.t -> 'a -> unit; decode : reader -> 'a }
+
+let max_frame = 16 * 1024 * 1024
+
+let put_u8 buf v = Buffer.add_uint8 buf (v land 0xff)
+let put_u16 buf v = Buffer.add_uint16_be buf (v land 0xffff)
+
+let put_u32 buf v =
+  if v < 0 then invalid_arg "Codec.put_u32: negative";
+  Buffer.add_int32_be buf (Int32.of_int v)
+
+let put_f64 buf v = Buffer.add_int64_be buf (Int64.bits_of_float v)
+
+let put_string buf s =
+  if String.length s > 0xffff then invalid_arg "Codec.put_string: too long";
+  put_u16 buf (String.length s);
+  Buffer.add_string buf s
+
+let frame buf =
+  let len = Buffer.length buf in
+  if len > max_frame then invalid_arg "Codec.frame: payload exceeds max_frame";
+  let framed = Buffer.create (len + 4) in
+  Buffer.add_int32_be framed (Int32.of_int len);
+  Buffer.add_buffer framed buf;
+  Buffer.clear buf;
+  Buffer.contents framed
+
+let reader data = { data; pos = 0 }
+
+let need r n what =
+  if r.pos + n > String.length r.data then
+    raise (Malformed (Printf.sprintf "truncated %s at byte %d" what r.pos))
+
+let get_u8 r =
+  need r 1 "u8";
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u16 r =
+  need r 2 "u16";
+  let v = String.get_uint16_be r.data r.pos in
+  r.pos <- r.pos + 2;
+  v
+
+let get_u32 r =
+  need r 4 "u32";
+  let v = Int32.to_int (String.get_int32_be r.data r.pos) in
+  r.pos <- r.pos + 4;
+  if v < 0 then raise (Malformed "u32 out of range");
+  v
+
+let get_f64 r =
+  need r 8 "f64";
+  let v = Int64.float_of_bits (String.get_int64_be r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let get_string r =
+  let len = get_u16 r in
+  need r len "string body";
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let expect_end r =
+  if r.pos <> String.length r.data then
+    raise
+      (Malformed
+         (Printf.sprintf "%d trailing bytes after a complete message"
+            (String.length r.data - r.pos)))

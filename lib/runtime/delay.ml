@@ -1,0 +1,35 @@
+module Rng = Dangers_util.Rng
+
+type t =
+  | Zero
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+
+let validate = function
+  | Zero -> ()
+  | Constant d ->
+      if d < 0. then invalid_arg "Delay.Constant: negative delay"
+  | Uniform { lo; hi } ->
+      if lo < 0. || hi < lo then invalid_arg "Delay.Uniform: need 0 <= lo <= hi"
+  | Exponential { mean } ->
+      if mean <= 0. then invalid_arg "Delay.Exponential: mean must be positive"
+
+let sample t rng =
+  match t with
+  | Zero -> 0.
+  | Constant d -> d
+  | Uniform { lo; hi } -> if Float.equal hi lo then lo else lo +. Rng.float rng (hi -. lo)
+  | Exponential { mean } -> Rng.exponential rng ~mean
+
+let min_bound = function
+  | Zero -> 0.
+  | Constant d -> d
+  | Uniform { lo; _ } -> lo
+  | Exponential _ -> 0.
+
+let pp ppf = function
+  | Zero -> Format.pp_print_string ppf "zero"
+  | Constant d -> Format.fprintf ppf "constant(%gs)" d
+  | Uniform { lo; hi } -> Format.fprintf ppf "uniform(%gs,%gs)" lo hi
+  | Exponential { mean } -> Format.fprintf ppf "exponential(mean=%gs)" mean

@@ -1,0 +1,26 @@
+(** Message-delay models.
+
+    The paper's closed-form analysis *ignores* propagation delay
+    (Message_Delay in Table 2) and notes that real delays only make the
+    rates worse. The simulator defaults to [Zero] to match the equations,
+    and offers non-trivial models for the "delays make it worse" ablation. *)
+
+type t =
+  | Zero  (** The model's assumption. *)
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+
+val sample : t -> Dangers_util.Rng.t -> float
+(** Always non-negative. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on negative or inverted parameters. *)
+
+val min_bound : t -> float
+(** Infimum of {!sample}: the smallest delay the model can produce
+    ([Zero] and [Exponential] give 0). The conservative parallel engine
+    uses a positive minimum as its lookahead horizon — a model whose
+    bound is 0 admits no lookahead and cannot drive it. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,108 @@
+(** The execution runtime a scheme runs on: a clock plus a transport.
+
+    Schemes never name the simulator directly; they take a {!t} (or just
+    its {!Clock.t}) and schedule time and messages through it. Two
+    runtimes exist today:
+
+    - the {e sim} runtime — {!Dangers_sim.Engine} time plus the
+      simulated {!Dangers_net.Network} transport, byte-identical to the
+      pre-abstraction simulator; and
+    - the {e live} runtime — {!Live_clock} time (virtual for
+      deterministic tests, wall for real serving) plus the same
+      transport semantics driven by real elapsed time, with
+      {!Codec}-framed messages on the socket boundary.
+
+    {!CLOCK} and {!TRANSPORT} are the module interfaces a third runtime
+    must satisfy (docs/LIVE.md walks through adding one); the concrete
+    implementations in-tree are checked against them. *)
+
+(** {1 The clock interface} *)
+
+module type CLOCK = sig
+  type t
+  type event_id
+
+  val now : t -> float
+  val schedule : t -> delay:float -> (unit -> unit) -> event_id
+  val schedule_at : t -> time:float -> (unit -> unit) -> event_id
+  val cancel : t -> event_id -> unit
+  val pending : t -> int
+  val run : ?max_events:int -> ?until:float -> t -> unit
+  val run_for : t -> float -> unit
+end
+
+module Sim_clock : CLOCK with type t = Dangers_sim.Engine.t
+(** The engine, as a clock. *)
+
+module Live : CLOCK with type t = Live_clock.t
+(** The live timer wheel, as a clock. *)
+
+(** {1 The transport interface} *)
+
+type fault_action =
+  | Pass
+  | Drop
+  | Duplicate
+  | Delay_extra of float
+
+type faults = {
+  blocked : src:int -> dst:int -> bool;
+  on_transmit : src:int -> dst:int -> fault_action;
+}
+
+val no_faults : faults
+
+module type TRANSPORT = sig
+  type 'msg t
+
+  val create :
+    ?obs:Dangers_obs.Metrics.t ->
+    ?faults:faults ->
+    clock:Clock.t ->
+    rng:Dangers_util.Rng.t ->
+    delay:Delay.t ->
+    nodes:int ->
+    deliver:(src:int -> dst:int -> 'msg -> unit) ->
+    unit ->
+    'msg t
+
+  val nodes : 'msg t -> int
+  val is_connected : 'msg t -> node:int -> bool
+  val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+  val broadcast : 'msg t -> src:int -> 'msg -> unit
+  val set_connected : 'msg t -> node:int -> bool -> unit
+  val flush_node : 'msg t -> node:int -> unit
+
+  val on_connectivity_change :
+    'msg t -> (node:int -> connected:bool -> unit) -> unit
+
+  val messages_sent : 'msg t -> int
+  val messages_delivered : 'msg t -> int
+  val messages_parked : 'msg t -> int
+  val messages_dropped : 'msg t -> int
+  val messages_duplicated : 'msg t -> int
+end
+
+(** {1 Runtime handles} *)
+
+type t = { name : string; clock : Clock.t }
+(** What a scheme constructor takes: the clock everything schedules on,
+    tagged with the runtime's name for summaries and traces. The
+    transport is not carried here because it is message-type-polymorphic;
+    schemes build theirs from the clock
+    (see {!Dangers_net.Network.create}). *)
+
+val sim : ?engine:Dangers_sim.Engine.t -> unit -> t
+(** A fresh simulator runtime (or one wrapping an existing engine). *)
+
+val live_virtual : unit -> t
+(** Deterministic live runtime: engine-identical event order, no real
+    sleeping — the backend the sim/live equivalence suite compares
+    against. *)
+
+val live_wall : unit -> t
+(** Wall-clock live runtime: delays elapse in real time. *)
+
+val of_clock : name:string -> Clock.t -> t
+
+val is_live : t -> bool

@@ -3,19 +3,21 @@ module Stats = Dangers_util.Stats
 type counter = { mutable window : int; mutable lifetime : int }
 
 type t = {
-  engine : Engine.t;
+  now : unit -> float;
   counters : (string, counter) Hashtbl.t;
   samples : (string, Stats.t) Hashtbl.t;
   mutable window_start : float;
 }
 
-let create engine =
+let create ~now () =
   {
-    engine;
+    now;
     counters = Hashtbl.create 32;
     samples = Hashtbl.create 32;
-    window_start = Engine.now engine;
+    window_start = now ();
   }
+
+let of_engine engine = create ~now:(fun () -> Engine.now engine) ()
 
 let counter_for t name =
   match Hashtbl.find_opt t.counters name with
@@ -38,7 +40,7 @@ let count t name =
 let total_count t name =
   match Hashtbl.find_opt t.counters name with Some c -> c.lifetime | None -> 0
 
-let window_elapsed t = Engine.now t.engine -. t.window_start
+let window_elapsed t = t.now () -. t.window_start
 
 let rate t name =
   let elapsed = window_elapsed t in
@@ -64,7 +66,7 @@ let start_window t =
   (* In-place reset of every window counter; no output depends on the
      table's visit order. *)
   (Hashtbl.iter (fun _ c -> c.window <- 0) t.counters [@lint.allow "D2"]);
-  t.window_start <- Engine.now t.engine
+  t.window_start <- t.now ()
 
 let counter_names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.counters []

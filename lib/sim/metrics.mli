@@ -6,7 +6,13 @@
 
 type t
 
-val create : Engine.t -> t
+val create : now:(unit -> float) -> unit -> t
+(** [now] is the time source the window rates divide by — any runtime
+    clock's [now] (the metrics layer cannot depend on the runtime
+    library, so it takes the closure rather than the clock). *)
+
+val of_engine : Engine.t -> t
+(** [create] over an engine's simulated clock. *)
 
 (** {1 Counters} *)
 

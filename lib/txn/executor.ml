@@ -1,9 +1,9 @@
-module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Lock_manager = Dangers_lock.Lock_manager
 module Mode = Dangers_lock.Mode
 
 type t = {
-  engine : Engine.t;
+  clock : Clock.t;
   locks : Lock_manager.t;
   action_time : float;
   on_wait : unit -> unit;
@@ -15,24 +15,24 @@ type step = { resource : int; mode : Mode.t; cost : float option; work : unit ->
 let update_step ~resource = { resource; mode = Mode.X; cost = None; work = Fun.id }
 let read_step ~resource = { resource; mode = Mode.S; cost = None; work = Fun.id }
 
-let create ?(on_wait = fun () -> ()) ~engine ~locks ~action_time () =
+let create ?(on_wait = fun () -> ()) ~clock ~locks ~action_time () =
   if action_time < 0. then invalid_arg "Executor.create: negative action time";
-  { engine; locks; action_time; on_wait; active = 0 }
+  { clock; locks; action_time; on_wait; active = 0 }
 
 let run t ~owner ~steps ~on_commit ~on_deadlock =
   let owner_id = Txn_id.to_int owner in
   (* Trace events are allocated only when a tracer is attached; the
      untraced hot path must not build a record per lock grant. *)
-  let traced = Engine.tracing t.engine in
+  let traced = Clock.tracing t.clock in
   t.active <- t.active + 1;
   if traced then
-    Engine.trace t.engine (Dangers_sim.Trace.Txn_started { owner = owner_id });
+    Clock.trace t.clock (Dangers_sim.Trace.Txn_started { owner = owner_id });
   let finish_commit () =
     on_commit ();
     Lock_manager.release_all t.locks ~owner:owner_id;
     t.active <- t.active - 1;
     if traced then
-      Engine.trace t.engine (Dangers_sim.Trace.Txn_committed { owner = owner_id })
+      Clock.trace t.clock (Dangers_sim.Trace.Txn_committed { owner = owner_id })
   in
   let kill cycle =
     Lock_manager.release_all t.locks ~owner:owner_id;
@@ -45,10 +45,9 @@ let run t ~owner ~steps ~on_commit ~on_deadlock =
     | step :: rest ->
         let proceed () =
           let cost = Option.value step.cost ~default:t.action_time in
-          ignore
-            (Engine.schedule t.engine ~delay:cost (fun () ->
-                 step.work ();
-                 start_step rest))
+          Clock.schedule_unit t.clock ~delay:cost (fun () ->
+              step.work ();
+              start_step rest)
         in
         (match
            Lock_manager.request t.locks ~owner:owner_id ~resource:step.resource
@@ -56,19 +55,19 @@ let run t ~owner ~steps ~on_commit ~on_deadlock =
          with
         | Lock_manager.Granted ->
             if traced then
-              Engine.trace t.engine
+              Clock.trace t.clock
                 (Dangers_sim.Trace.Lock_granted
                    { owner = owner_id; resource = step.resource });
             proceed ()
         | Lock_manager.Waiting ->
             if traced then
-              Engine.trace t.engine
+              Clock.trace t.clock
                 (Dangers_sim.Trace.Lock_waited
                    { owner = owner_id; resource = step.resource });
             t.on_wait ()
         | Lock_manager.Deadlock cycle ->
             if traced then
-              Engine.trace t.engine
+              Clock.trace t.clock
                 (Dangers_sim.Trace.Deadlock_victim { owner = owner_id; cycle });
             t.on_wait ();
             kill cycle)

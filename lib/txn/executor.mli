@@ -15,7 +15,7 @@ type t
 
 val create :
   ?on_wait:(unit -> unit) ->
-  engine:Dangers_sim.Engine.t ->
+  clock:Dangers_runtime.Clock.t ->
   locks:Dangers_lock.Lock_manager.t ->
   action_time:float ->
   unit ->

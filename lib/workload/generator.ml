@@ -1,14 +1,14 @@
-module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Rng = Dangers_util.Rng
 
 type t = {
-  engine : Engine.t;
+  clock : Clock.t;
   rng : Rng.t;
   mean_interarrival : float;
   profile : Profile.t;
   db_size : int;
   submit : Dangers_txn.Op.t list -> unit;
-  mutable next_arrival : Engine.event_id option;
+  mutable next_arrival : Clock.event_id option;
   mutable stopped : bool;
   mutable count : int;
 }
@@ -18,17 +18,17 @@ let rec arm t =
     let gap = Rng.exponential t.rng ~mean:t.mean_interarrival in
     t.next_arrival <-
       Some
-        (Engine.schedule t.engine ~delay:gap (fun () ->
+        (Clock.schedule t.clock ~delay:gap (fun () ->
              t.count <- t.count + 1;
              t.submit (Profile.generate t.profile t.rng ~db_size:t.db_size);
              arm t))
   end
 
-let start ~engine ~rng ~tps ~profile ~db_size ~submit =
+let start ~clock ~rng ~tps ~profile ~db_size ~submit =
   if not (tps > 0.) then invalid_arg "Generator.start: tps must be positive";
   let t =
     {
-      engine;
+      clock;
       rng;
       mean_interarrival = 1. /. tps;
       profile;
@@ -46,7 +46,7 @@ let stop t =
   t.stopped <- true;
   match t.next_arrival with
   | Some event ->
-      Engine.cancel t.engine event;
+      Clock.cancel t.clock event;
       t.next_arrival <- None
   | None -> ()
 

@@ -8,7 +8,7 @@
 type t
 
 val start :
-  engine:Dangers_sim.Engine.t ->
+  clock:Dangers_runtime.Clock.t ->
   rng:Dangers_util.Rng.t ->
   tps:float ->
   profile:Profile.t ->

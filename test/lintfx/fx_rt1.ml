@@ -1,0 +1,14 @@
+(* RT1 fixtures: direct engine calls (through the conventional alias) and
+   a wall-clock read, plus one suppressed site. Expected: 3 findings,
+   1 suppression. The [Unix.gettimeofday] is also a D1 finding — the two
+   rules overlap on wall clocks by design (different scopes in-tree). *)
+
+module Engine = struct
+  let now () = 0.
+  let schedule ~delay f = ignore delay; f ()
+end
+
+let peek () = Engine.now ()
+let fire f = Engine.schedule ~delay:1.0 f
+let stamp () = Unix.gettimeofday ()
+let allowed () = (Engine.now () [@lint.allow "RT1"])

@@ -13,6 +13,7 @@ module Oid = Dangers_storage.Oid
 module Fstore = Dangers_storage.Store.Fstore
 module Timestamp = Dangers_storage.Timestamp
 module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Metrics = Dangers_sim.Metrics
 module Connectivity = Dangers_net.Connectivity
 module Rng = Dangers_util.Rng
@@ -203,7 +204,7 @@ let test_two_tier_tentative_replay_commutative () =
     Two_tier.create ~profile ~initial_value:1000. ~base_nodes:2 tt_params ~seed:2
   in
   Two_tier.start sys;
-  Engine.run_for (Two_tier.base sys).Common.engine 120.;
+  Clock.run_for (Two_tier.base sys).Common.clock 120.;
   Two_tier.quiesce_and_sync sys;
   let metrics = (Two_tier.base sys).Common.metrics in
   checkb "tentative transactions ran" true
@@ -223,7 +224,7 @@ let disconnected_pair ?initial_value ?acceptance ~seed params =
       ~base_nodes:1 params ~seed
   in
   (* Stagger offset < one cycle, so by this time the mobile is down. *)
-  Engine.run (Two_tier.base sys).Common.engine ~until:1_000_010.;
+  Clock.run (Two_tier.base sys).Common.clock ~until:1_000_010.;
   sys
 
 let test_two_tier_rejection_with_acceptance () =
@@ -232,7 +233,7 @@ let test_two_tier_rejection_with_acceptance () =
   let sys =
     disconnected_pair ~acceptance:Acceptance.Exact_match ~seed:3 tt_params
   in
-  let engine = (Two_tier.base sys).Common.engine in
+  let clock = (Two_tier.base sys).Common.clock in
   Two_tier.submit sys ~node:1 [ Op.Increment (o 5, 10.) ];
   checki "queued as tentative" 1
     (Metrics.total_count (Two_tier.base sys).Common.metrics "tentative_commits");
@@ -240,7 +241,7 @@ let test_two_tier_rejection_with_acceptance () =
      transaction holds the lock before the reconnect replay can run. *)
   Two_tier.run_base_transaction sys ~ops:[ Op.Assign (o 5, 999.) ]
     ~on_done:(fun _ -> ()) ();
-  ignore engine;
+  ignore clock;
   Two_tier.quiesce_and_sync sys;
   checki "replay rejected" 1 (Two_tier.tentative_rejected sys);
   checki "nothing accepted" 0 (Two_tier.tentative_accepted sys);
@@ -308,7 +309,7 @@ let test_two_tier_mobile_owned_sync () =
       ~mobility:(Connectivity.day_cycle ~connected:5. ~disconnected:1_000_000.)
       params ~seed:6
   in
-  Engine.run (Two_tier.base sys).Common.engine ~until:1_000_010.;
+  Clock.run (Two_tier.base sys).Common.clock ~until:1_000_010.;
   (* Objects 7,8,9 are mastered at the mobile (node 1). *)
   checki "tail owned by mobile" 1 (Two_tier.owner_of sys (o 8));
   Two_tier.submit sys ~node:1 [ Op.Increment (o 8, 5.) ]; (* own object *)
@@ -330,7 +331,7 @@ let test_two_tier_determinism () =
     let profile = Profile.create ~update_kind:Profile.Increments ~actions:2 () in
     let sys = Two_tier.create ~profile ~base_nodes:2 tt_params ~seed:42 in
     Two_tier.start sys;
-    Engine.run_for (Two_tier.base sys).Common.engine 60.;
+    Clock.run_for (Two_tier.base sys).Common.clock 60.;
     Two_tier.quiesce_and_sync sys;
     let s = Two_tier.summary sys in
     ( s.Repl_stats.commits,

@@ -6,6 +6,7 @@ module Oid = Dangers_storage.Oid
 module Timestamp = Dangers_storage.Timestamp
 module Store = Dangers_storage.Store
 module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Metrics = Dangers_sim.Metrics
 module Connectivity = Dangers_net.Connectivity
 module Delay = Dangers_net.Delay
@@ -63,7 +64,7 @@ let test_exponential_connectivity () =
     }
   in
   let schedule =
-    Connectivity.install ~engine ~rng:(Rng.create ~seed:3) ~spec
+    Connectivity.install ~clock:(Clock.of_engine engine) ~rng:(Rng.create ~seed:3) ~spec
       ~set_connected:(fun _ -> incr toggles)
   in
   Engine.run engine ~until:1000.;
@@ -88,7 +89,7 @@ let test_two_tier_with_delay () =
       ~seed:8
   in
   Two_tier.start sys;
-  Engine.run_for (Two_tier.base sys).Common.engine 60.;
+  Clock.run_for (Two_tier.base sys).Common.clock 60.;
   Two_tier.quiesce_and_sync sys;
   checkb "converged despite delays" true (Two_tier.converged sys);
   checkb "serializable" true (Two_tier.base_history_serializable sys)
@@ -138,7 +139,7 @@ let test_custom_rule_and_acceptance () =
 
 let test_summary_pp_and_metrics_names () =
   let engine = Engine.create () in
-  let metrics = Metrics.create engine in
+  let metrics = Metrics.of_engine engine in
   Metrics.incr metrics Repl_stats.commits;
   Metrics.incr metrics Repl_stats.waits;
   ignore (Engine.schedule engine ~delay:2. (fun () -> ()));

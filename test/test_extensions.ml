@@ -9,6 +9,7 @@ module Oid = Dangers_storage.Oid
 module Txn_id = Dangers_txn.Txn_id
 module Executor = Dangers_txn.Executor
 module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Metrics = Dangers_sim.Metrics
 module Fstore = Dangers_storage.Store.Fstore
 module Lock_manager = Dangers_lock.Lock_manager
@@ -69,7 +70,7 @@ let test_profile_reads () =
 let test_readers_share () =
   let engine = Engine.create () in
   let locks = Lock_manager.create () in
-  let executor = Executor.create ~engine ~locks ~action_time:0.1 () in
+  let executor = Executor.create ~clock:(Clock.of_engine engine) ~locks ~action_time:0.1 () in
   let gen = Txn_id.Gen.create () in
   let done_at = ref [] in
   let submit () =
@@ -89,7 +90,7 @@ let test_readers_share () =
 let test_writer_waits_for_reader () =
   let engine = Engine.create () in
   let locks = Lock_manager.create () in
-  let executor = Executor.create ~engine ~locks ~action_time:0.1 () in
+  let executor = Executor.create ~clock:(Clock.of_engine engine) ~locks ~action_time:0.1 () in
   let gen = Txn_id.Gen.create () in
   let times = ref [] in
   let submit step tag =
@@ -173,7 +174,7 @@ let test_two_tier_derived_write_drifts () =
       ~mobility:(Connectivity.day_cycle ~connected:5. ~disconnected:1_000_000.)
       ~base_nodes:1 params ~seed:5
   in
-  Engine.run (Two_tier.base sys).Common.engine ~until:1_000_010.;
+  Clock.run (Two_tier.base sys).Common.clock ~until:1_000_010.;
   (* Quote: o0 := o5 - 10, evaluated tentatively against o5 = 100. *)
   Two_tier.submit sys ~node:1
     [ Op.Assign_from { target = o 0; source = o 5; offset = -10. } ];

@@ -9,6 +9,7 @@ module Invariants = Dangers_fault.Invariants
 module Fuzz = Dangers_fault.Fuzz
 module Network = Dangers_net.Network
 module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Trace = Dangers_sim.Trace
 module Rng = Dangers_util.Rng
 module Fstore = Dangers_storage.Store.Fstore
@@ -97,7 +98,7 @@ let test_injector_drops_messages () =
   let network =
     Network.create
       ~faults:(Fault_injector.faults injector)
-      ~engine ~rng:(Rng.create ~seed:2) ~delay:Dangers_net.Delay.Zero ~nodes:2
+      ~clock:(Clock.of_engine engine) ~rng:(Rng.create ~seed:2) ~delay:Dangers_net.Delay.Zero ~nodes:2
       ~deliver:(fun ~src:_ ~dst:_ () -> incr received)
       ()
   in
@@ -118,7 +119,7 @@ let test_injector_duplicates_messages () =
   let network =
     Network.create
       ~faults:(Fault_injector.faults injector)
-      ~engine ~rng:(Rng.create ~seed:2) ~delay:Dangers_net.Delay.Zero ~nodes:2
+      ~clock:(Clock.of_engine engine) ~rng:(Rng.create ~seed:2) ~delay:Dangers_net.Delay.Zero ~nodes:2
       ~deliver:(fun ~src:_ ~dst:_ () -> incr received)
       ()
   in
@@ -138,12 +139,12 @@ let test_injector_partition_parks_then_heals () =
   let network =
     Network.create
       ~faults:(Fault_injector.faults injector)
-      ~engine ~rng:(Rng.create ~seed:2) ~delay:Dangers_net.Delay.Zero ~nodes:3
+      ~clock:(Clock.of_engine engine) ~rng:(Rng.create ~seed:2) ~delay:Dangers_net.Delay.Zero ~nodes:3
       ~deliver:(fun ~src:_ ~dst:_ label ->
         arrivals := (label, Engine.now engine) :: !arrivals)
       ()
   in
-  Fault_injector.start injector ~engine
+  Fault_injector.start injector ~clock:(Clock.of_engine engine)
     ~flush_node:(fun ~node -> Network.flush_node network ~node)
     ();
   (* Across the cut while split: parked. Within a block: flows. *)
@@ -164,7 +165,7 @@ let test_injector_crash_restart_cycle () =
   let injector = Fault_injector.create ~plan ~rng:(Rng.create ~seed:1) in
   let log = ref [] in
   let push tag = log := (tag, Engine.now engine) :: !log in
-  Fault_injector.start injector ~engine
+  Fault_injector.start injector ~clock:(Clock.of_engine engine)
     ~set_connected:(fun ~node state ->
       push (Printf.sprintf "connect n%d %b" node state))
     ~on_crash:(fun ~node -> push (Printf.sprintf "crash n%d" node))
@@ -194,7 +195,7 @@ let test_injector_stop_restores () =
   let plan = manual_plan ~crashes ~partitions:[ partition ] ~nodes:2 () in
   let injector = Fault_injector.create ~plan ~rng:(Rng.create ~seed:1) in
   let restarts = ref 0 in
-  Fault_injector.start injector ~engine
+  Fault_injector.start injector ~clock:(Clock.of_engine engine)
     ~on_restart:(fun ~node:_ -> incr restarts)
     ();
   Engine.run engine ~until:2.;
@@ -213,7 +214,7 @@ let test_injector_traces_faults () =
   let crashes = [ { Fault_plan.node = 0; at = 1.; up_at = 2. } ] in
   let plan = manual_plan ~crashes ~nodes:2 () in
   let injector = Fault_injector.create ~plan ~rng:(Rng.create ~seed:1) in
-  Fault_injector.start injector ~engine ();
+  Fault_injector.start injector ~clock:(Clock.of_engine engine) ();
   Engine.run engine;
   let events =
     List.rev (Trace.fold tracer ~init:[] (fun acc e -> e.Trace.event :: acc))

@@ -47,7 +47,7 @@ let mentions sub f =
 
 let test_loader_finds_fixtures () =
   let loaded = Lazy.force fixtures in
-  checki "seven fixture units" 7 (List.length loaded.Loader.sources);
+  checki "eight fixture units" 8 (List.length loaded.Loader.sources);
   checkb "all cmts readable" true (loaded.Loader.unreadable = []);
   checkb "paths keep the build-root prefix" true
     (List.for_all
@@ -97,6 +97,15 @@ let test_r1_mutex_guard () =
   checki "mutex-bearing structure is exempt" 0
     (List.length (List.filter (in_file "fx_r1_guarded.ml") (findings ())))
 
+let test_rt1_seeded () =
+  let fs = by "RT1" "fx_rt1.ml" in
+  checki "two engine calls and a wall-clock read" 3 (List.length fs);
+  checkb "Engine.now named" true (List.exists (mentions "Engine.now") fs);
+  checkb "Engine.schedule named" true
+    (List.exists (mentions "Engine.schedule") fs);
+  checkb "gettimeofday named" true
+    (List.exists (mentions "Unix.gettimeofday") fs)
+
 let test_p1_seeded () =
   let fs = by "P1" "fx_p1.ml" in
   checki "all four partials" 4 (List.length fs);
@@ -106,7 +115,7 @@ let test_p1_seeded () =
     [ "List.hd"; "List.tl"; "List.nth"; "Option.get" ]
 
 let test_suppression_accounting () =
-  checki "one allow per rule fixture plus two file-wide" 7 (suppressed ());
+  checki "one allow per rule fixture plus two file-wide" 8 (suppressed ());
   checki "file-wide allow silences the whole unit" 0
     (List.length (List.filter (in_file "fx_filewide.ml") (findings ())))
 
@@ -185,7 +194,7 @@ let test_report_clean_exit () =
 
 let test_rules_registry () =
   Alcotest.check (Alcotest.list Alcotest.string) "id order"
-    [ "D1"; "D2"; "D3"; "R1"; "P1" ] (Rules.ids ());
+    [ "D1"; "D2"; "D3"; "R1"; "P1"; "RT1" ] (Rules.ids ());
   checkb "lookup is case-insensitive" true
     (match Rules.find "d3" with
     | Some r -> r.Rule.id = "D3"
@@ -219,6 +228,7 @@ let suite =
     Alcotest.test_case "R1 flags unguarded state" `Quick test_r1_seeded;
     Alcotest.test_case "R1 honors a module mutex" `Quick test_r1_mutex_guard;
     Alcotest.test_case "P1 flags partial functions" `Quick test_p1_seeded;
+    Alcotest.test_case "RT1 flags direct engine use" `Quick test_rt1_seeded;
     Alcotest.test_case "suppressions are honored" `Quick
       test_suppression_accounting;
     Alcotest.test_case "rule scopes filter files" `Quick test_scope_filter;

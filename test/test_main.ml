@@ -27,5 +27,6 @@ let () =
       ("parallel-sim", Test_parallel_sim.suite);
       ("microbench", Test_microbench.suite);
       ("obs", Test_obs.suite);
+      ("runtime", Test_runtime.suite);
       ("lint", Test_lint.suite);
     ]

@@ -6,6 +6,7 @@ module Op = Dangers_txn.Op
 module Oid = Dangers_storage.Oid
 module Fstore = Dangers_storage.Store.Fstore
 module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Network = Dangers_net.Network
 module Delay = Dangers_net.Delay
 module Update_log = Dangers_storage.Update_log
@@ -33,7 +34,7 @@ let network_conservation =
       let engine = Engine.create () in
       let received = Hashtbl.create 64 in
       let network =
-        Network.create ~engine ~rng:(Rng.create ~seed:1) ~delay:Delay.Zero
+        Network.create ~clock:(Clock.of_engine engine) ~rng:(Rng.create ~seed:1) ~delay:Delay.Zero
           ~nodes:4
           ~deliver:(fun ~src:_ ~dst:_ id ->
             Hashtbl.replace received id (1 + Option.value ~default:0 (Hashtbl.find_opt received id)))
@@ -176,14 +177,14 @@ let two_tier_exact_sums =
         }
       in
       let sys = Two_tier.create ~initial_value:100. ~base_nodes:2 params ~seed:11 in
-      let engine = (Two_tier.base sys).Common.engine in
+      let clock = (Two_tier.base sys).Common.clock in
       let expected = Array.make 20 100. in
       (* Interleave submissions with engine progress so connectivity varies. *)
       List.iter
         (fun (node, obj, delta) ->
           expected.(obj) <- expected.(obj) +. delta;
           Two_tier.submit sys ~node [ Op.Increment (o obj, delta) ];
-          Engine.run engine ~until:(Engine.now engine +. 3.))
+          Clock.run clock ~until:(Clock.now clock +. 3.))
         txns;
       Two_tier.quiesce_and_sync sys;
       let store = (Two_tier.base sys).Common.stores.(0) in

@@ -5,6 +5,7 @@ module Quorum = Dangers_replication.Quorum
 module Quorum_sim = Dangers_replication.Quorum_sim
 module Common = Dangers_replication.Common
 module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
@@ -35,7 +36,7 @@ let test_all_up_always_available () =
       ~mean_downtime:0.001 params ~seed:2
   in
   Quorum_sim.start sim;
-  Engine.run_for (Quorum_sim.base sim).Common.engine 100.;
+  Clock.run_for (Quorum_sim.base sim).Common.clock 100.;
   Quorum_sim.stop_load sim;
   checkb "committed plenty" true (Quorum_sim.committed sim > 300);
   checki "never unavailable" 0 (Quorum_sim.unavailable sim);
@@ -44,7 +45,7 @@ let test_all_up_always_available () =
 let test_failures_cause_unavailability_and_recovery () =
   let sim = make ~uptime:0.7 ~seed:3 () in
   Quorum_sim.start sim;
-  Engine.run_for (Quorum_sim.base sim).Common.engine 2_000.;
+  Clock.run_for (Quorum_sim.base sim).Common.clock 2_000.;
   Quorum_sim.stop_load sim;
   checkb "some updates refused" true (Quorum_sim.unavailable sim > 0);
   checkb "most still commit" true
@@ -56,7 +57,7 @@ let test_failures_cause_unavailability_and_recovery () =
 let test_availability_matches_closed_form () =
   let sim = make ~uptime:0.9 ~seed:4 () in
   Quorum_sim.start sim;
-  Engine.run_for (Quorum_sim.base sim).Common.engine 20_000.;
+  Clock.run_for (Quorum_sim.base sim).Common.clock 20_000.;
   Quorum_sim.stop_load sim;
   let predicted = Quorum.write_availability (Quorum.majority ~n:3) ~p_up:0.9 in
   checkb "within 3% of the binomial prediction" true

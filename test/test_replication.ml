@@ -8,6 +8,7 @@ module Oid = Dangers_storage.Oid
 module Timestamp = Dangers_storage.Timestamp
 module Fstore = Dangers_storage.Store.Fstore
 module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Metrics = Dangers_sim.Metrics
 module Connectivity = Dangers_net.Connectivity
 
@@ -134,7 +135,7 @@ let test_lazy_group_additive_exact () =
       ~seed:8
   in
   Lazy_group.start sys;
-  Engine.run_for (Lazy_group.base sys).Common.engine 20.;
+  Clock.run_for (Lazy_group.base sys).Common.clock 20.;
   Lazy_group.stop_load sys;
   Lazy_group.force_sync sys;
   let stores = (Lazy_group.base sys).Common.stores in
@@ -158,7 +159,7 @@ let test_lazy_group_timestamp_loses_increments () =
       ~rule:Reconcile.Timestamp_priority params ~seed:9
   in
   Lazy_group.start sys;
-  Engine.run_for (Lazy_group.base sys).Common.engine 30.;
+  Clock.run_for (Lazy_group.base sys).Common.clock 30.;
   Lazy_group.stop_load sys;
   Lazy_group.force_sync sys;
   let store = (Lazy_group.base sys).Common.stores.(0) in
@@ -174,7 +175,7 @@ let test_lazy_group_mobile_parks_updates () =
   let mobility = Connectivity.day_cycle ~connected:5. ~disconnected:30. in
   let sys = Lazy_group.create ~mobility params ~seed:10 in
   Lazy_group.start sys;
-  Engine.run_for (Lazy_group.base sys).Common.engine 60.;
+  Clock.run_for (Lazy_group.base sys).Common.clock 60.;
   Lazy_group.stop_load sys;
   Lazy_group.force_sync sys;
   checkb "replicas converged after reconnect" true

@@ -1,0 +1,235 @@
+(* The runtime abstraction's contract: the live clock in virtual mode is a
+   drop-in replacement for the engine (identical event order), wall mode
+   really elapses, and the two-tier scheme produces identical outcome
+   counts on the sim and live-virtual runtimes — the equivalence the
+   whole serve path rests on. *)
+
+module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
+module Runtime = Dangers_runtime.Runtime
+module Live_clock = Dangers_runtime.Live_clock
+module Codec = Dangers_runtime.Codec
+module Params = Dangers_analytic.Params
+module Metrics = Dangers_sim.Metrics
+module Two_tier = Dangers_core.Two_tier
+module Common = Dangers_replication.Common
+module Rng = Dangers_util.Rng
+module Op = Dangers_txn.Op
+module Oid = Dangers_storage.Oid
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* --- clock equivalence: engine vs live-virtual fire identical orders --- *)
+
+(* A deterministic little scheduling torture: nested schedules, equal
+   times, cancellations. Runs against any Clock.t and logs what fired. *)
+let torture clock =
+  let log = ref [] in
+  let fire tag () = log := (tag, Clock.now clock) :: !log in
+  ignore (Clock.schedule clock ~delay:2. (fire "a"));
+  ignore (Clock.schedule clock ~delay:1. (fire "b"));
+  (* equal times fire in schedule order *)
+  ignore (Clock.schedule clock ~delay:1. (fire "c"));
+  let doomed = Clock.schedule clock ~delay:1.5 (fire "never") in
+  Clock.cancel clock doomed;
+  ignore
+    (Clock.schedule clock ~delay:0.5 (fun () ->
+         fire "d" ();
+         (* nested: scheduled mid-run, lands between pending events *)
+         ignore (Clock.schedule clock ~delay:0.75 (fire "e"));
+         Clock.schedule_unit clock ~delay:3. (fire "f")));
+  Clock.run clock;
+  List.rev !log
+
+let test_virtual_matches_engine () =
+  let sim = torture (Clock.of_engine (Engine.create ())) in
+  let live = torture (Clock.of_live (Live_clock.create Virtual)) in
+  checki "same event count" (List.length sim) (List.length live);
+  List.iter2
+    (fun (tag_s, t_s) (tag_l, t_l) ->
+      Alcotest.check Alcotest.string "same order" tag_s tag_l;
+      checkf "same time" t_s t_l)
+    sim live;
+  checkb "cancelled never fired" true
+    (not (List.mem_assoc "never" sim) && not (List.mem_assoc "never" live))
+
+let test_virtual_run_until () =
+  let clock = Clock.of_live (Live_clock.create Virtual) in
+  let fired = ref 0 in
+  ignore (Clock.schedule clock ~delay:1. (fun () -> incr fired));
+  ignore (Clock.schedule clock ~delay:10. (fun () -> incr fired));
+  Clock.run clock ~until:5.;
+  checki "only the due event fired" 1 !fired;
+  checkf "clock parked at the deadline" 5. (Clock.now clock);
+  Clock.run clock;
+  checki "rest fired on resume" 2 !fired
+
+let test_wall_mode_elapses () =
+  let live = Live_clock.create Wall in
+  let clock = Clock.of_live live in
+  let fired_at = ref nan in
+  ignore (Clock.schedule clock ~delay:0.02 (fun () -> fired_at := Clock.now clock));
+  Clock.run clock;
+  checkb "timer waited for real time" true (!fired_at >= 0.02);
+  checkb "did not oversleep wildly" true (!fired_at < 1.);
+  checkb "clock monotone past the event" true (Clock.now clock >= !fired_at)
+
+let test_wall_stop_is_thread_safe () =
+  let live = Live_clock.create Wall in
+  (* With an idle waiter and an empty queue, only stop ends the run. *)
+  Live_clock.set_idle_waiter live (Some (fun ~timeout:_ -> ()));
+  let stopper =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        Live_clock.stop live)
+  in
+  Live_clock.run live;
+  Domain.join stopper;
+  checkb "returned after stop" true true
+
+let test_post_crosses_domains () =
+  let live = Live_clock.create Wall in
+  let hits = Atomic.make 0 in
+  Live_clock.set_idle_waiter live (Some (fun ~timeout:_ -> ()));
+  let poster =
+    Domain.spawn (fun () ->
+        for _ = 1 to 100 do
+          Live_clock.post live (fun () -> Atomic.incr hits)
+        done;
+        Unix.sleepf 0.05;
+        Live_clock.post live (fun () -> Live_clock.stop live))
+  in
+  Live_clock.run live;
+  Domain.join poster;
+  checki "all posted closures ran on the clock domain" 100 (Atomic.get hits)
+
+(* --- codec --- *)
+
+let test_codec_roundtrip () =
+  let buf = Buffer.create 64 in
+  Codec.put_u8 buf 7;
+  Codec.put_u16 buf 65535;
+  Codec.put_u32 buf 123_456_789;
+  Codec.put_f64 buf (-0.1);
+  Codec.put_string buf "hello";
+  let frame = Codec.frame buf in
+  (* 4-byte length prefix + payload *)
+  checki "frame length" (4 + 1 + 2 + 4 + 8 + 2 + 5) (String.length frame);
+  let payload = String.sub frame 4 (String.length frame - 4) in
+  let r = Codec.reader payload in
+  checki "u8" 7 (Codec.get_u8 r);
+  checki "u16" 65535 (Codec.get_u16 r);
+  checki "u32" 123_456_789 (Codec.get_u32 r);
+  checkb "f64 exact" true (Codec.get_f64 r = -0.1);
+  Alcotest.check Alcotest.string "string" "hello" (Codec.get_string r);
+  Codec.expect_end r;
+  Alcotest.check_raises "trailing garbage detected"
+    (Codec.Malformed "1 trailing bytes after a complete message")
+    (fun () ->
+      let r = Codec.reader "\x00\x01" in
+      ignore (Codec.get_u8 r);
+      Codec.expect_end r)
+
+(* --- the headline equivalence: two-tier on sim vs live-virtual --- *)
+
+type counts = {
+  commits : int;
+  tentative_commits : int;
+  accepted : int;
+  rejected : int;
+  scope_violations : int;
+  syncs : int;
+}
+
+(* A fixed-seed churning-mobile workload, driven entirely through the
+   Clock interface so the same closure runs on either runtime. *)
+let run_two_tier runtime =
+  let params =
+    {
+      Params.default with
+      Params.nodes = 6;
+      db_size = 40;
+      tps = 2.;
+      actions = 2;
+      action_time = 0.01;
+      time_between_disconnects = 20.;
+      disconnected_time = 15.;
+    }
+  in
+  let sys = Two_tier.create ~runtime ~base_nodes:3 params ~seed:11 in
+  let clock = (Two_tier.base sys).Common.clock in
+  let rng = Rng.create ~seed:99 in
+  (* Interleave explicit submissions (numbered nodes, mixed ops) with
+     generator load from [start]. *)
+  Two_tier.start sys;
+  for round = 1 to 40 do
+    let node = Rng.int rng params.Params.nodes in
+    let oid = Oid.of_int (Rng.int rng params.Params.db_size) in
+    let delta = float_of_int (1 + Rng.int rng 8) *. 0.5 in
+    Two_tier.submit sys ~node [ Op.Increment (oid, delta) ];
+    Clock.run clock ~until:(float_of_int round *. 2.)
+  done;
+  Two_tier.quiesce_and_sync sys;
+  let metrics = (Two_tier.base sys).Common.metrics in
+  let count name = Metrics.total_count metrics name in
+  {
+    commits = (Two_tier.summary sys).Dangers_replication.Repl_stats.commits;
+    tentative_commits = count "tentative_commits";
+    accepted = Two_tier.tentative_accepted sys;
+    rejected = Two_tier.tentative_rejected sys;
+    scope_violations = count "scope_violations";
+    syncs = count "syncs";
+  }
+
+let test_two_tier_sim_live_equivalence () =
+  let sim = run_two_tier (Runtime.sim ()) in
+  let live = run_two_tier (Runtime.live_virtual ()) in
+  checkb "workload actually exercised the mobile path" true
+    (sim.tentative_commits > 0 && sim.syncs > 0 && sim.commits > 0);
+  checki "commits" sim.commits live.commits;
+  checki "tentative commits" sim.tentative_commits live.tentative_commits;
+  checki "tentative accepted" sim.accepted live.accepted;
+  checki "tentative rejected" sim.rejected live.rejected;
+  checki "scope violations" sim.scope_violations live.scope_violations;
+  checki "syncs" sim.syncs live.syncs
+
+let test_two_tier_sim_determinism () =
+  (* The equivalence test is only meaningful if a runtime is internally
+     deterministic; pin that down for both. *)
+  let a = run_two_tier (Runtime.sim ()) in
+  let b = run_two_tier (Runtime.sim ()) in
+  let c = run_two_tier (Runtime.live_virtual ()) in
+  let d = run_two_tier (Runtime.live_virtual ()) in
+  checkb "sim deterministic" true (a = b);
+  checkb "live-virtual deterministic" true (c = d)
+
+let test_cross_backend_cancel_rejected () =
+  let sim = Clock.of_engine (Engine.create ()) in
+  let live = Clock.of_live (Live_clock.create Virtual) in
+  let id = Clock.schedule sim ~delay:1. (fun () -> ()) in
+  Alcotest.check_raises "backend mismatch detected"
+    (Invalid_argument "Clock.cancel: event from a different backend")
+    (fun () -> Clock.cancel live id)
+
+let suite =
+  [
+    Alcotest.test_case "live-virtual matches the engine event-for-event" `Quick
+      test_virtual_matches_engine;
+    Alcotest.test_case "virtual run ~until parks at the deadline" `Quick
+      test_virtual_run_until;
+    Alcotest.test_case "wall mode waits for real time" `Quick
+      test_wall_mode_elapses;
+    Alcotest.test_case "wall stop from another domain" `Quick
+      test_wall_stop_is_thread_safe;
+    Alcotest.test_case "post crosses domains" `Quick test_post_crosses_domains;
+    Alcotest.test_case "codec round-trips and rejects garbage" `Quick
+      test_codec_roundtrip;
+    Alcotest.test_case "two-tier: sim and live-virtual counts identical"
+      `Quick test_two_tier_sim_live_equivalence;
+    Alcotest.test_case "two-tier: each runtime is deterministic" `Quick
+      test_two_tier_sim_determinism;
+    Alcotest.test_case "cross-backend cancel is refused" `Quick
+      test_cross_backend_cancel_rejected;
+  ]

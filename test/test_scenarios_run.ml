@@ -56,7 +56,7 @@ let test_commutative_scenarios_exact () =
           ~rule:Dangers_replication.Reconcile.Additive params ~seed:5
       in
       Lazy_group.start sys;
-      Dangers_sim.Engine.run_for (Lazy_group.base sys).Common.engine 20.;
+      Dangers_runtime.Clock.run_for (Lazy_group.base sys).Common.clock 20.;
       Lazy_group.stop_load sys;
       Lazy_group.force_sync sys;
       let store = (Lazy_group.base sys).Common.stores.(0) in

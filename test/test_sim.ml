@@ -185,7 +185,7 @@ let test_engine_runaway_guard () =
 
 let test_metrics_counters_and_window () =
   let engine = Engine.create () in
-  let metrics = Metrics.create engine in
+  let metrics = Metrics.of_engine engine in
   Metrics.incr metrics "x";
   Metrics.incr_by metrics "x" 4;
   checki "window count" 5 (Metrics.count metrics "x");
@@ -199,7 +199,7 @@ let test_metrics_counters_and_window () =
 
 let test_metrics_samples () =
   let engine = Engine.create () in
-  let metrics = Metrics.create engine in
+  let metrics = Metrics.of_engine engine in
   Metrics.sample metrics "d" 1.0;
   Metrics.sample metrics "d" 3.0;
   checkf "sample mean" 2.0 (Dangers_util.Stats.mean (Metrics.sample_stats metrics "d"));

@@ -5,6 +5,7 @@ module Trace = Dangers_sim.Trace
 module Trace_export = Dangers_sim.Trace_export
 module Json = Dangers_obs.Json
 module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Executor = Dangers_txn.Executor
 module Txn_id = Dangers_txn.Txn_id
 module Lock_manager = Dangers_lock.Lock_manager
@@ -50,7 +51,7 @@ let test_executor_emits () =
   let tracer = Trace.create () in
   Engine.set_tracer engine (Some tracer);
   let executor =
-    Executor.create ~engine ~locks:(Lock_manager.create ()) ~action_time:0.01 ()
+    Executor.create ~clock:(Clock.of_engine engine) ~locks:(Lock_manager.create ()) ~action_time:0.01 ()
   in
   let gen = Txn_id.Gen.create () in
   let submit steps =
@@ -77,7 +78,7 @@ let test_network_emits () =
   let tracer = Trace.create () in
   Engine.set_tracer engine (Some tracer);
   let network =
-    Network.create ~engine ~rng:(Rng.create ~seed:1) ~delay:Delay.Zero ~nodes:2
+    Network.create ~clock:(Clock.of_engine engine) ~rng:(Rng.create ~seed:1) ~delay:Delay.Zero ~nodes:2
       ~deliver:(fun ~src:_ ~dst:_ () -> ()) ()
   in
   Network.set_connected network ~node:1 false;

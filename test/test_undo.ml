@@ -6,6 +6,7 @@ module Op = Dangers_txn.Op
 module Oid = Dangers_storage.Oid
 module Fstore = Dangers_storage.Store.Fstore
 module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Connectivity = Dangers_net.Connectivity
 module Common = Dangers_replication.Common
 module Undo = Dangers_replication.Lazy_group_undo
@@ -53,15 +54,15 @@ let test_disconnected_node_blocks_durability () =
       ~mobility:(Connectivity.day_cycle ~connected:5. ~disconnected:1000.)
       ~mobile_nodes:[ 2 ] params ~seed:3
   in
-  let engine = (Undo.base sys).Common.engine in
+  let clock = (Undo.base sys).Common.clock in
   (* Let node 2 go down (stagger < one cycle), then commit at node 0. *)
-  Engine.run engine ~until:1010.;
+  Clock.run clock ~until:1010.;
   Undo.submit sys ~node:0 [ Op.Assign (o 9, 1.) ];
-  Engine.run engine ~until:1011.;
+  Clock.run clock ~until:1011.;
   checki "tentative while node 2 is away" 1 (Undo.tentative_outstanding sys);
   checki "not durable yet" 0 (Undo.durable sys);
   (* Let the natural reconnect happen (at most one full cycle away). *)
-  Engine.run engine ~until:2100.;
+  Clock.run clock ~until:2100.;
   checki "durable after the reconnect" 1 (Undo.durable sys);
   let lag = Stats.max (Undo.durability_lag sys) in
   checkb "lag lasted until the reconnect (seconds, not instants)" true (lag > 1.);
@@ -75,7 +76,7 @@ let test_two_tier_base_history_serializable () =
   in
   let sys = Two_tier.create ~profile ~initial_value:50. ~base_nodes:2 tt_params ~seed:4 in
   Two_tier.start sys;
-  Engine.run_for (Two_tier.base sys).Common.engine 90.;
+  Clock.run_for (Two_tier.base sys).Common.clock 90.;
   Two_tier.quiesce_and_sync sys;
   checkb "worked" true ((Two_tier.summary sys).Dangers_replication.Repl_stats.commits > 0);
   checkb "base history is single-copy serializable" true

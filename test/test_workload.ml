@@ -6,6 +6,7 @@ module Scenario = Dangers_workload.Scenario
 module Op = Dangers_txn.Op
 module Oid = Dangers_storage.Oid
 module Engine = Dangers_sim.Engine
+module Clock = Dangers_runtime.Clock
 module Rng = Dangers_util.Rng
 module Params = Dangers_analytic.Params
 
@@ -83,7 +84,7 @@ let test_generator_rate () =
   let rng = Rng.create ~seed:5 in
   let submitted = ref 0 in
   let generator =
-    Generator.start ~engine ~rng ~tps:10. ~profile:(Profile.create ~actions:2 ())
+    Generator.start ~clock:(Clock.of_engine engine) ~rng ~tps:10. ~profile:(Profile.create ~actions:2 ())
       ~db_size:100
       ~submit:(fun ops ->
         checki "ops per txn" 2 (List.length ops);
