@@ -7,4 +7,4 @@ let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
   exit
     (Dangers_microbench.Driver.main ~quick ~out:(Some "BENCH_micro.json")
-       ~input:None ~baseline:None ~threshold:0.2)
+       ~input:None ~baseline:None ~threshold:0.2 ())

@@ -125,6 +125,8 @@ type obs_opts = {
   trace_out : string option;
   trace_capacity : int;
   metrics_out : string option;
+  series_out : string option;
+  series_interval : float;
 }
 
 let obs_term =
@@ -147,12 +149,27 @@ let obs_term =
              ~doc:"Write each run's dangers/metrics/v1 snapshot (counters, \
                    latency histograms, phase profiles) to $(docv) as JSONL.")
   in
-  let build trace_out trace_capacity metrics_out =
-    { trace_out; trace_capacity; metrics_out }
+  let series_out =
+    Arg.(value & opt (some string) None
+         & info [ "series-out" ] ~docv:"FILE"
+             ~doc:"Sample each run's metrics registry on the simulated \
+                   clock across the measured window and write the \
+                   dangers/metrics-series/v1 JSONL to $(docv) (inspect \
+                   with `dangers series`).")
   in
-  Term.(const build $ trace_out $ trace_capacity $ metrics_out)
+  let series_interval =
+    Arg.(value & opt float 1.0
+         & info [ "series-interval" ] ~docv:"SECONDS"
+             ~doc:"Simulated seconds between series samples.")
+  in
+  let build trace_out trace_capacity metrics_out series_out series_interval =
+    { trace_out; trace_capacity; metrics_out; series_out; series_interval }
+  in
+  Term.(const build $ trace_out $ trace_capacity $ metrics_out $ series_out
+        $ series_interval)
 
-let observing opts = opts.trace_out <> None || opts.metrics_out <> None
+let observing opts =
+  opts.trace_out <> None || opts.metrics_out <> None || opts.series_out <> None
 
 (* One JSONL line per observed run: the snapshot with the run's identity
    spliced in front, so a multi-run file needs no out-of-band ordering. *)
@@ -172,7 +189,7 @@ let write_observations opts observations =
       Trace_export.write file sections;
       Printf.printf "wrote %s (%d trace section(s))\n%!" file
         (List.length sections));
-  match opts.metrics_out with
+  (match opts.metrics_out with
   | None -> ()
   | Some file ->
       let oc = open_out file in
@@ -186,7 +203,25 @@ let write_observations opts observations =
         observations;
       close_out oc;
       Printf.printf "wrote %s (%d metrics snapshot(s))\n%!" file
-        (List.length observations)
+        (List.length observations));
+  match opts.series_out with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      let windows = ref 0 in
+      List.iter
+        (fun o ->
+          match o.Sweep.o_series with
+          | None -> ()
+          | Some series ->
+              windows := !windows + Dangers_obs.Timeseries.sampled series;
+              output_string oc
+                (Dangers_obs.Timeseries.to_jsonl ~label:o.Sweep.o_label
+                   ~seed:o.Sweep.o_seed series))
+        observations;
+      close_out oc;
+      Printf.printf "wrote %s (%d series, %d window(s))\n%!" file
+        (List.length observations) !windows
 
 (* Run tasks with per-task observation when any sink is requested, plainly
    otherwise — the items are identical either way. *)
@@ -199,7 +234,10 @@ let run_tasks ?(sim_domains = 1) ~opts ~jobs tasks =
     let observed =
       Sweep.run_observed ~jobs ?sim_domains
         ~trace:(opts.trace_out <> None)
-        ~trace_capacity:opts.trace_capacity tasks
+        ~trace_capacity:opts.trace_capacity
+        ?series_interval:
+          (if opts.series_out <> None then Some opts.series_interval else None)
+        tasks
     in
     write_observations opts (List.map snd observed);
     List.map fst observed
@@ -1020,9 +1058,19 @@ let bench_cmd =
          & info [ "quick" ]
              ~doc:"Shrink sample counts (not workloads) for a fast smoke run.")
   in
+  let suite =
+    Arg.(value
+         & opt (enum [ ("micro", `Micro); ("serve", `Serve) ]) `Micro
+         & info [ "suite" ]
+             ~doc:"Which suite to run: $(b,micro) (hot-path \
+                   micro-benchmarks, BENCH_micro.json) or $(b,serve) (the \
+                   end-to-end live serving path, BENCH_serve.json).")
+  in
   let out =
-    Arg.(value & opt string "BENCH_micro.json"
-         & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the results.")
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Where to write the results (default: the suite's \
+                   BENCH_*.json).")
   in
   let input =
     Arg.(value & opt (some string) None
@@ -1042,23 +1090,35 @@ let bench_cmd =
          & info [ "threshold" ] ~docv:"PCT"
              ~doc:"Regression threshold in percent.")
   in
-  let run quick out input baseline threshold =
+  let run suite quick out input baseline threshold =
     if threshold <= 0. then begin
       prerr_endline "bench: --threshold must be positive";
       1
     end
-    else
-      Dangers_microbench.Driver.main ~quick
-        ~out:(match input with Some _ -> None | None -> Some out)
-        ~input ~baseline ~threshold:(threshold /. 100.)
+    else begin
+      let out =
+        match (input, out) with
+        | Some _, _ -> None
+        | None, Some file -> Some file
+        | None, None ->
+            Some
+              (match suite with
+              | `Micro -> "BENCH_micro.json"
+              | `Serve -> "BENCH_serve.json")
+      in
+      Dangers_microbench.Driver.main ~suite ~quick ~out ~input ~baseline
+        ~threshold:(threshold /. 100.) ()
+    end
   in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
-         "Run the hot-path micro-benchmarks (lock table, deadlock \
-          detection, event engine, end-to-end eager-group) and write \
-          BENCH_micro.json; optionally diff against a baseline.")
-    Term.(const run $ quick $ out $ input $ baseline $ threshold)
+         "Run a benchmark suite — $(b,micro): the hot-path \
+          micro-benchmarks (lock table, deadlock detection, event engine, \
+          end-to-end eager-group); $(b,serve): the live serving path \
+          (server + 1k-transaction load over the Unix socket) — and write \
+          its BENCH_*.json; optionally diff against a baseline.")
+    Term.(const run $ suite $ quick $ out $ input $ baseline $ threshold)
 
 (* --- serve: the wall-clock two-tier service --- *)
 
@@ -1088,11 +1148,23 @@ let serve_cmd =
          & info [ "metrics-out" ] ~docv:"FILE"
              ~doc:"Write the final dangers/metrics/v1 snapshot as JSON.")
   in
+  let series_out =
+    Arg.(value & opt (some string) None
+         & info [ "series-out" ] ~docv:"FILE"
+             ~doc:"Stream sampled metrics windows to $(docv) as \
+                   dangers/metrics-series/v1 JSONL while serving.")
+  in
+  let sample_interval =
+    Arg.(value & opt float 1.0
+         & info [ "sample-interval" ] ~docv:"SECONDS"
+             ~doc:"Wall seconds between metrics samples.")
+  in
   let quiet =
     Arg.(value & flag
          & info [ "quiet" ] ~doc:"Suppress per-connection stderr notes.")
   in
-  let run params scheme socket base_nodes seed metrics_out quiet =
+  let run params scheme socket base_nodes seed metrics_out series_out
+      sample_interval quiet =
     if String.lowercase_ascii scheme <> "two-tier" then begin
       Printf.eprintf
         "serve: unsupported scheme %s (only two-tier has a live service)\n"
@@ -1110,7 +1182,10 @@ let serve_cmd =
           params;
           seed;
           metrics_out;
+          series_out;
+          sample_interval;
           quiet;
+          print_summary = true;
         }
       in
       match Dangers_live.Server.serve config with
@@ -1131,10 +1206,11 @@ let serve_cmd =
           mobile nodes, and submit tentative transactions, sync, and \
           query through the framed protocol. Stop with a client Shutdown \
           or SIGINT; request latency is recorded in the \
-          serve.request_seconds histogram.")
+          serve.request_seconds histogram, and the registry is scrapeable \
+          mid-run with `dangers stat` / `dangers top`.")
     Term.(
       const run $ params_term $ scheme $ socket_term $ base_nodes $ seed
-      $ metrics_out $ quiet)
+      $ metrics_out $ series_out $ sample_interval $ quiet)
 
 let load_cmd =
   let clients =
@@ -1201,6 +1277,181 @@ let load_cmd =
       const run $ socket_term $ clients $ txns $ burst $ ops $ db_size $ seed
       $ shutdown)
 
+(* --- stat / top: scraping a running server --- *)
+
+module Monitor = Dangers_live.Monitor
+
+let with_monitor socket f =
+  match Monitor.connect ~socket with
+  | monitor ->
+      Fun.protect ~finally:(fun () -> Monitor.close monitor) (fun () -> f monitor)
+  | exception Unix.Unix_error (err, fn, arg) ->
+      Printf.eprintf "%s %s: %s (is `dangers serve` running on %s?)\n" fn arg
+        (Unix.error_message err) socket;
+      1
+
+let emit ~out text =
+  match out with
+  | None ->
+      print_string text;
+      flush stdout
+  | Some file ->
+      let oc = open_out file in
+      output_string oc text;
+      close_out oc
+
+let stat_cmd =
+  let format =
+    Arg.(value
+         & opt (enum [ ("table", `Table); ("json", `Json); ("prom", `Prom) ])
+             `Table
+         & info [ "format" ]
+             ~doc:"Output form: $(b,table) (the `dangers top` dashboard), \
+                   $(b,json) (the dangers/metrics/v1 snapshot), or \
+                   $(b,prom) (Prometheus text exposition, self-checked \
+                   against the 0.0.4 format).")
+  in
+  let watch =
+    Arg.(value & flag
+         & info [ "watch" ]
+             ~doc:"Keep polling every --interval seconds instead of \
+                   printing one scrape.")
+  in
+  let interval =
+    Arg.(value & opt float 1.0
+         & info [ "interval" ] ~docv:"SECONDS" ~doc:"Poll period with --watch.")
+  in
+  let count =
+    Arg.(value & opt int 0
+         & info [ "count" ] ~docv:"N"
+             ~doc:"With --watch, stop after $(docv) polls (0 = forever).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the scrape to $(docv) instead of stdout.")
+  in
+  let run socket format watch interval count out =
+    if watch && interval <= 0. then begin
+      prerr_endline "stat: --interval must be positive";
+      1
+    end
+    else
+      with_monitor socket (fun monitor ->
+          let scrape () =
+            match format with
+            | `Json -> Ok (Monitor.snapshot_json monitor)
+            | `Prom -> (
+                let text = Monitor.prom monitor in
+                match Dangers_obs.Prometheus.lint text with
+                | Ok (_ : int) -> Ok text
+                | Error message ->
+                    Error ("invalid Prometheus exposition: " ^ message))
+            | `Table -> Ok (Monitor.render (Monitor.poll monitor))
+          in
+          let polls = ref 0 in
+          let failed = ref None in
+          let more () =
+            !failed = None
+            && (!polls = 0 || (watch && (count = 0 || !polls < count)))
+          in
+          while more () do
+            if !polls > 0 then Unix.sleepf interval;
+            (match scrape () with
+            | Ok text -> emit ~out text
+            | Error message -> failed := Some message);
+            incr polls
+          done;
+          match !failed with
+          | None -> 0
+          | Some message ->
+              Printf.eprintf "stat: %s\n" message;
+              1)
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:
+         "Scrape a running `dangers serve` over its socket: the live \
+          metrics registry as a dashboard table, dangers/metrics/v1 JSON, \
+          or Prometheus text exposition; --watch polls continuously.")
+    Term.(const run $ socket_term $ format $ watch $ interval $ count $ out)
+
+let top_cmd =
+  let interval =
+    Arg.(value & opt float 1.0
+         & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period.")
+  in
+  let count =
+    Arg.(value & opt int 0
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Stop after $(docv) refreshes (0 = until interrupted).")
+  in
+  let run socket interval count =
+    if interval <= 0. then begin
+      prerr_endline "top: --interval must be positive";
+      1
+    end
+    else
+      with_monitor socket (fun monitor ->
+          let clear = Unix.isatty Unix.stdout in
+          let polls = ref 0 in
+          (try
+             while count = 0 || !polls < count do
+               if !polls > 0 then Unix.sleepf interval;
+               let frame = Monitor.poll monitor in
+               if clear then print_string "\027[H\027[2J";
+               print_string (Monitor.render frame);
+               flush stdout;
+               incr polls
+             done
+           with Sys.Break -> ());
+          0)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a running `dangers serve`: per-second \
+          commit/sync/reconciliation rates, submit-to-commit and \
+          reconcile-lag percentiles, and per-mobile replication lag \
+          (tentative queue depth and oldest tentative age), refreshed \
+          every --interval seconds over one persistent connection.")
+    Term.(const run $ socket_term $ interval $ count)
+
+let series_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"A dangers/metrics-series/v1 JSONL file.")
+  in
+  let validate =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:"Only validate (the default action is also validation; \
+                   the flag makes intent explicit in scripts).")
+  in
+  let run file validate =
+    ignore validate;
+    match In_channel.with_open_bin file In_channel.input_all with
+    | exception Sys_error message ->
+        Printf.eprintf "series: %s\n" message;
+        1
+    | contents -> (
+        match Dangers_obs.Timeseries.validate contents with
+        | Ok (series, windows) ->
+            Printf.printf "%s: ok — %d series, %d window(s)\n" file series
+              windows;
+            0
+        | Error message ->
+            Printf.eprintf "series: %s: %s\n" file message;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "series"
+       ~doc:
+         "Validate a dangers/metrics-series/v1 JSONL file (from `dangers \
+          serve --series-out` or a simulated run's --series-out) and \
+          print its series and window counts.")
+    Term.(const run $ file $ validate)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -1215,5 +1466,5 @@ let () =
           [
             list_cmd; experiment_cmd; sweep_cmd; analytic_cmd; simulate_cmd;
             trace_cmd; report_cmd; scenario_cmd; fuzz_cmd; bench_cmd;
-            lint_cmd; serve_cmd; load_cmd;
+            lint_cmd; serve_cmd; load_cmd; stat_cmd; top_cmd; series_cmd;
           ]))

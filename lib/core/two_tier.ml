@@ -16,6 +16,7 @@ module Metrics = Dangers_sim.Metrics
 module Rng = Dangers_util.Rng
 module Repl_stats = Dangers_replication.Repl_stats
 module Common = Dangers_replication.Common
+module Obs = Dangers_obs.Metrics
 
 type slave_update = { su_oid : Oid.t; su_value : float; su_stamp : Timestamp.t }
 
@@ -42,6 +43,8 @@ type t = {
   initial_value : float;
   mutable committed_rev : Op.t list list; (* base commits, newest first *)
   unsafe_skip_acceptance : bool;
+  reconcile_lag : Obs.histogram option;
+      (* local-commit to base-replay delay of every replayed tentative txn *)
 }
 
 let base t = t.common
@@ -221,6 +224,11 @@ let rec replay t mobile_index = function
         ~ops:txn.Tentative.ops
         ~on_done:(fun result ->
           let metrics = t.common.Common.metrics in
+          (match t.reconcile_lag with
+          | None -> ()
+          | Some h ->
+              Obs.observe h
+                (Clock.now t.common.Common.clock -. txn.Tentative.committed_at));
           (match result with
           | `Committed _ -> Metrics.incr metrics "tentative_accepted"
           | `Rejected reason ->
@@ -368,8 +376,56 @@ let create ?obs ?runtime ?profile ?(initial_value = 0.)
       committed_rev = [];
       pending_installs = [];
       unsafe_skip_acceptance;
+      reconcile_lag =
+        Option.map
+          (fun registry ->
+            (* Reconciliation lag is dominated by the disconnect window —
+               hours of simulated time, not the sub-second latency spread
+               the default buckets cover. *)
+            Obs.histogram
+              ~buckets:
+                [| 0.1; 1.; 10.; 60.; 300.; 1800.; 3600.; 14400.; 86400. |]
+              registry "two_tier.reconcile_lag_seconds")
+          obs;
     }
   in
+  (match obs with
+  | None -> ()
+  | Some registry ->
+      (* Mobile-tier replication lag, read at snapshot time: queue depths
+         and the age of each node's oldest unreplayed tentative txn. The
+         per-mobile breakdown is capped so a thousand-mobile sweep cannot
+         bloat every snapshot. *)
+      let detailed = min mobile_total 64 in
+      Obs.register_source registry (fun () ->
+          let now = Clock.now common.Common.clock in
+          let depth_sum = ref 0 and oldest_age = ref 0. in
+          let per_mobile = ref [] in
+          for i = mobile_total - 1 downto 0 do
+            let record = t.mobiles.(i).record in
+            let depth = Mobile_node.pending_count record in
+            let age =
+              match Mobile_node.pending record with
+              | [] -> 0.
+              | oldest :: _ -> Float.max 0. (now -. oldest.Tentative.committed_at)
+            in
+            depth_sum := !depth_sum + depth;
+            oldest_age := Float.max !oldest_age age;
+            if i < detailed then
+              per_mobile :=
+                Obs.Gauge
+                  ( Printf.sprintf "two_tier.mobile.%02d.tentative_queue_depth" i,
+                    float_of_int depth )
+                :: Obs.Gauge
+                     ( Printf.sprintf
+                         "two_tier.mobile.%02d.oldest_tentative_age_seconds" i,
+                       age )
+                :: !per_mobile
+          done;
+          Obs.Gauge
+            ("two_tier.tentative_queue_depth", float_of_int !depth_sum)
+          :: Obs.Gauge ("two_tier.oldest_tentative_age_seconds", !oldest_age)
+          :: !per_mobile));
   let net =
     Network.create ?obs ?faults ~clock:common.Common.clock
       ~rng:(Rng.split common.Common.rng) ~delay ~nodes:params.Params.nodes

@@ -64,7 +64,8 @@ let d1 =
 let d2_modules =
   [
     "export.ml"; "trace_export.ml"; "metrics.ml"; "warnings.ml"; "json.ml";
-    "repl_stats.ml"; "bench_file.ml"; "profiling.ml";
+    "repl_stats.ml"; "bench_file.ml"; "profiling.ml"; "timeseries.ml";
+    "prometheus.ml"; "monitor.ml";
   ]
 
 let sortish name =

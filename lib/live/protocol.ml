@@ -10,12 +10,16 @@ type request =
   | Query of Oid.t
   | Stats
   | Shutdown
+  | Metrics_snapshot
+  | Metrics_prom
 
 type stats = {
   commits : int;
   tentative_accepted : int;
   tentative_rejected : int;
   scope_violations : int;
+  warnings_total : int;
+  warnings : (string * int) list;
 }
 
 type response =
@@ -29,6 +33,8 @@ type response =
   | Value of float
   | Stats_reply of stats
   | Error of string
+  | Metrics_json of string
+  | Metrics_text of string
 
 (* --- operation payloads --- *)
 
@@ -94,6 +100,8 @@ let encode_request buf = function
       put_oid buf oid
   | Stats -> Codec.put_u8 buf 6
   | Shutdown -> Codec.put_u8 buf 7
+  | Metrics_snapshot -> Codec.put_u8 buf 8
+  | Metrics_prom -> Codec.put_u8 buf 9
 
 let decode_request r =
   let req =
@@ -105,6 +113,8 @@ let decode_request r =
     | 5 -> Query (get_oid r)
     | 6 -> Stats
     | 7 -> Shutdown
+    | 8 -> Metrics_snapshot
+    | 9 -> Metrics_prom
     | tag -> raise (Codec.Malformed (Printf.sprintf "unknown request tag %d" tag))
   in
   Codec.expect_end r;
@@ -152,10 +162,25 @@ let encode_response buf = function
       Codec.put_u32 buf s.commits;
       Codec.put_u32 buf s.tentative_accepted;
       Codec.put_u32 buf s.tentative_rejected;
-      Codec.put_u32 buf s.scope_violations
+      Codec.put_u32 buf s.scope_violations;
+      Codec.put_u32 buf s.warnings_total;
+      let n = List.length s.warnings in
+      if n > 0xffff then invalid_arg "Protocol: too many warning keys";
+      Codec.put_u16 buf n;
+      List.iter
+        (fun (key, count) ->
+          Codec.put_string buf key;
+          Codec.put_u32 buf count)
+        s.warnings
   | Error message ->
       Codec.put_u8 buf 10;
       Codec.put_string buf message
+  | Metrics_json json ->
+      Codec.put_u8 buf 11;
+      Codec.put_string buf json
+  | Metrics_text text ->
+      Codec.put_u8 buf 12;
+      Codec.put_string buf text
 
 let decode_response r =
   let resp =
@@ -175,13 +200,26 @@ let decode_response r =
         let commits = Codec.get_u32 r in
         let tentative_accepted = Codec.get_u32 r in
         let tentative_rejected = Codec.get_u32 r in
+        let scope_violations = Codec.get_u32 r in
+        let warnings_total = Codec.get_u32 r in
+        let warning_keys = Codec.get_u16 r in
+        let warnings =
+          List.init warning_keys (fun _ ->
+              let key = Codec.get_string r in
+              (key, Codec.get_u32 r))
+        in
         Stats_reply
           {
             commits;
             tentative_accepted;
             tentative_rejected;
-            scope_violations = Codec.get_u32 r;
+            scope_violations;
+            warnings_total;
+            warnings;
           }
+    | 10 -> Error (Codec.get_string r)
+    | 11 -> Metrics_json (Codec.get_string r)
+    | 12 -> Metrics_text (Codec.get_string r)
     | tag ->
         raise (Codec.Malformed (Printf.sprintf "unknown response tag %d" tag))
   in

@@ -27,12 +27,17 @@ type request =
   | Query of Oid.t  (** read the object's master copy *)
   | Stats  (** server-side counters *)
   | Shutdown  (** stop the server after answering *)
+  | Metrics_snapshot
+      (** scrape: the full registry as [dangers/metrics/v1] JSON *)
+  | Metrics_prom  (** scrape: Prometheus text exposition *)
 
 type stats = {
   commits : int;
   tentative_accepted : int;
   tentative_rejected : int;
   scope_violations : int;
+  warnings_total : int;  (** warn-once registry total at reply time *)
+  warnings : (string * int) list;  (** per-key warn counts, sorted *)
 }
 
 type response =
@@ -46,6 +51,8 @@ type response =
   | Value of float
   | Stats_reply of stats
   | Error of string
+  | Metrics_json of string  (** a [dangers/metrics/v1] snapshot document *)
+  | Metrics_text of string  (** a Prometheus 0.0.4 exposition *)
 
 val request : request Codec.t
 val response : response Codec.t

@@ -8,6 +8,9 @@ module Two_tier = Dangers_core.Two_tier
 module Common = Dangers_replication.Common
 module Obs = Dangers_obs.Metrics
 module Json = Dangers_obs.Json
+module Timeseries = Dangers_obs.Timeseries
+module Prometheus = Dangers_obs.Prometheus
+module Warnings = Dangers_obs.Warnings
 module Oid = Dangers_storage.Oid
 
 type config = {
@@ -16,7 +19,10 @@ type config = {
   params : Params.t;
   seed : int;
   metrics_out : string option;
+  series_out : string option;
+  sample_interval : float;
   quiet : bool;
+  print_summary : bool;
 }
 
 type client = {
@@ -33,6 +39,9 @@ type t = {
   live : Live_clock.t;
   obs : Obs.t;
   request_seconds : Obs.histogram;
+  series : Timeseries.t;
+  series_oc : out_channel option;
+  mutable next_sample : float;
   listen_fd : Unix.file_descr;
   mutable clients : client list;
   mutable next_mobile : int;
@@ -54,7 +63,27 @@ let scheme_stats t =
     tentative_rejected = Two_tier.tentative_rejected t.sys;
     scope_violations =
       Dangers_sim.Metrics.total_count metrics "scope_violations";
+    warnings_total = Warnings.total ();
+    warnings = Warnings.keys ();
   }
+
+(* One window per [sample_interval] of wall time, taken from the idle
+   waiter — the same place client I/O is serviced, so sampling never races
+   scheme events. Each window streams to [series_out] as it is taken,
+   giving a crash-readable series. *)
+let emit_sample t =
+  let now = Live_clock.now t.live in
+  let window = Timeseries.sample t.series ~now in
+  (match t.series_oc with
+  | None -> ()
+  | Some oc ->
+      output_string oc (Json.to_string (Timeseries.window_to_json window));
+      output_char oc '\n';
+      flush oc);
+  t.next_sample <- now +. Timeseries.interval t.series
+
+let maybe_sample t =
+  if Live_clock.now t.live >= t.next_sample then emit_sample t
 
 let respond _t client response =
   if client.alive then
@@ -125,6 +154,11 @@ let handle_request t client request =
       | value -> finish (Protocol.Value value)
       | exception Invalid_argument message -> finish (Protocol.Error message))
   | Protocol.Stats -> finish (Protocol.Stats_reply (scheme_stats t))
+  | Protocol.Metrics_snapshot ->
+      let json = Obs.snapshot_to_json (Obs.snapshot t.obs) in
+      finish (Protocol.Metrics_json (Json.to_string json ^ "\n"))
+  | Protocol.Metrics_prom ->
+      finish (Protocol.Metrics_text (Prometheus.of_snapshot (Obs.snapshot t.obs)))
   | Protocol.Shutdown ->
       finish Protocol.Done;
       t.shutdown <- true;
@@ -181,6 +215,7 @@ let accept_client t =
    is due, so client I/O is serviced between scheme events on the same
    domain — requests can call straight into the scheme. *)
 let wait_io t ~timeout =
+  maybe_sample t;
   let fds = t.listen_fd :: List.map (fun c -> c.fd) t.clients in
   match Unix.select fds [] [] (Float.min timeout 0.05) with
   | readable, _, _ ->
@@ -235,6 +270,24 @@ let serve config =
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
   Unix.listen listen_fd 64;
+  if not (config.sample_interval > 0.) then
+    invalid_arg "Server.serve: sample_interval must be positive";
+  let series =
+    Timeseries.create ~interval:config.sample_interval
+      ~now:(Live_clock.now live) obs
+  in
+  let series_oc =
+    Option.map
+      (fun file ->
+        let oc = open_out file in
+        output_string oc
+          (Json.to_string
+             (Timeseries.header_json ~label:"serve" ~seed:config.seed series));
+        output_char oc '\n';
+        flush oc;
+        oc)
+      config.series_out
+  in
   let t =
     {
       config;
@@ -243,6 +296,9 @@ let serve config =
       live;
       obs;
       request_seconds = Obs.histogram obs "serve.request_seconds";
+      series;
+      series_oc;
+      next_sample = Live_clock.now live +. config.sample_interval;
       listen_fd;
       clients = [];
       next_mobile = Two_tier.base_count sys;
@@ -278,12 +334,22 @@ let serve config =
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.clients;
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());
   (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  (* A final window captures whatever landed after the last tick. *)
+  emit_sample t;
+  (match (t.series_oc, config.series_out) with
+  | Some oc, Some path ->
+      close_out oc;
+      log t "serve: wrote %d series window(s) to %s"
+        (Timeseries.sampled t.series) path
+  | Some oc, None -> close_out oc
+  | None, _ -> ());
   write_metrics t;
   let stats = scheme_stats t in
-  Printf.printf
-    "serve: done after %.3fs wall — %d base commit(s), %d tentative \
-     accepted, %d rejected, %d scope violation(s)\n%!"
-    (Live_clock.now live) stats.Protocol.commits
-    stats.Protocol.tentative_accepted stats.Protocol.tentative_rejected
-    stats.Protocol.scope_violations;
+  if config.print_summary then
+    Printf.printf
+      "serve: done after %.3fs wall — %d base commit(s), %d tentative \
+       accepted, %d rejected, %d scope violation(s)\n%!"
+      (Live_clock.now live) stats.Protocol.commits
+      stats.Protocol.tentative_accepted stats.Protocol.tentative_rejected
+      stats.Protocol.scope_violations;
   stats

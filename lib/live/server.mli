@@ -17,9 +17,15 @@
 
     Observability: per-request latency lands in the
     [serve.request_seconds] histogram of the server's registry (alongside
-    the scheme's own counters and the [net.*] sources); on shutdown the
-    snapshot is self-validated against the dangers/metrics/v1 schema and
-    optionally written as JSON. *)
+    the scheme's own counters, the two-tier lag gauges and the [net.*]
+    sources); on shutdown the snapshot is self-validated against the
+    dangers/metrics/v1 schema and optionally written as JSON. The registry
+    is additionally sampled into a {!Dangers_obs.Timeseries} every
+    [sample_interval] wall seconds from the idle waiter, each window
+    streaming to [series_out] as dangers/metrics-series/v1 JSONL as it is
+    taken. Clients scrape the registry mid-run with
+    [Metrics_snapshot]/[Metrics_prom] — what [dangers stat] and
+    [dangers top] poll. *)
 
 type config = {
   socket_path : string;  (** Unix-domain socket; unlinked and rebound *)
@@ -27,10 +33,15 @@ type config = {
   params : Dangers_analytic.Params.t;
   seed : int;
   metrics_out : string option;  (** write the final snapshot here *)
+  series_out : string option;  (** stream sampled windows here as JSONL *)
+  sample_interval : float;  (** wall seconds between series windows *)
   quiet : bool;  (** suppress per-connection stderr notes *)
+  print_summary : bool;  (** print the one-line stdout summary on exit *)
 }
 
 val serve : config -> Protocol.stats
 (** Run until a client sends [Shutdown] (or SIGINT). Blocks. Returns the
-    final scheme counters after printing a one-line summary.
-    @raise Invalid_argument on invalid [params] or [base_nodes]. *)
+    final scheme counters after printing a one-line summary (unless
+    [print_summary] is false).
+    @raise Invalid_argument on invalid [params], [base_nodes] or a
+    non-positive [sample_interval]. *)

@@ -1,0 +1,86 @@
+(* The serving-path benchmark: a whole live two-tier service driven
+   end-to-end. Each run boots a Server on a private Unix socket in its own
+   domain, replays the Load_gen churn workload (1k transactions across two
+   clients: disconnect, tentative burst, reconnect-and-sync), and joins the
+   server after [Shutdown]. The measured number is dominated by the
+   request/response path — codec framing, the select idle waiter, base
+   replays — which is exactly the surface the live-telemetry work touches,
+   so BENCH_serve.json tracks it as its own baseline. *)
+
+module Params = Dangers_analytic.Params
+module Server = Dangers_live.Server
+module Load_gen = Dangers_live.Load_gen
+
+let db_size = 1000
+let nodes = 5
+let base_nodes = 1
+
+let socket_path =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "dangers-bench-serve-%d.sock" (Unix.getpid ()))
+
+let server_config =
+  {
+    Server.socket_path;
+    base_nodes;
+    params = { Params.default with Params.nodes; db_size };
+    seed = 7;
+    metrics_out = None;
+    series_out = None;
+    sample_interval = 1.0;
+    quiet = true;
+    print_summary = false;
+  }
+
+let load_config =
+  {
+    Load_gen.socket_path;
+    clients = 2;
+    txns = 1_000;
+    burst = 25;
+    ops_per_txn = 2;
+    db_size;
+    seed = 7;
+    shutdown = true;
+  }
+
+let wait_for_socket path =
+  let rec wait budget =
+    if Sys.file_exists path then ()
+    else if budget <= 0 then
+      failwith "Serve_suite: server socket never appeared"
+    else begin
+      Unix.sleepf 0.01;
+      wait (budget - 1)
+    end
+  in
+  wait 1_000
+
+let serve_load_1k () =
+  let server = Domain.spawn (fun () -> Server.serve server_config) in
+  match
+    wait_for_socket socket_path;
+    Load_gen.run load_config
+  with
+  | report ->
+      ignore (Domain.join server);
+      (match report.Load_gen.errors with
+      | [] -> ()
+      | err :: _ -> failwith ("Serve_suite: load error: " ^ err))
+  | exception exn ->
+      (* Don't leave the server domain parked on a dead socket. *)
+      (try
+         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         Unix.connect fd (Unix.ADDR_UNIX socket_path);
+         Dangers_live.Protocol.send fd Dangers_live.Protocol.request
+           Dangers_live.Protocol.Shutdown;
+         Unix.close fd
+       with _ -> ());
+      ignore (Domain.join server);
+      raise exn
+
+let benches ~quick =
+  let scale full b =
+    Harness.with_samples (if quick then max 2 (full / 5) else full) b
+  in
+  [ scale 5 (Harness.bench ~warmup:1 "e2e/serve-load-1k" serve_load_1k) ]

@@ -1,0 +1,8 @@
+(** The serving-path benchmark suite ([dangers bench --suite serve]): one
+    end-to-end [e2e/serve-load-1k] entry that boots the live two-tier
+    {!Dangers_live.Server} on a private socket, replays a 1k-transaction
+    {!Dangers_live.Load_gen} churn workload against it, and shuts it down
+    — the tracked baseline for the live serving path
+    (BENCH_serve.json). *)
+
+val benches : quick:bool -> Harness.bench list

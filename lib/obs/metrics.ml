@@ -168,6 +168,30 @@ let snapshot t =
     s_warnings_total = Warnings.total ();
   }
 
+let histogram_quantile hs ~q =
+  if hs.hs_count = 0 then 0.
+  else begin
+    let q = Float.min 1. (Float.max 0. q) in
+    let target = q *. float_of_int hs.hs_count in
+    let n = Array.length hs.hs_uppers in
+    let rec walk i cum =
+      if i >= n then hs.hs_uppers.(n - 1) (* overflow: clamp to the last bound *)
+      else
+        let here = hs.hs_counts.(i) in
+        let cum' = cum + here in
+        if float_of_int cum' >= target || i = n - 1 && hs.hs_counts.(n) = 0 then begin
+          let lower = if i = 0 then 0. else hs.hs_uppers.(i - 1) in
+          let upper = hs.hs_uppers.(i) in
+          if here = 0 then upper
+          else
+            let into = (target -. float_of_int cum) /. float_of_int here in
+            lower +. (Float.min 1. (Float.max 0. into) *. (upper -. lower))
+        end
+        else walk (i + 1) cum'
+    in
+    walk 0 0
+  end
+
 let snapshot_counter s name = List.assoc_opt name s.s_counters
 let snapshot_gauge s name = List.assoc_opt name s.s_gauges
 let snapshot_histogram s name = List.assoc_opt name s.s_histograms

@@ -96,11 +96,24 @@ val snapshot_counter : snapshot -> string -> int option
 val snapshot_gauge : snapshot -> string -> float option
 val snapshot_histogram : snapshot -> string -> histogram_snapshot option
 
+val histogram_quantile : histogram_snapshot -> q:float -> float
+(** Estimate the [q]-quantile (clamped to [0, 1]) by linear interpolation
+    inside the winning bucket, the standard Prometheus
+    [histogram_quantile] construction: the first bucket interpolates from
+    0, the overflow bucket clamps to the largest finite upper bound.
+    0 when the histogram is empty. *)
+
 val schema_id : string
 (** ["dangers/metrics/v1"]. *)
 
 val snapshot_to_json : snapshot -> Json.t
 val snapshot_of_json : Json.t -> snapshot
 (** @raise Json.Parse_error on a shape or schema mismatch. *)
+
+val histogram_to_json : histogram_snapshot -> Json.t
+val histogram_of_json : Json.t -> histogram_snapshot
+(** The snapshot codec's histogram object, exposed for the
+    {!Timeseries} window codec.
+    @raise Json.Parse_error on a shape mismatch. *)
 
 val pp_snapshot : Format.formatter -> snapshot -> unit

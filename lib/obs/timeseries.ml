@@ -1,0 +1,193 @@
+type window = {
+  w_index : int;
+  w_time : float;
+  w_dt : float;
+  w_counters : (string * int) list;
+  w_deltas : (string * int) list;
+  w_gauges : (string * float) list;
+  w_histograms : (string * Metrics.histogram_snapshot) list;
+}
+
+type t = {
+  registry : Metrics.t;
+  t_capacity : int;
+  t_interval : float;
+  ring : window option array;
+  mutable next : int; (* ring slot the next window lands in *)
+  mutable t_sampled : int;
+  mutable prev_time : float;
+  mutable prev_counters : (string * int) list; (* sorted, the delta baseline *)
+}
+
+let create ?(capacity = 1024) ?(interval = 1.0) ?(now = 0.) registry =
+  if capacity < 1 then invalid_arg "Timeseries.create: capacity must be >= 1";
+  if not (interval > 0.) then
+    invalid_arg "Timeseries.create: interval must be positive";
+  {
+    registry;
+    t_capacity = capacity;
+    t_interval = interval;
+    ring = Array.make capacity None;
+    next = 0;
+    t_sampled = 0;
+    prev_time = now;
+    prev_counters = [];
+  }
+
+let interval t = t.t_interval
+let capacity t = t.t_capacity
+
+(* Both lists are sorted by name; a merge walk yields every current
+   counter with its increase over the baseline (absent before = 0). *)
+let rec deltas_of prev cur =
+  match (prev, cur) with
+  | _, [] -> []
+  | [], cur -> cur
+  | (pk, pv) :: prest, (ck, cv) :: crest ->
+      let order = String.compare pk ck in
+      if order = 0 then (ck, cv - pv) :: deltas_of prest crest
+      else if order < 0 then deltas_of prest cur (* counter vanished: skip *)
+      else (ck, cv) :: deltas_of prev crest
+
+let rebase t ~now =
+  t.prev_time <- now;
+  t.prev_counters <- (Metrics.snapshot t.registry).Metrics.s_counters
+
+let sample t ~now =
+  let snapshot = Metrics.snapshot t.registry in
+  let counters = snapshot.Metrics.s_counters in
+  let w =
+    {
+      w_index = t.t_sampled;
+      w_time = now;
+      w_dt = Float.max 0. (now -. t.prev_time);
+      w_counters = counters;
+      w_deltas = deltas_of t.prev_counters counters;
+      w_gauges = snapshot.Metrics.s_gauges;
+      w_histograms = snapshot.Metrics.s_histograms;
+    }
+  in
+  t.ring.(t.next) <- Some w;
+  t.next <- (t.next + 1) mod t.t_capacity;
+  t.t_sampled <- t.t_sampled + 1;
+  t.prev_time <- now;
+  t.prev_counters <- counters;
+  w
+
+let windows t =
+  (* Oldest-first: the slot after [next] holds the oldest retained window
+     once the ring has wrapped. *)
+  let acc = ref [] in
+  for i = t.t_capacity - 1 downto 0 do
+    match t.ring.((t.next + i) mod t.t_capacity) with
+    | Some w -> acc := w :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let last t =
+  if t.t_sampled = 0 then None
+  else t.ring.((t.next + t.t_capacity - 1) mod t.t_capacity)
+
+let sampled t = t.t_sampled
+let dropped t = max 0 (t.t_sampled - t.t_capacity)
+
+let delta w name =
+  match List.assoc_opt name w.w_deltas with Some d -> d | None -> 0
+
+let rate w name =
+  if w.w_dt <= 0. then 0. else float_of_int (delta w name) /. w.w_dt
+
+(* --- dangers/metrics-series/v1 JSONL --- *)
+
+let schema_id = "dangers/metrics-series/v1"
+
+let header_json ?label ?seed t =
+  Json.Obj
+    (("schema", Json.Str schema_id)
+    :: ("kind", Json.Str "header")
+    :: ((match label with Some l -> [ ("label", Json.Str l) ] | None -> [])
+       @ (match seed with Some s -> [ ("seed", Json.int_ s) ] | None -> [])
+       @ [ ("interval", Json.of_float t.t_interval) ]))
+
+let window_to_json w =
+  let ints kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.int_ v)) kvs) in
+  Json.Obj
+    [
+      ("kind", Json.Str "window");
+      ("i", Json.int_ w.w_index);
+      ("t", Json.of_float w.w_time);
+      ("dt", Json.of_float w.w_dt);
+      ("counters", ints w.w_counters);
+      ("deltas", ints w.w_deltas);
+      ( "gauges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.of_float v)) w.w_gauges) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, h) -> (k, Metrics.histogram_to_json h))
+             w.w_histograms) );
+    ]
+
+let fields_of = function
+  | Json.Obj fields -> fields
+  | j -> Json.parse_error "expected an object, got %s" (Json.to_string j)
+
+let window_of_json j =
+  let ints m =
+    List.map (fun (k, v) -> (k, Json.int_of v)) (fields_of (Json.member m j))
+  in
+  {
+    w_index = Json.int_of (Json.member "i" j);
+    w_time = Json.to_float (Json.member "t" j);
+    w_dt = Json.to_float (Json.member "dt" j);
+    w_counters = ints "counters";
+    w_deltas = ints "deltas";
+    w_gauges =
+      List.map
+        (fun (k, v) -> (k, Json.to_float v))
+        (fields_of (Json.member "gauges" j));
+    w_histograms =
+      List.map
+        (fun (k, v) -> (k, Metrics.histogram_of_json v))
+        (fields_of (Json.member "histograms" j));
+  }
+
+let to_jsonl ?label ?seed t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Json.to_string (header_json ?label ?seed t));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun w ->
+      Buffer.add_string buf (Json.to_string (window_to_json w));
+      Buffer.add_char buf '\n')
+    (windows t);
+  Buffer.contents buf
+
+let validate input =
+  let series = ref 0 and windows = ref 0 in
+  match
+    String.split_on_char '\n' input
+    |> List.iter (fun line ->
+           if String.trim line <> "" then begin
+             let j = Json.of_string line in
+             match Json.string_of (Json.member "kind" j) with
+             | "header" ->
+                 (match Json.member "schema" j with
+                 | Json.Str s when String.equal s schema_id -> ()
+                 | Json.Str s -> Json.parse_error "unsupported series schema %S" s
+                 | _ -> Json.parse_error "series schema is not a string");
+                 let ival = Json.to_float (Json.member "interval" j) in
+                 if not (ival > 0.) then
+                   Json.parse_error "series interval must be positive";
+                 incr series
+             | "window" ->
+                 if !series = 0 then
+                   Json.parse_error "series window before any header line";
+                 ignore (window_of_json j);
+                 incr windows
+             | kind -> Json.parse_error "unknown series line kind %S" kind
+           end)
+  with
+  | () -> Ok (!series, !windows)
+  | exception Json.Parse_error message -> Error message

@@ -1,0 +1,91 @@
+(** Fixed-capacity time-series recorder over a {!Metrics} registry.
+
+    A {!t} samples its registry on demand ({!sample}) and turns each
+    sample into a {e window}: the cumulative counters at that instant,
+    the per-window deltas against the previous sample, and the current
+    gauges and histogram snapshots. Windows land in a ring that keeps the
+    newest [capacity] of them — a long-running server records forever in
+    bounded memory while streaming every window to disk as it is taken.
+
+    Sampling is read-only (it calls {!Metrics.snapshot}, which runs pull
+    sources but mutates nothing the instrumented system reads), so a
+    sampled run's simulated behaviour is identical to an unsampled one.
+
+    The JSONL form ([dangers/metrics-series/v1]) mirrors
+    {!Dangers_sim.Trace_export}: one header line per series, then one
+    line per window. *)
+
+type t
+
+type window = {
+  w_index : int;  (** 0-based, counts every sample ever taken *)
+  w_time : float;  (** the [~now] the sample was taken at *)
+  w_dt : float;  (** seconds since the previous sample (or {!rebase}) *)
+  w_counters : (string * int) list;  (** cumulative, sorted by name *)
+  w_deltas : (string * int) list;  (** increase since the previous sample *)
+  w_gauges : (string * float) list;  (** sorted by name *)
+  w_histograms : (string * Metrics.histogram_snapshot) list;
+}
+
+val create : ?capacity:int -> ?interval:float -> ?now:float -> Metrics.t -> t
+(** A recorder over [registry]. [capacity] (default 1024) bounds the
+    retained ring; [interval] (default 1.0) is the nominal seconds between
+    samples — the recorder does not schedule anything itself, it only
+    reports the value to whoever drives {!sample} (and stamps it into the
+    series header). [now] (default 0.) is the time origin the first
+    window's [w_dt] is measured from.
+    @raise Invalid_argument if [capacity < 1] or [interval <= 0]. *)
+
+val interval : t -> float
+val capacity : t -> int
+
+val sample : t -> now:float -> window
+(** Snapshot the registry, compute deltas against the previous sample,
+    append the window to the ring (evicting the oldest past capacity) and
+    return it. [w_dt] is clamped to [>= 0]. *)
+
+val rebase : t -> now:float -> unit
+(** Reset the delta baseline to the registry's current state without
+    emitting a window — used after a warmup phase so the first measured
+    window does not lump the warmup's counts. *)
+
+val windows : t -> window list
+(** Retained windows, oldest first. *)
+
+val last : t -> window option
+
+val sampled : t -> int
+(** Windows ever taken, including evicted ones. *)
+
+val dropped : t -> int
+(** Windows evicted from the ring. *)
+
+val delta : window -> string -> int
+(** The window's delta for a counter; 0 when absent. *)
+
+val rate : window -> string -> float
+(** [delta / w_dt] per second; 0 when [w_dt = 0]. *)
+
+(** {1 dangers/metrics-series/v1 JSONL} *)
+
+val schema_id : string
+(** ["dangers/metrics-series/v1"]. *)
+
+val header_json : ?label:string -> ?seed:int -> t -> Json.t
+(** The series header line: schema, kind, the sampling interval, and the
+    optional run identity. *)
+
+val window_to_json : window -> Json.t
+val window_of_json : Json.t -> window
+(** @raise Json.Parse_error on a shape mismatch. *)
+
+val to_jsonl : ?label:string -> ?seed:int -> t -> string
+(** Header plus every retained window, one JSON object per line — the
+    whole-series form [--series-out] writes for simulated runs. A
+    streaming writer (the live server) emits the same bytes by writing
+    {!header_json} once and each {!sample}'s {!window_to_json} as taken. *)
+
+val validate : string -> (int * int, string) result
+(** Check a JSONL string against the schema:
+    [Ok (series, windows)] or [Error message]. Windows before any header,
+    an unknown schema or kind, and malformed window shapes are errors. *)

@@ -25,6 +25,8 @@ type base = {
   txn_gen : Txn_id.Gen.t;
   mutable generators : Generator.t list;
   obs : Obs.t option;
+  commit_seconds : Obs.histogram option;
+  series : Dangers_obs.Timeseries.t option;
 }
 
 let make ?obs ?runtime ?profile ?(initial_value = 0.) params ~seed =
@@ -38,6 +40,11 @@ let make ?obs ?runtime ?profile ?(initial_value = 0.) params ~seed =
      inside opaque experiment code. *)
   let obs =
     match obs with Some _ -> obs | None -> Dangers_sim.Observe.ambient_obs ()
+  in
+  (* A series recorder is only meaningful over a registry; ignoring it
+     otherwise keeps unobserved runs entirely schedule-free. *)
+  let series =
+    match obs with None -> None | Some _ -> Dangers_sim.Observe.ambient_series ()
   in
   let runtime =
     match runtime with Some r -> r | None -> Runtime.sim ()
@@ -82,6 +89,9 @@ let make ?obs ?runtime ?profile ?(initial_value = 0.) params ~seed =
     txn_gen = Txn_id.Gen.create ();
     generators = [];
     obs;
+    commit_seconds =
+      Option.map (fun registry -> Obs.histogram registry "scheme.commit_seconds") obs;
+    series;
   }
 
 let start_generators base ~submit =
@@ -106,8 +116,11 @@ let backoff_delay base rng =
 
 let commit_duration base ~started =
   Metrics.incr base.metrics Repl_stats.commits;
-  Metrics.sample base.metrics Repl_stats.duration_sample
-    (Clock.now base.clock -. started)
+  let duration = Clock.now base.clock -. started in
+  Metrics.sample base.metrics Repl_stats.duration_sample duration;
+  match base.commit_seconds with
+  | None -> ()
+  | Some h -> Obs.observe h duration
 
 (* A drain that never ends is a bug (a generator or connectivity schedule
    left running); surface it instead of hanging. *)
@@ -120,7 +133,27 @@ let profiled base phase f =
       let (), p = Profiling.timed phase f in
       Obs.record_phase registry p
 
+(* Sample the attached series on the simulated clock across the measured
+   window. The loop never reschedules past [stop_at], so [drain] still
+   terminates, and each tick only reads the registry — the instrumented
+   system's own schedule is untouched. *)
+let start_series_sampling base series ~stop_at =
+  let interval = Dangers_obs.Timeseries.interval series in
+  let rec tick () =
+    let now = Clock.now base.clock in
+    ignore (Dangers_obs.Timeseries.sample series ~now);
+    if now +. interval <= stop_at +. 1e-9 then
+      Clock.schedule_unit base.clock ~delay:interval tick
+  in
+  Clock.schedule_unit base.clock ~delay:interval tick
+
 let measure base ~warmup ~span =
   profiled base "warmup" (fun () -> Clock.run_for base.clock warmup);
   Metrics.start_window base.metrics;
+  (match base.series with
+  | None -> ()
+  | Some series ->
+      Dangers_obs.Timeseries.rebase series ~now:(Clock.now base.clock);
+      start_series_sampling base series
+        ~stop_at:(Clock.now base.clock +. span));
   profiled base "measured" (fun () -> Clock.run_for base.clock span)

@@ -29,6 +29,12 @@ type base = {
   obs : Dangers_obs.Metrics.t option;
       (** observability registry shared by every layer of this system;
           [None] runs fully uninstrumented *)
+  commit_seconds : Dangers_obs.Metrics.histogram option;
+      (** submit-to-commit latency histogram ([scheme.commit_seconds]),
+          present iff [obs] is *)
+  series : Dangers_obs.Timeseries.t option;
+      (** ambient time-series recorder; {!measure} samples it on the
+          simulated clock across the measured window *)
 }
 
 val make :
@@ -65,4 +71,9 @@ val drain : base -> unit
 (** Run the clock until no events remain (generators must be stopped). *)
 
 val measure : base -> warmup:float -> span:float -> unit
-(** Run [warmup] seconds, reset the metrics window, run [span] more. *)
+(** Run [warmup] seconds, reset the metrics window, run [span] more. When
+    a {!base.series} recorder is attached, it is rebased after warmup and
+    sampled every [Timeseries.interval] simulated seconds across the
+    measured window (never rescheduling past its end, so {!drain} still
+    terminates). Detached runs schedule nothing and stay byte-identical
+    to pre-telemetry behaviour. *)

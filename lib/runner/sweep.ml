@@ -81,15 +81,22 @@ type observation = {
   o_seed : int;
   o_snapshot : Obs.snapshot;
   o_trace : Trace_export.section option;
+  o_series : Dangers_obs.Timeseries.t option;
   o_profile : Profiling.phase;  (** the whole task, wall-clock + GC *)
 }
 
-let run_task_observed ?(trace = false) ?trace_capacity task =
+let run_task_observed ?(trace = false) ?trace_capacity ?series_interval task =
   let registry = Obs.create () in
   let tracer = if trace then Some (Trace.create ?capacity:trace_capacity ()) else None in
+  let series =
+    Option.map
+      (fun interval -> Dangers_obs.Timeseries.create ~interval registry)
+      series_interval
+  in
   let item, profile =
     Profiling.timed (task_label task) (fun () ->
-        Observe.with_observation ~obs:registry ?tracer (fun () -> run_task task))
+        Observe.with_observation ~obs:registry ?tracer ?series (fun () ->
+            run_task task))
   in
   Obs.record_phase registry profile;
   let observation =
@@ -103,15 +110,17 @@ let run_task_observed ?(trace = false) ?trace_capacity task =
             Trace_export.section ~label:(task_label task) ~seed:(task_seed task)
               tr)
           tracer;
+      o_series = series;
       o_profile = profile;
     }
   in
   (item, observation)
 
-let run_observed ?(jobs = 1) ?sim_domains ?(trace = false) ?trace_capacity tasks =
+let run_observed ?(jobs = 1) ?sim_domains ?(trace = false) ?trace_capacity
+    ?series_interval tasks =
   Array.to_list
     (Task_pool.map ~jobs
        ~f:(fun task ->
          with_sim_domains sim_domains (fun () ->
-             run_task_observed ~trace ?trace_capacity task))
+             run_task_observed ~trace ?trace_capacity ?series_interval task))
        (Array.of_list tasks))

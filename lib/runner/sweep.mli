@@ -68,6 +68,10 @@ type observation = {
   o_snapshot : Dangers_obs.Metrics.snapshot;
   o_trace : Dangers_sim.Trace_export.section option;
       (** present iff tracing was requested *)
+  o_series : Dangers_obs.Timeseries.t option;
+      (** present iff a [series_interval] was given: the task's registry
+          sampled every that-many {e simulated} seconds across the
+          scheme's measured window *)
   o_profile : Dangers_obs.Profiling.phase;
       (** the whole task: wall-clock and GC allocation (also recorded in
           the snapshot's phase list, after the scheme's own
@@ -75,12 +79,21 @@ type observation = {
 }
 
 val run_task_observed :
-  ?trace:bool -> ?trace_capacity:int -> task -> item * observation
+  ?trace:bool ->
+  ?trace_capacity:int ->
+  ?series_interval:float ->
+  task ->
+  item * observation
 
 val run_observed :
-  ?jobs:int -> ?sim_domains:int -> ?trace:bool -> ?trace_capacity:int ->
+  ?jobs:int ->
+  ?sim_domains:int ->
+  ?trace:bool ->
+  ?trace_capacity:int ->
+  ?series_interval:float ->
   task list ->
   (item * observation) list
 (** Items and observations in task order at any [jobs]. Wall-clock
     profiles vary run to run, of course; everything else is
-    deterministic. *)
+    deterministic — including the sampled series, which runs on the
+    simulated clock. *)

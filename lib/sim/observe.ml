@@ -1,16 +1,17 @@
 type context = {
   obs : Dangers_obs.Metrics.t option;
   tracer : Trace.t option;
+  series : Dangers_obs.Timeseries.t option;
   domains : int;
 }
 
-let empty = { obs = None; tracer = None; domains = 1 }
+let empty = { obs = None; tracer = None; series = None; domains = 1 }
 let key = Domain.DLS.new_key (fun () -> empty)
 let current () = Domain.DLS.get key
 
-let with_observation ?obs ?tracer f =
+let with_observation ?obs ?tracer ?series f =
   let saved = current () in
-  Domain.DLS.set key { obs; tracer; domains = saved.domains };
+  Domain.DLS.set key { obs; tracer; series; domains = saved.domains };
   Fun.protect ~finally:(fun () -> Domain.DLS.set key saved) f
 
 let with_domains domains f =
@@ -21,4 +22,5 @@ let with_domains domains f =
 
 let ambient_obs () = (current ()).obs
 let ambient_tracer () = (current ()).tracer
+let ambient_series () = (current ()).series
 let ambient_domains () = (current ()).domains

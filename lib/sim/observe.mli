@@ -13,11 +13,18 @@
     byte-identical to an unobserved run. *)
 
 val with_observation :
-  ?obs:Dangers_obs.Metrics.t -> ?tracer:Trace.t -> (unit -> 'a) -> 'a
-(** Install the given registry/tracer as this domain's ambient context for
-    the duration of the callback (restoring the previous context even on
-    exceptions). Omitted arguments clear the corresponding slot; the
-    ambient domain budget (see {!with_domains}) is preserved. *)
+  ?obs:Dangers_obs.Metrics.t ->
+  ?tracer:Trace.t ->
+  ?series:Dangers_obs.Timeseries.t ->
+  (unit -> 'a) ->
+  'a
+(** Install the given registry/tracer/series recorder as this domain's
+    ambient context for the duration of the callback (restoring the
+    previous context even on exceptions). Omitted arguments clear the
+    corresponding slot; the ambient domain budget (see {!with_domains}) is
+    preserved. A [series] only makes sense alongside the [obs] registry it
+    records — schemes sample it on the simulated clock during their
+    measured window. *)
 
 val with_domains : int -> (unit -> 'a) -> 'a
 (** Install a simulation-domain budget — the CLI's [--sim-domains N] —
@@ -30,6 +37,7 @@ val with_domains : int -> (unit -> 'a) -> 'a
 
 val ambient_obs : unit -> Dangers_obs.Metrics.t option
 val ambient_tracer : unit -> Trace.t option
+val ambient_series : unit -> Dangers_obs.Timeseries.t option
 
 val ambient_domains : unit -> int
 (** The installed budget; 1 with nothing installed. *)

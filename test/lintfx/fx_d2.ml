@@ -1,6 +1,7 @@
-(* D2 fixtures: a bare iter and an unsorted fold are findings; a fold
-   feeding a sort in the same expression (either nesting direction) is
-   not. Expected: 2 findings, 1 suppression. *)
+(* D2 fixtures: a bare iter, an unsorted fold, and a series-export-shaped
+   streaming iter are findings; a fold feeding a sort in the same
+   expression (either nesting direction) is not.
+   Expected: 3 findings, 1 suppression. *)
 
 let make () : (string, int) Hashtbl.t = Hashtbl.create 4
 let export tbl = Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) tbl
@@ -13,3 +14,9 @@ let sorted_pipe tbl =
   Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
 
 let allowed tbl = (Hashtbl.iter (fun _ _ -> ()) tbl [@lint.allow "D2"])
+
+(* The series-export shape: streaming windows straight out of a table
+   writes JSONL lines in bucket order, so a fixed-seed run's series file
+   is not byte-stable. *)
+let stream_windows oc tbl =
+  Hashtbl.iter (fun i v -> Printf.fprintf oc "{\"i\":%d,\"v\":%f}\n" i v) tbl

@@ -71,7 +71,7 @@ let test_d1_seeded () =
 
 let test_d2_seeded () =
   let fs = by "D2" "fx_d2.ml" in
-  checki "iter and unsorted fold only" 2 (List.length fs);
+  checki "two iters and the unsorted fold" 3 (List.length fs);
   checkb "iter flagged" true (List.exists (mentions "Hashtbl.iter") fs);
   checkb "unsorted fold flagged" true
     (List.exists (mentions "Hashtbl.fold") fs)

@@ -28,5 +28,6 @@ let () =
       ("microbench", Test_microbench.suite);
       ("obs", Test_obs.suite);
       ("runtime", Test_runtime.suite);
+      ("telemetry", Test_telemetry.suite);
       ("lint", Test_lint.suite);
     ]

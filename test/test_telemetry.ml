@@ -1,0 +1,321 @@
+(* Continuous telemetry: the time-series recorder, the Prometheus
+   encoder, the live protocol's scrape arms, and the guarantee that
+   attaching a series recorder does not perturb a simulated run. *)
+
+module Json = Dangers_obs.Json
+module Metrics = Dangers_obs.Metrics
+module Timeseries = Dangers_obs.Timeseries
+module Prometheus = Dangers_obs.Prometheus
+module Observe = Dangers_sim.Observe
+module Scheme = Dangers_experiments.Scheme
+module Params = Dangers_analytic.Params
+module Connectivity = Dangers_net.Connectivity
+module Protocol = Dangers_live.Protocol
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* --- Timeseries --- *)
+
+let test_ring_wraparound () =
+  let registry = Metrics.create () in
+  let hits = Metrics.counter registry "hits" in
+  let series = Timeseries.create ~capacity:3 ~interval:1.0 registry in
+  for i = 1 to 5 do
+    Metrics.add hits 10;
+    ignore (Timeseries.sample series ~now:(float_of_int i))
+  done;
+  checki "sampled counts every window" 5 (Timeseries.sampled series);
+  checki "dropped = sampled - capacity" 2 (Timeseries.dropped series);
+  let windows = Timeseries.windows series in
+  checki "ring retains capacity windows" 3 (List.length windows);
+  Alcotest.check (Alcotest.list Alcotest.int) "oldest first after wrap"
+    [ 2; 3; 4 ]
+    (List.map (fun w -> w.Timeseries.w_index) windows);
+  (match Timeseries.last series with
+  | Some w ->
+      checki "last is the newest window" 4 w.Timeseries.w_index;
+      checki "cumulative counter" 50 (List.assoc "hits" w.Timeseries.w_counters)
+  | None -> Alcotest.fail "last missing")
+
+let test_delta_and_rate () =
+  let registry = Metrics.create () in
+  let hits = Metrics.counter registry "hits" in
+  let series = Timeseries.create ~interval:2.0 registry in
+  Metrics.add hits 4;
+  let w1 = Timeseries.sample series ~now:2.0 in
+  checkf "first window dt from origin" 2.0 w1.Timeseries.w_dt;
+  checki "first delta is the cumulative value" 4 (Timeseries.delta w1 "hits");
+  checkf "first rate" 2.0 (Timeseries.rate w1 "hits");
+  Metrics.add hits 10;
+  let w2 = Timeseries.sample series ~now:4.0 in
+  checki "delta against previous window" 10 (Timeseries.delta w2 "hits");
+  checkf "rate = delta / dt" 5.0 (Timeseries.rate w2 "hits");
+  checki "absent counter deltas to zero" 0 (Timeseries.delta w2 "missing");
+  (* A counter born mid-series deltas from zero. *)
+  let late = Metrics.counter registry "late" in
+  Metrics.add late 7;
+  let w3 = Timeseries.sample series ~now:6.0 in
+  checki "newborn counter delta" 7 (Timeseries.delta w3 "late")
+
+let test_rebase () =
+  let registry = Metrics.create () in
+  let hits = Metrics.counter registry "hits" in
+  let series = Timeseries.create ~interval:1.0 registry in
+  Metrics.add hits 5;
+  Timeseries.rebase series ~now:10.0;
+  Metrics.add hits 3;
+  let w = Timeseries.sample series ~now:11.0 in
+  checki "rebase swallows earlier counts" 3 (Timeseries.delta w "hits");
+  checkf "dt measured from rebase" 1.0 w.Timeseries.w_dt
+
+let test_series_jsonl_roundtrip () =
+  let registry = Metrics.create () in
+  let hits = Metrics.counter registry "hits" in
+  let h = Metrics.histogram ~buckets:[| 0.1; 1. |] registry "lat" in
+  Metrics.set_gauge (Metrics.gauge registry "depth") 3.5;
+  Metrics.observe h 0.05;
+  let series = Timeseries.create ~interval:0.5 registry in
+  Metrics.add hits 2;
+  let w1 = Timeseries.sample series ~now:0.5 in
+  Metrics.add hits 5;
+  ignore (Timeseries.sample series ~now:1.0);
+  let jsonl = Timeseries.to_jsonl ~label:"unit" ~seed:7 series in
+  (match Timeseries.validate jsonl with
+  | Ok (series_count, windows) ->
+      checki "one header line" 1 series_count;
+      checki "two window lines" 2 windows
+  | Error message -> Alcotest.fail message);
+  let w1' = Timeseries.window_of_json (Timeseries.window_to_json w1) in
+  checkb "window json round-trips" true (w1 = w1');
+  (* The whole-series form is exactly header + per-window lines, which is
+     what the live server streams incrementally. *)
+  let streamed =
+    String.concat ""
+      (Json.to_string (Timeseries.header_json ~label:"unit" ~seed:7 series)
+       :: "\n"
+      :: List.concat_map
+           (fun w -> [ Json.to_string (Timeseries.window_to_json w); "\n" ])
+           (Timeseries.windows series))
+  in
+  checks "streaming form matches to_jsonl" jsonl streamed
+
+let test_series_validate_rejects () =
+  let reject name input =
+    match Timeseries.validate input with
+    | Ok _ -> Alcotest.fail (name ^ ": accepted")
+    | Error (_ : string) -> ()
+  in
+  reject "window before header"
+    {|{"kind":"window","i":0,"t":1,"dt":1,"counters":{},"deltas":{},"gauges":{},"histograms":{}}|};
+  reject "wrong schema" {|{"schema":"nope/v9","kind":"header","interval":1}|};
+  reject "bad interval" {|{"schema":"dangers/metrics-series/v1","kind":"header","interval":0}|};
+  reject "unknown kind" {|{"kind":"mystery"}|};
+  reject "not json" "series";
+  match Timeseries.validate "" with
+  | Ok (0, 0) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "empty input should be Ok (0, 0)"
+
+(* --- quantile estimation --- *)
+
+let test_histogram_quantile () =
+  let hs =
+    {
+      Metrics.hs_uppers = [| 1.; 2.; 4. |];
+      hs_counts = [| 2; 1; 1; 1 |];
+      hs_count = 5;
+      hs_sum = 10.;
+    }
+  in
+  checkf "q=0 at the lower edge" 0. (Metrics.histogram_quantile hs ~q:0.);
+  checkf "median interpolates inside its bucket" 1.5
+    (Metrics.histogram_quantile hs ~q:0.5);
+  checkf "overflow clamps to the largest finite upper" 4.
+    (Metrics.histogram_quantile hs ~q:1.0);
+  let empty =
+    { Metrics.hs_uppers = [| 1. |]; hs_counts = [| 0; 0 |]; hs_count = 0; hs_sum = 0. }
+  in
+  checkf "empty histogram" 0. (Metrics.histogram_quantile empty ~q:0.99)
+
+(* --- Prometheus exposition --- *)
+
+let test_sanitize () =
+  checks "dots fold" "scheme_commits_total"
+    (Prometheus.sanitize_metric_name "scheme.commits_total");
+  checks "leading digit prefixed" "_9lives" (Prometheus.sanitize_metric_name "9lives");
+  checks "empty becomes underscore" "_" (Prometheus.sanitize_metric_name "");
+  checks "colons survive" "a:b" (Prometheus.sanitize_metric_name "a:b");
+  checks "label escaping" "a\\\\b\\\"c\\nd"
+    (Prometheus.escape_label_value "a\\b\"c\nd")
+
+let golden_snapshot =
+  {
+    Metrics.s_counters =
+      [ ("9lives", 3); ("a.b", 1); ("a_b", 2); ("scheme.commits_total", 42) ];
+    s_gauges = [ ("net.queue high-water", 7.5) ];
+    s_histograms =
+      [
+        ( "scheme.commit_seconds",
+          {
+            Metrics.hs_uppers = [| 0.01; 0.1; 1. |];
+            hs_counts = [| 3; 2; 1; 1 |];
+            hs_count = 7;
+            hs_sum = 1.234;
+          } );
+      ];
+    s_phases = [];
+    s_warnings_total = 2;
+  }
+
+let test_prometheus_golden () =
+  let ic = open_in_bin "prom_golden.txt" in
+  let expected = In_channel.input_all ic in
+  close_in ic;
+  checks "exposition matches the golden file" expected
+    (Prometheus.of_snapshot golden_snapshot)
+
+let test_prometheus_lint () =
+  let text = Prometheus.of_snapshot golden_snapshot in
+  (match Prometheus.lint text with
+  (* 4 counters + 1 gauge + histogram (3 buckets + Inf + sum + count) +
+     warnings_total = 12 samples. *)
+  | Ok samples -> checki "sample count" 12 samples
+  | Error message -> Alcotest.fail message);
+  let reject name input =
+    match Prometheus.lint input with
+    | Ok _ -> Alcotest.fail (name ^ ": accepted")
+    | Error (_ : string) -> ()
+  in
+  reject "invalid name" "0bad 1\n";
+  reject "duplicate TYPE" "# TYPE a counter\n# TYPE a counter\na 1\n";
+  reject "unknown type" "# TYPE a fancy\na 1\n";
+  reject "unparsable value" "a one\n";
+  reject "non-cumulative buckets"
+    "# TYPE h histogram\n\
+     h_bucket{le=\"1\"} 5\n\
+     h_bucket{le=\"+Inf\"} 3\n\
+     h_sum 1\n\
+     h_count 3\n";
+  reject "count disagrees with +Inf"
+    "# TYPE h histogram\n\
+     h_bucket{le=\"1\"} 1\n\
+     h_bucket{le=\"+Inf\"} 3\n\
+     h_sum 1\n\
+     h_count 4\n"
+
+(* --- protocol round-trips for the scrape arms --- *)
+
+let roundtrip codec value =
+  let frame = Protocol.to_frame codec value in
+  Protocol.of_payload codec (String.sub frame 4 (String.length frame - 4))
+
+let test_protocol_scrape_arms () =
+  checkb "Metrics_snapshot request" true
+    (roundtrip Protocol.request Protocol.Metrics_snapshot
+    = Protocol.Metrics_snapshot);
+  checkb "Metrics_prom request" true
+    (roundtrip Protocol.request Protocol.Metrics_prom = Protocol.Metrics_prom);
+  let json = {|{"schema":"dangers/metrics/v1","counters":{}}|} in
+  checkb "Metrics_json response" true
+    (roundtrip Protocol.response (Protocol.Metrics_json json)
+    = Protocol.Metrics_json json);
+  let text = "# TYPE a counter\na 1\n" in
+  checkb "Metrics_text response" true
+    (roundtrip Protocol.response (Protocol.Metrics_text text)
+    = Protocol.Metrics_text text);
+  let stats =
+    {
+      Protocol.commits = 12;
+      tentative_accepted = 3;
+      tentative_rejected = 1;
+      scope_violations = 0;
+      warnings_total = 5;
+      warnings = [ ("bench.compare.missing", 2); ("net.partition", 3) ];
+    }
+  in
+  checkb "Stats_reply with warnings" true
+    (roundtrip Protocol.response (Protocol.Stats_reply stats)
+    = Protocol.Stats_reply stats);
+  checkb "Error response" true
+    (roundtrip Protocol.response (Protocol.Error "boom") = Protocol.Error "boom")
+
+(* --- the new instrumentation must not perturb the scheme --- *)
+
+let churn_spec () =
+  let params = { Params.default with Params.nodes = 4 } in
+  Scheme.spec ~base_nodes:2
+    ~connectivity:(Connectivity.day_cycle ~connected:3. ~disconnected:2.)
+    params
+
+let test_two_tier_series_identity () =
+  let scheme =
+    match Scheme.find "two-tier" with
+    | Some s -> s
+    | None -> Alcotest.fail "two-tier not registered"
+  in
+  let plain = Scheme.run_outcome scheme (churn_spec ()) ~seed:11 ~warmup:1. ~span:10. in
+  let registry = Metrics.create () in
+  let series = Timeseries.create ~interval:1.0 registry in
+  let observed =
+    Observe.with_observation ~obs:registry ~series (fun () ->
+        Scheme.run_outcome scheme (churn_spec ()) ~seed:11 ~warmup:1. ~span:10.)
+  in
+  checkb "summary identical with a series attached" true
+    (plain.Scheme.summary = observed.Scheme.summary
+    && plain.Scheme.diagnostics = observed.Scheme.diagnostics);
+  (* The series really recorded the measured window... *)
+  checkb "windows sampled" true (Timeseries.sampled series >= 10);
+  (* ...including the new two-tier lag instrumentation. *)
+  let snapshot = Metrics.snapshot registry in
+  checkb "aggregate queue-depth gauge" true
+    (Metrics.snapshot_gauge snapshot "two_tier.tentative_queue_depth" <> None);
+  checkb "aggregate oldest-age gauge" true
+    (Metrics.snapshot_gauge snapshot "two_tier.oldest_tentative_age_seconds"
+    <> None);
+  checkb "per-mobile gauges present" true
+    (Metrics.snapshot_gauge snapshot "two_tier.mobile.00.tentative_queue_depth"
+    <> None);
+  checkb "commit latency histogram populated" true
+    (match Metrics.snapshot_histogram snapshot "scheme.commit_seconds" with
+    | Some h -> h.Metrics.hs_count > 0
+    | None -> false);
+  checkb "reconcile-lag histogram registered" true
+    (Metrics.snapshot_histogram snapshot "two_tier.reconcile_lag_seconds"
+    <> None);
+  (* And every window of the series carries the lag gauges. *)
+  checkb "windows carry the lag gauges" true
+    (List.for_all
+       (fun w ->
+         List.mem_assoc "two_tier.tentative_queue_depth" w.Timeseries.w_gauges)
+       (Timeseries.windows series))
+
+let test_series_only_attaches_with_registry () =
+  (* A series without a registry in the ambient context is ignored: the
+     scheme has no registry to sample from, so nothing is recorded. *)
+  let orphan = Timeseries.create ~interval:1.0 (Metrics.create ()) in
+  let scheme = Option.get (Scheme.find "two-tier") in
+  ignore
+    (Observe.with_observation ~series:orphan (fun () ->
+         Scheme.run_outcome scheme (churn_spec ()) ~seed:11 ~warmup:1. ~span:5.));
+  checki "orphan series untouched" 0 (Timeseries.sampled orphan)
+
+let suite =
+  [
+    Alcotest.test_case "ring wraparound." `Quick test_ring_wraparound;
+    Alcotest.test_case "delta and rate math." `Quick test_delta_and_rate;
+    Alcotest.test_case "rebase resets the baseline." `Quick test_rebase;
+    Alcotest.test_case "series JSONL round-trips." `Quick test_series_jsonl_roundtrip;
+    Alcotest.test_case "series validate rejects." `Quick test_series_validate_rejects;
+    Alcotest.test_case "histogram quantile." `Quick test_histogram_quantile;
+    Alcotest.test_case "prometheus name sanitisation." `Quick test_sanitize;
+    Alcotest.test_case "prometheus golden exposition." `Quick test_prometheus_golden;
+    Alcotest.test_case "prometheus lint." `Quick test_prometheus_lint;
+    Alcotest.test_case "protocol scrape arms round-trip." `Quick
+      test_protocol_scrape_arms;
+    Alcotest.test_case "two-tier unperturbed by series." `Quick
+      test_two_tier_series_identity;
+    Alcotest.test_case "series needs a registry." `Quick
+      test_series_only_attaches_with_registry;
+  ]
