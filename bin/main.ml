@@ -899,9 +899,10 @@ let lint_cmd =
   let module Lint_baseline = Dangers_lint.Baseline in
   let module Lint_report = Dangers_lint.Report in
   let prefixes =
-    Arg.(value & pos_all string [ "lib/"; "bin/" ]
+    Arg.(value & pos_all string [ "lib/"; "bin/"; "bench/" ]
          & info [] ~docv:"PREFIX"
-             ~doc:"Source path prefixes to analyze (default: lib/ bin/).")
+             ~doc:"Source path prefixes to analyze (default: lib/ bin/ \
+                   bench/).")
   in
   let build_dir =
     Arg.(value & opt (some string) None
@@ -946,8 +947,34 @@ let lint_cmd =
              ~doc:"Ignore each rule's source-path scope (lint fixtures, \
                    debugging).")
   in
+  let fail_on =
+    Arg.(value
+         & opt (enum [ ("error", `Error); ("warning", `Warning) ]) `Warning
+         & info [ "fail-on" ] ~docv:"SEVERITY"
+             ~doc:"Lowest severity that fails the run: $(b,warning) (the \
+                   default) fails on any finding, $(b,error) lets \
+                   warnings through.")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ]
+             ~doc:"Recompute every module summary instead of consulting \
+                   the on-disk cache.")
+  in
+  let cache_file =
+    Arg.(value & opt string Dangers_lint.Cache.default_path
+         & info [ "cache-file" ] ~docv:"FILE"
+             ~doc:"Summary cache keyed by per-file .cmt digest (default: \
+                   _build/.dangers-lint-cache.json).")
+  in
+  let graph_out =
+    Arg.(value & opt (some string) None
+         & info [ "graph-out" ] ~docv:"FILE"
+             ~doc:"Also write the resolved whole-program def/use graph \
+                   (dangers/lint-graph/v1 JSON) to FILE.")
+  in
   let run prefixes build_dir rules baseline update_baseline format out
-      list_rules all_files =
+      list_rules all_files fail_on no_cache cache_file graph_out =
     if list_rules then begin
       List.iter
         (fun (r : Lint_rule.t) ->
@@ -1023,7 +1050,8 @@ let lint_cmd =
           | Error code -> code
           | Ok baseline ->
               let report =
-                Lint_engine.run ~all_files ~baseline ~rules ~build_dir
+                Lint_engine.run ~all_files ~baseline ~cache_file
+                  ~use_cache:(not no_cache) ?graph_out ~rules ~build_dir
                   ~prefixes ()
               in
               let text =
@@ -1039,18 +1067,30 @@ let lint_cmd =
                   output_string oc text;
                   close_out oc;
                   Printf.printf "wrote %s\n" file);
-              Lint_report.exit_code report)
+              let fail_on =
+                match fail_on with
+                | `Error -> Dangers_lint.Finding.Error
+                | `Warning -> Dangers_lint.Finding.Warning
+              in
+              Lint_report.exit_code ~fail_on report)
     end
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Static determinism & domain-safety analysis over the .cmt \
-             files dune already built. Rules: banned nondeterministic \
-             calls (D1), unordered hashtable iteration in export paths \
-             (D2), polymorphic float comparison (D3), unguarded \
-             module-level mutable state (R1), partial functions (P1).")
+             files dune already built. Per-unit rules: banned \
+             nondeterministic calls (D1), unordered hashtable iteration \
+             in export paths (D2), polymorphic float comparison (D3), \
+             unguarded module-level mutable state (R1), partial \
+             functions (P1), runtime-clock discipline (RT1). \
+             Whole-program rules (two-phase, call-graph-aware, \
+             summary-cached): mutable state crossing a domain boundary \
+             (DR1), atomic read-modify-write windows (DR2), mutex \
+             discipline (DR3), module state shared between crossing \
+             closures and top-level code (DR4).")
     Term.(const run $ prefixes $ build_dir $ rules $ baseline
-          $ update_baseline $ format $ out $ list_rules $ all_files)
+          $ update_baseline $ format $ out $ list_rules $ all_files
+          $ fail_on $ no_cache $ cache_file $ graph_out)
 
 let bench_cmd =
   let quick =

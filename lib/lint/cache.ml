@@ -1,0 +1,75 @@
+(* On-disk summary cache. One JSON file keyed by (source path, cmt
+   digest): a module whose cmt is byte-identical to the cached run is
+   never re-summarized. A missing, unreadable, or schema-mismatched
+   cache degrades to empty — the cache is a pure accelerator, never a
+   correctness input. *)
+
+module Json = Dangers_obs.Json
+
+let schema_id = "dangers/lint-summary-cache/v1"
+let default_path = Filename.concat "_build" ".dangers-lint-cache.json"
+
+type t = (string * string, Summary.t) Hashtbl.t
+
+let empty () : t = Hashtbl.create 16
+
+let load path : t =
+  let tbl = Hashtbl.create 128 in
+  (try
+     let ic = open_in_bin path in
+     let contents =
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> really_input_string ic (in_channel_length ic))
+     in
+     let j = Json.of_string contents in
+     if Json.member_opt "schema" j = Some (Json.Str schema_id) then
+       List.iter
+         (fun entry ->
+           let s = Summary.of_json entry in
+           if s.Summary.s_digest <> "" then
+             Hashtbl.replace tbl (s.Summary.s_path, s.Summary.s_digest) s)
+         (Json.list_of (Json.member "entries" j))
+   with Sys_error _ | End_of_file | Json.Parse_error _ -> Hashtbl.reset tbl);
+  tbl
+
+let save path (summaries : Summary.t list) =
+  let entries =
+    List.filter (fun (s : Summary.t) -> s.Summary.s_digest <> "") summaries
+  in
+  let j =
+    Json.Obj
+      [
+        ("schema", Json.Str schema_id);
+        ("entries", Json.Arr (List.map Summary.to_json entries));
+      ]
+  in
+  try
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Json.to_string j));
+    Sys.rename tmp path
+  with Sys_error _ -> ()
+
+(* Summarize every source, consulting [cache]; returns the summaries in
+   source order plus hit/miss counts. *)
+let summarize ~(cache : t) sources =
+  let hits = ref 0 and misses = ref 0 in
+  let summaries =
+    List.map
+      (fun (src : Loader.source) ->
+        match
+          if src.Loader.digest = "" then None
+          else Hashtbl.find_opt cache (src.Loader.path, src.Loader.digest)
+        with
+        | Some s ->
+            incr hits;
+            s
+        | None ->
+            incr misses;
+            Summary.of_source src)
+      sources
+  in
+  (summaries, !hits, !misses)

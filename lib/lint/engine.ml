@@ -3,44 +3,128 @@ let default_build_dir () =
   if Sys.file_exists candidate && Sys.is_directory candidate then candidate
   else "."
 
-let check_sources ?(all_files = false) ~rules sources =
-  let findings, suppressed =
+let split_rules rules =
+  List.partition
+    (fun (r : Rule.t) ->
+      match r.Rule.check with
+      | Rule.Unit_check _ -> true
+      | Rule.Program_check _ -> false)
+    rules
+
+type analysis = {
+  findings : Finding.t list;
+  suppressed : int;
+  cache_hits : int;
+  cache_misses : int;
+  graph : Callgraph.t option;
+}
+
+(* Run both phases over already-loaded sources. Phase 1 (per-unit rules,
+   and summarization when any program rule is selected) is skipped
+   per-part when the corresponding rule set is empty; suppressions are
+   always applied from the typedtrees, so cached summaries never bypass
+   a [@lint.allow]. *)
+let analyze ?(all_files = false) ?(cache = Cache.empty ()) ~rules sources =
+  let unit_rules, program_rules = split_rules rules in
+  let tables =
+    List.map
+      (fun (src : Loader.source) ->
+        (src.Loader.path, Suppress.collect src.Loader.structure))
+      sources
+  in
+  let allows ~file ~rule ~line =
+    match List.assoc_opt file tables with
+    | Some t -> Suppress.allows t ~rule ~line
+    | None -> false
+  in
+  let keep (kept, suppressed) (f : Finding.t) =
+    if allows ~file:f.Finding.file ~rule:f.Finding.rule ~line:f.Finding.line
+    then (kept, suppressed + 1)
+    else (f :: kept, suppressed)
+  in
+  let acc =
     List.fold_left
       (fun acc (src : Loader.source) ->
-        let suppressions = Suppress.collect src.Loader.structure in
         List.fold_left
           (fun acc (rule : Rule.t) ->
-            if all_files || rule.Rule.in_scope src.Loader.path then
-              List.fold_left
-                (fun (kept, suppressed) (f : Finding.t) ->
-                  if
-                    Suppress.allows suppressions ~rule:f.Finding.rule
-                      ~line:f.Finding.line
-                  then (kept, suppressed + 1)
-                  else (f :: kept, suppressed))
-                acc
-                (rule.Rule.check ~file:src.Loader.path src.Loader.structure)
-            else acc)
-          acc rules)
+            match rule.Rule.check with
+            | Rule.Program_check _ -> acc
+            | Rule.Unit_check check ->
+                if all_files || rule.Rule.in_scope src.Loader.path then
+                  List.fold_left keep acc
+                    (check ~file:src.Loader.path src.Loader.structure)
+                else acc)
+          acc unit_rules)
       ([], 0) sources
   in
-  (List.sort Finding.compare findings, suppressed)
-
-let run ?(all_files = false) ?(baseline = Baseline.empty) ~rules ~build_dir
-    ~prefixes () =
-  let loaded = Loader.load ~build_dir ~prefixes in
-  let findings, suppressed =
-    check_sources ~all_files ~rules loaded.Loader.sources
+  let acc, cache_hits, cache_misses, graph =
+    if program_rules = [] then (acc, 0, 0, None)
+    else begin
+      let summaries, hits, misses = Cache.summarize ~cache sources in
+      let graph = Callgraph.make summaries in
+      let acc =
+        List.fold_left
+          (fun acc (rule : Rule.t) ->
+            match rule.Rule.check with
+            | Rule.Unit_check _ -> acc
+            | Rule.Program_check check ->
+                List.fold_left
+                  (fun acc (f : Finding.t) ->
+                    if all_files || rule.Rule.in_scope f.Finding.file then
+                      keep acc f
+                    else acc)
+                  acc (check graph))
+          acc program_rules
+      in
+      (acc, hits, misses, Some graph)
+    end
   in
-  let applied = Baseline.apply baseline findings in
+  let findings, suppressed = acc in
+  {
+    findings = List.sort Finding.compare findings;
+    suppressed;
+    cache_hits;
+    cache_misses;
+    graph;
+  }
+
+let check_sources ?(all_files = false) ~rules sources =
+  let a = analyze ~all_files ~rules sources in
+  (a.findings, a.suppressed)
+
+let run ?(all_files = false) ?(baseline = Baseline.empty) ?cache_file
+    ?(use_cache = true) ?graph_out ~rules ~build_dir ~prefixes () =
+  let loaded = Loader.load ~build_dir ~prefixes in
+  let cache =
+    match (use_cache, cache_file) with
+    | true, Some path -> Cache.load path
+    | _ -> Cache.empty ()
+  in
+  let a = analyze ~all_files ~cache ~rules loaded.Loader.sources in
+  (match (a.graph, use_cache, cache_file) with
+  | Some g, true, Some path ->
+      Cache.save path (Callgraph.summaries_of g)
+  | _ -> ());
+  (match (a.graph, graph_out) with
+  | Some g, Some path ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (Dangers_obs.Json.to_string (Callgraph.to_json g));
+          output_char oc '\n')
+  | _ -> ());
+  let applied = Baseline.apply baseline a.findings in
   {
     Report.rules = List.map (fun r -> r.Rule.id) rules;
     sources = List.length loaded.Loader.sources;
     findings = applied.Baseline.fresh;
-    suppressed;
+    suppressed = a.suppressed;
     baselined = applied.Baseline.baselined;
     stale = applied.Baseline.stale;
     unreadable = loaded.Loader.unreadable;
+    cache_hits = a.cache_hits;
+    cache_misses = a.cache_misses;
   }
 
 let grandfather ?(all_files = false) ~rules ~build_dir ~prefixes () =

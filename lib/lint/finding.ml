@@ -1,22 +1,36 @@
 module Json = Dangers_obs.Json
 
+type severity = Error | Warning
+
 type t = {
   rule : string;
+  severity : severity;
   file : string;
   line : int;
   col : int;
   message : string;
 }
 
-let make ~rule ~file ~loc ~message =
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let severity_of_string = function
+  | "error" -> Error
+  | "warning" -> Warning
+  | s -> Json.parse_error "unknown finding severity %S" s
+
+let make ?(severity = Error) ~rule ~file ~loc ~message () =
   let p = loc.Location.loc_start in
   {
     rule;
+    severity;
     file;
     line = p.Lexing.pos_lnum;
     col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
     message;
   }
+
+let at ?(severity = Error) ~rule ~file ~line ~col ~message () =
+  { rule; severity; file; line; col; message }
 
 let key f = f.rule ^ "|" ^ f.file ^ "|" ^ f.message
 
@@ -34,12 +48,15 @@ let compare a b =
         if c <> 0 then c else String.compare a.message b.message
 
 let pp ppf f =
-  Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
+  Format.fprintf ppf "%s:%d:%d: %s [%s] %s" f.file f.line f.col
+    (severity_to_string f.severity)
+    f.rule f.message
 
 let to_json f =
   Json.Obj
     [
       ("rule", Json.Str f.rule);
+      ("severity", Json.Str (severity_to_string f.severity));
       ("file", Json.Str f.file);
       ("line", Json.int_ f.line);
       ("col", Json.int_ f.col);
@@ -49,6 +66,10 @@ let to_json f =
 let of_json j =
   {
     rule = Json.string_of (Json.member "rule" j);
+    severity =
+      (match Json.member_opt "severity" j with
+      | Some s -> severity_of_string (Json.string_of s)
+      | None -> Error);
     file = Json.string_of (Json.member "file" j);
     line = Json.int_of (Json.member "line" j);
     col = Json.int_of (Json.member "col" j);

@@ -3,15 +3,44 @@
     Findings are keyed for baselining by [(rule, file, message)] — line
     numbers shift every edit, so the baseline must not depend on them. *)
 
+type severity =
+  | Error  (** fails the run under [--fail-on error] (the CI default) *)
+  | Warning  (** fails only under [--fail-on warning] *)
+
 type t = {
   rule : string;  (** rule id, e.g. ["D1"] *)
+  severity : severity;
   file : string;  (** source path as recorded in the [.cmt] *)
   line : int;  (** 1-based *)
   col : int;  (** 0-based *)
   message : string;
 }
 
-val make : rule:string -> file:string -> loc:Location.t -> message:string -> t
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity
+
+val make :
+  ?severity:severity ->
+  rule:string ->
+  file:string ->
+  loc:Location.t ->
+  message:string ->
+  unit ->
+  t
+(** [severity] defaults to [Error]. *)
+
+val at :
+  ?severity:severity ->
+  rule:string ->
+  file:string ->
+  line:int ->
+  col:int ->
+  message:string ->
+  unit ->
+  t
+(** Build a finding from an explicit position — used by the summary-based
+    rules, whose locations survive the cache as plain line/column pairs
+    rather than [Location.t]s. *)
 
 val key : t -> string
 (** Baseline identity: [rule ^ "|" ^ file ^ "|" ^ message]. *)
@@ -20,7 +49,8 @@ val compare : t -> t -> int
 (** Stable report order: by file, line, column, rule, message. *)
 
 val pp : Format.formatter -> t -> unit
-(** [file:line:col: \[rule\] message] — one line, compiler style. *)
+(** [file:line:col: severity \[rule\] message] — one line, compiler
+    style. *)
 
 val to_json : t -> Dangers_obs.Json.t
 val of_json : Dangers_obs.Json.t -> t

@@ -1,5 +1,7 @@
 type source = {
   path : string;
+  cmt_path : string;
+  digest : string;
   structure : Typedtree.structure;
 }
 
@@ -30,8 +32,22 @@ let load_cmt path =
       match (infos.cmt_annots, infos.cmt_sourcefile) with
       | Cmt_format.Implementation structure, Some source
         when not (generated source) ->
-          Ok (Some { path = source; structure })
+          let digest =
+            match Digest.file path with
+            | d -> Digest.to_hex d
+            | exception Sys_error _ -> ""
+          in
+          Ok (Some { path = source; cmt_path = path; digest; structure })
       | _ -> Ok None)
+
+(* Local copy of Rule.path_has_prefix: the loader sits below Rule in the
+   module graph (Rule now reaches Callgraph, which reaches back here). *)
+let path_has_prefix prefixes path =
+  List.exists
+    (fun prefix ->
+      String.length path >= String.length prefix
+      && String.sub path 0 (String.length prefix) = prefix)
+    prefixes
 
 let load ~build_dir ~prefixes =
   let cmts = List.sort String.compare (scan_dir build_dir []) in
@@ -42,7 +58,7 @@ let load ~build_dir ~prefixes =
         | Error path -> (sources, path :: unreadable)
         | Ok None -> (sources, unreadable)
         | Ok (Some src) ->
-            if prefixes = [] || Rule.path_has_prefix prefixes src.path then
+            if prefixes = [] || path_has_prefix prefixes src.path then
               (src :: sources, unreadable)
             else (sources, unreadable))
       ([], []) cmts

@@ -8,13 +8,33 @@ type t = {
   baselined : int;
   stale : Baseline.entry list;
   unreadable : string list;
+  cache_hits : int;  (** summaries served from the on-disk cache *)
+  cache_misses : int;  (** summaries recomputed this run *)
 }
 
-let schema_id = "dangers/lint/v1"
+let schema_id = "dangers/lint/v2"
+
+let errors t =
+  List.length
+    (List.filter
+       (fun (f : Finding.t) -> f.Finding.severity = Finding.Error)
+       t.findings)
+
+let warnings t = List.length t.findings - errors t
 
 let clean t = t.findings = [] && t.unreadable = []
 
-let exit_code t = if clean t then 0 else 1
+(* [fail_on] is the lowest severity that fails the run: [Warning] (the
+   default) fails on any finding, [Error] lets warnings through — the CI
+   gate for rules that advise rather than forbid. Unreadable cmts always
+   fail: a file the linter cannot see is not a clean file. *)
+let exit_code ?(fail_on = Finding.Warning) t =
+  let failing =
+    match fail_on with
+    | Finding.Warning -> List.length t.findings
+    | Finding.Error -> errors t
+  in
+  if failing = 0 && t.unreadable = [] then 0 else 1
 
 let to_json t =
   Json.Obj
@@ -23,6 +43,8 @@ let to_json t =
       ("rules", Json.Arr (List.map (fun id -> Json.Str id) t.rules));
       ("sources", Json.int_ t.sources);
       ("findings", Json.Arr (List.map Finding.to_json t.findings));
+      ("errors", Json.int_ (errors t));
+      ("warnings", Json.int_ (warnings t));
       ("suppressed", Json.int_ t.suppressed);
       ("baselined", Json.int_ t.baselined);
       ( "stale_baseline",
@@ -37,6 +59,12 @@ let to_json t =
                  ])
              t.stale) );
       ("unreadable", Json.Arr (List.map (fun p -> Json.Str p) t.unreadable));
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.int_ t.cache_hits);
+            ("misses", Json.int_ t.cache_misses);
+          ] );
       ("clean", Json.Bool (clean t));
     ]
 
@@ -52,9 +80,11 @@ let pp ppf t =
     (fun path -> Format.fprintf ppf "unreadable cmt: %s@." path)
     t.unreadable;
   Format.fprintf ppf
-    "lint: %d finding(s), %d suppressed, %d baselined, %d stale baseline \
-     entr%s over %d source(s) [%s]@."
-    (List.length t.findings) t.suppressed t.baselined (List.length t.stale)
+    "lint: %d finding(s) (%d error(s), %d warning(s)), %d suppressed, %d \
+     baselined, %d stale baseline entr%s over %d source(s), summary cache \
+     %d hit(s) %d miss(es) [%s]@."
+    (List.length t.findings) (errors t) (warnings t) t.suppressed t.baselined
+    (List.length t.stale)
     (if List.length t.stale = 1 then "y" else "ies")
-    t.sources
+    t.sources t.cache_hits t.cache_misses
     (String.concat " " t.rules)

@@ -1,4 +1,4 @@
-(** Result of one lint run, renderable as text or dangers/lint/v1 JSON. *)
+(** Result of one lint run, renderable as text or dangers/lint/v2 JSON. *)
 
 type t = {
   rules : string list;  (** rule ids that ran *)
@@ -8,17 +8,25 @@ type t = {
   baselined : int;  (** findings absorbed by the baseline *)
   stale : Baseline.entry list;  (** baseline entries matching nothing *)
   unreadable : string list;  (** cmt files that failed to load *)
+  cache_hits : int;  (** summaries served from the on-disk cache *)
+  cache_misses : int;  (** summaries recomputed this run *)
 }
 
 val schema_id : string
-(** ["dangers/lint/v1"] *)
+(** ["dangers/lint/v2"] *)
+
+val errors : t -> int
+val warnings : t -> int
 
 val clean : t -> bool
 (** No fresh findings and no unreadable cmts (stale baseline entries only
     warn — they mean the code got better). *)
 
-val exit_code : t -> int
-(** 0 when {!clean}, 1 otherwise. *)
+val exit_code : ?fail_on:Finding.severity -> t -> int
+(** 0 when nothing at or above [fail_on] remains and every cmt was
+    readable, 1 otherwise. The default [fail_on:Warning] fails on any
+    finding; [fail_on:Error] lets warnings through (the [--fail-on error]
+    CI gate). *)
 
 val to_json : t -> Dangers_obs.Json.t
 val pp : Format.formatter -> t -> unit

@@ -1,9 +1,17 @@
+(* A unit check walks one compilation unit's typedtree in isolation; a
+   program check runs once over the whole-program call graph built from
+   every unit's summary (phase 2). Program findings are still filtered
+   per file by [in_scope] and by that file's suppressions. *)
+type check =
+  | Unit_check of (file:string -> Typedtree.structure -> Finding.t list)
+  | Program_check of (Callgraph.t -> Finding.t list)
+
 type t = {
   id : string;
   title : string;
   rationale : string;
   in_scope : string -> bool;
-  check : file:string -> Typedtree.structure -> Finding.t list;
+  check : check;
 }
 
 let ident_name path =

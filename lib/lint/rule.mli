@@ -1,15 +1,22 @@
-(** A lint rule: an id, documentation, a source-path scope, and a check
-    over one compilation unit's typedtree.
+(** A lint rule: an id, documentation, a source-path scope, and a check —
+    either over one compilation unit's typedtree (phase 1) or over the
+    whole-program call graph assembled from every unit's summary
+    (phase 2).
 
     Checks are pure — suppression ([@lint.allow]) and baselining are
-    applied by {!Engine} on top of whatever a check reports. *)
+    applied by {!Engine} on top of whatever a check reports. Program
+    findings are filtered by [in_scope] on each finding's file. *)
+
+type check =
+  | Unit_check of (file:string -> Typedtree.structure -> Finding.t list)
+  | Program_check of (Callgraph.t -> Finding.t list)
 
 type t = {
   id : string;  (** short stable id, e.g. ["D1"] *)
   title : string;  (** one-line summary for [--list] *)
   rationale : string;  (** why violating this breaks the determinism story *)
   in_scope : string -> bool;  (** does the rule apply to this source path? *)
-  check : file:string -> Typedtree.structure -> Finding.t list;
+  check : check;
 }
 
 (** {2 Helpers shared by rule implementations} *)

@@ -5,7 +5,7 @@
    identifier. *)
 
 let finding ~rule ~file ~loc fmt =
-  Printf.ksprintf (fun message -> Finding.make ~rule ~file ~loc ~message) fmt
+  Printf.ksprintf (fun message -> Finding.make ~rule ~file ~loc ~message ()) fmt
 
 (* --- D1: banned nondeterministic calls --- *)
 
@@ -40,7 +40,8 @@ let d1 =
     in_scope =
       Rule.path_has_prefix [ "lib/sim/"; "lib/replication/"; "lib/core/" ];
     check =
-      (fun ~file str ->
+      Rule.Unit_check
+        (fun ~file str ->
         let acc = ref [] in
         Rule.iter_exprs str (fun e ->
             match e.exp_desc with
@@ -107,7 +108,8 @@ let d2 =
        is not reproducible; sort the keys first";
     in_scope = Rule.basename_in d2_modules;
     check =
-      (fun ~file str ->
+      Rule.Unit_check
+        (fun ~file str ->
         let acc = ref [] in
         let depth = ref 0 in
         let open Tast_iterator in
@@ -167,7 +169,8 @@ let d3 =
        so degenerate inputs fail loudly or order totally";
     in_scope = Rule.path_has_prefix [ "lib/" ];
     check =
-      (fun ~file str ->
+      Rule.Unit_check
+        (fun ~file str ->
         let acc = ref [] in
         Rule.iter_exprs str (fun e ->
             match e.exp_desc with
@@ -275,7 +278,8 @@ let r1 =
        race at worst, a nondeterministic result at best";
     in_scope = Rule.path_has_prefix [ "lib/" ];
     check =
-      (fun ~file str -> List.rev (check_structure ~file str []));
+      Rule.Unit_check
+        (fun ~file str -> List.rev (check_structure ~file str []));
   }
 
 (* --- P1: silently partial functions --- *)
@@ -298,7 +302,8 @@ let p1 =
        and the broken precondition";
     in_scope = Rule.path_has_prefix [ "lib/" ];
     check =
-      (fun ~file str ->
+      Rule.Unit_check
+        (fun ~file str ->
         let acc = ref [] in
         Rule.iter_exprs str (fun e ->
             match e.exp_desc with
@@ -337,7 +342,8 @@ let rt1 =
        use Dangers_runtime.Clock (now/schedule/cancel)";
     in_scope = Rule.path_has_prefix [ "lib/core/" ];
     check =
-      (fun ~file str ->
+      Rule.Unit_check
+        (fun ~file str ->
         let acc = ref [] in
         let starts_with prefix name =
           String.length name >= String.length prefix
@@ -364,7 +370,72 @@ let rt1 =
         List.rev !acc);
   }
 
-let all = [ d1; d2; d3; r1; p1; rt1 ]
+(* --- DR1–DR4: cross-domain data races (whole-program, two-phase) --- *)
+
+(* The interprocedural rules look at everything the build produces:
+   library code, the CLI drivers in bin/, and the benchmark drivers in
+   bench/ — Domain.spawn in a driver races exactly like one in a
+   library. *)
+let dr_scope = Rule.path_has_prefix [ "lib/"; "bin/"; "bench/" ]
+
+let dr1 =
+  {
+    Rule.id = "DR1";
+    title = "no unsynchronized mutable state crossing a domain boundary";
+    rationale =
+      "a closure handed to Domain.spawn/Thread.create or a pool runs \
+       concurrently with its creator; any ref, array, table, or mutable \
+       field it shares without Atomic/Mutex/DLS is a data race — the \
+       multicore analogue of the paper's unsynchronized eager \
+       replication";
+    in_scope = dr_scope;
+    check = Rule.Program_check Callgraph.dr1;
+  }
+
+let dr2 =
+  {
+    Rule.id = "DR2";
+    title = "no Atomic.set built from Atomic.get of the same atomic";
+    rationale =
+      "Atomic.set a (f (Atomic.get a)) is two atomic operations with a \
+       window between them: concurrent increments are lost exactly like \
+       unsynchronized replica updates; use fetch_and_add or a \
+       compare_and_set retry loop";
+    in_scope = dr_scope;
+    check =
+      Rule.Program_check (fun g -> Callgraph.local_findings g ~rule:"DR2");
+  }
+
+let dr3 =
+  {
+    Rule.id = "DR3";
+    title = "mutex discipline: balanced lock/unlock, no raise or block \
+             while holding";
+    rationale =
+      "a lock left held on one branch, released twice in a loop, or held \
+       across a raise/join/sleep turns a race-free module into a \
+       deadlock or a serialization cliff; pair every lock with an unlock \
+       on every path, or use Fun.protect/Mutex.protect";
+    in_scope = dr_scope;
+    check =
+      Rule.Program_check (fun g -> Callgraph.local_findings g ~rule:"DR3");
+  }
+
+let dr4 =
+  {
+    Rule.id = "DR4";
+    title = "no module-level mutable state reachable from both a crossing \
+             closure and top-level code";
+    rationale =
+      "state touched by a spawned domain and by ordinary callers is \
+       shared even if each side looks single-threaded locally; the race \
+       only fires when the pool is enabled, which is exactly when it is \
+       hardest to debug";
+    in_scope = dr_scope;
+    check = Rule.Program_check Callgraph.dr4;
+  }
+
+let all = [ d1; d2; d3; r1; p1; rt1; dr1; dr2; dr3; dr4 ]
 
 let find id =
   let id = String.uppercase_ascii id in

@@ -12,7 +12,21 @@
       [lazy], ...) in code reachable from [Runner.Task_pool] workers that
       is not [Atomic], [Mutex]-guarded, or [Domain.DLS]-scoped.
     - [P1] — silently partial stdlib functions ([List.hd], [List.tl],
-      [List.nth], [Option.get]) in library code. *)
+      [List.nth], [Option.get]) in library code.
+
+    Whole-program rules (two-phase, call-graph-aware):
+
+    - [DR1] — mutable state captured by, or reachable from, a closure
+      that crosses a domain boundary ([Domain.spawn], [Thread.create],
+      [Domain_pool.parallel_for], [Task_pool.map], [Live_clock.post])
+      without Atomic/Mutex/DLS synchronization.
+    - [DR2] — [Atomic.set a (f (Atomic.get a))]: a lost-update window
+      between two atomic operations.
+    - [DR3] — mutex discipline: lock/unlock imbalance across paths,
+      raising while holding outside [Fun.protect], blocking calls under
+      a lock (warning severity).
+    - [DR4] — module-level mutable state reached both from a
+      domain-crossing closure and from ordinary top-level code. *)
 
 val all : Rule.t list
 (** Every shipped rule, in id order. *)

@@ -67,7 +67,10 @@ let collect str =
   it.structure it str;
   t
 
-let matches rule id = id = "*" || id = rule
+(* Rule ids are matched case-insensitively so the conventional lowercase
+   form ([@lint.allow "dr1"]) and the catalogue form ("DR1") both work. *)
+let matches rule id =
+  id = "*" || String.uppercase_ascii id = String.uppercase_ascii rule
 
 let allows t ~rule ~line =
   List.exists (matches rule) t.file_wide

@@ -62,11 +62,13 @@ let max_gauge g v = if v > g.g_value then g.g_value <- v
 let gauge_value g = g.g_value
 
 (* Power-of-two-ish spread from 100us to ~100s: wide enough for simulated
-   message latencies under any delay model in the tree. *)
-let default_latency_buckets =
+   message latencies under any delay model in the tree. A fresh array per
+   call — a shared module-level array would be mutable state visible to
+   every domain that opens a histogram. *)
+let default_latency_buckets () =
   [| 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.; 3.; 10.; 30.; 100. |]
 
-let histogram ?(buckets = default_latency_buckets) t name =
+let histogram ?(buckets = default_latency_buckets ()) t name =
   match Hashtbl.find_opt t.histograms name with
   | Some h -> h
   | None ->

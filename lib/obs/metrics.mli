@@ -47,9 +47,10 @@ val gauge_value : gauge -> float
 
 type histogram
 
-val default_latency_buckets : float array
+val default_latency_buckets : unit -> float array
 (** 100 µs to 100 s in roughly 1–3–10 steps, for simulated-seconds
-    latencies. *)
+    latencies. Returns a fresh array each call, so callers may mutate
+    their copy and no mutable state is shared across domains. *)
 
 val histogram : ?buckets:float array -> t -> string -> histogram
 (** Fixed upper-bound buckets plus an implicit overflow bucket. Interned by

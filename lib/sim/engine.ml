@@ -31,7 +31,10 @@ type t = {
   mutable trace : Trace.t option;
 }
 
-let dummy_event = { action = ignore; cancelled = true }
+(* Allocated per call: heap slots briefly alias the filler event, and
+   engines may live on different domains — a single shared record
+   would be cross-domain mutable state. *)
+let dummy_event () = { action = ignore; cancelled = true }
 
 let create () =
   {
@@ -41,7 +44,7 @@ let create () =
     live = 0;
     times = Array.make 16 0.;
     seqs = Array.make 16 0;
-    evs = Array.make 16 dummy_event;
+    evs = Array.make 16 (dummy_event ());
     size = 0;
     high_water = 0;
     trace = None;
@@ -54,7 +57,7 @@ let grow t =
   let cap' = 2 * cap in
   let times = Array.make cap' 0. in
   let seqs = Array.make cap' 0 in
-  let evs = Array.make cap' dummy_event in
+  let evs = Array.make cap' (dummy_event ()) in
   Array.blit t.times 0 times 0 t.size;
   Array.blit t.seqs 0 seqs 0 t.size;
   Array.blit t.evs 0 evs 0 t.size;
@@ -93,10 +96,10 @@ let push t time seq ev =
 let remove_min t =
   let n = t.size - 1 in
   t.size <- n;
-  if n = 0 then t.evs.(0) <- dummy_event
+  if n = 0 then t.evs.(0) <- dummy_event ()
   else begin
     let time = t.times.(n) and seq = t.seqs.(n) and ev = t.evs.(n) in
-    t.evs.(n) <- dummy_event;
+    t.evs.(n) <- dummy_event ();
     let i = ref 0 in
     let placed = ref false in
     while not !placed do

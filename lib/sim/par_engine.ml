@@ -139,7 +139,11 @@ let run ?pool ?max_events ?until t =
               (fun p e -> t.win_fired.(p) <- Engine.events_fired e)
               t.engines;
             let window p =
-              let e = t.engines.(p) in
+              (* Suppressed DR1: partitions are disjoint — worker [p]
+                 touches only [t.engines.(p)] and its own router column —
+                 and [parallel_for] joins every window before [t] is read
+                 again on this domain. *)
+              let e = (t.engines.(p) [@lint.allow "dr1"]) in
               if inclusive then Engine.run e ~until:bound
               else begin
                 let more = ref true in

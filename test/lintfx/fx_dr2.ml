@@ -1,0 +1,18 @@
+(* Seeded DR2 violations: read-modify-write windows on atomics. *)
+
+let hits = Atomic.make 0
+
+(* the canonical lost update *)
+let lost_update () = Atomic.set hits (Atomic.get hits + 1)
+
+(* same pattern on a parameter *)
+let lost_update_param (gauge : float Atomic.t) =
+  Atomic.set gauge (Atomic.get gauge *. 0.5)
+
+(* exchange built from get has the same window *)
+let lost_exchange () = Atomic.exchange hits (Atomic.get hits + 1) |> ignore
+
+(* clean: single atomic operations, or get/set on distinct atomics *)
+let fine_fetch () = Atomic.fetch_and_add hits 1 |> ignore
+let fine_reset () = Atomic.set hits 0
+let fine_copy (a : int Atomic.t) (b : int Atomic.t) = Atomic.set a (Atomic.get b)

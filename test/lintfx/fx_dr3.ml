@@ -1,0 +1,46 @@
+(* Seeded DR3 violations: mutex discipline. The module-level mutex also
+   marks the structure as guarded, so the refs below stay out of R1/DR1
+   and the findings here are DR3 alone. *)
+
+let m = Mutex.create ()
+let counter = ref 0
+
+(* unlock only on the then-branch: unbalanced across paths *)
+let leak_on_branch flag =
+  Mutex.lock m;
+  if flag then begin
+    incr counter;
+    Mutex.unlock m
+  end
+
+(* failwith with the lock held, no Fun.protect *)
+let raise_while_holding () =
+  Mutex.lock m;
+  if !counter > 0 then failwith "boom";
+  Mutex.unlock m
+
+(* parking every waiter behind the lock *)
+let sleep_while_holding () =
+  Mutex.lock m;
+  Unix.sleepf 0.01;
+  Mutex.unlock m
+
+(* net +1 per iteration: double-locks on the second pass *)
+let loop_imbalance () =
+  let i = ref 0 in
+  while !i < 3 do
+    Mutex.lock m;
+    incr i
+  done
+
+(* returns holding the lock *)
+let forgot_unlock () =
+  Mutex.lock m;
+  incr counter
+
+(* clean: protect pairs the unlock with any exit, raise included *)
+let guarded_ok () =
+  Mutex.lock m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock m)
+    (fun () -> if !counter > 1_000 then failwith "overflow" else !counter)

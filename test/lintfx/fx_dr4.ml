@@ -1,0 +1,16 @@
+(* Seeded DR4: module-level mutable state reached both from a
+   domain-crossing closure and from ordinary top-level code — plus the
+   DR1 findings for the crossing side itself. *)
+
+let stats : (string, int) Hashtbl.t = Hashtbl.create 8
+
+(* plain side: ordinary callers touch the table *)
+let record key = Hashtbl.replace stats key 1
+
+(* crossing side, directly in the closure *)
+let start_direct () = Domain.spawn (fun () -> Hashtbl.replace stats "bg" 2)
+
+let tick () = Hashtbl.replace stats "tick" 0
+
+(* crossing side, one call away *)
+let start_via_call () = Domain.spawn (fun () -> tick ())

@@ -1,0 +1,55 @@
+(* True negatives for DR1–DR4: every sharing pattern here is
+   synchronized (Atomic, module mutex, DLS) or immutable, so the DR
+   rules must stay silent on this file. *)
+
+let total = Atomic.make 0
+let m = Mutex.create ()
+let guarded = ref 0
+
+let bump_total () = Atomic.incr total
+
+let locked_incr () =
+  Mutex.lock m;
+  incr guarded;
+  Mutex.unlock m
+
+(* atomics crossing a domain are fine *)
+let spawn_atomic () =
+  let d = Domain.spawn (fun () -> Atomic.fetch_and_add total 1) in
+  Domain.join d
+
+(* mutex-guarded module state crossing a domain is fine *)
+let spawn_locked () =
+  let d = Domain.spawn (fun () -> locked_incr ()) in
+  Domain.join d
+
+(* raising inside Fun.protect with the lock held is fine *)
+let protected () =
+  Mutex.lock m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock m)
+    (fun () -> if !guarded < 0 then failwith "negative" else !guarded)
+
+(* domain-local storage is confined by construction *)
+let scratch = Domain.DLS.new_key (fun () -> Buffer.create 64)
+let local_len () = Buffer.length (Domain.DLS.get scratch)
+
+(* capturing immutable data is fine *)
+let spawn_immutable () =
+  let xs = [ 1; 2; 3 ] in
+  let d = Domain.spawn (fun () -> List.length xs) in
+  Domain.join d
+
+(* a locally-allocated, locally-guarded record is fine *)
+type cell = { lock : Mutex.t; mutable value : int }
+
+let self_guarded () =
+  let c = { lock = Mutex.create (); value = 0 } in
+  let d =
+    Domain.spawn (fun () ->
+        Mutex.lock c.lock;
+        c.value <- c.value + 1;
+        Mutex.unlock c.lock)
+  in
+  Domain.join d;
+  c.value

@@ -1,6 +1,7 @@
 (* Lint engine tests: each rule against its seeded fixture in
-   test/lintfx/, suppression accounting, baseline round-trips, and the
-   dangers/lint/v1 report shape.
+   test/lintfx/, the interprocedural DR rules against their seeded
+   data-race fixtures, suppression accounting, baseline round-trips,
+   the summary cache, and the dangers/lint/v2 report shape.
 
    The fixtures are a separate library so dune has already produced
    their .cmt files by the time this binary links; the loader scans the
@@ -47,7 +48,7 @@ let mentions sub f =
 
 let test_loader_finds_fixtures () =
   let loaded = Lazy.force fixtures in
-  checki "eight fixture units" 8 (List.length loaded.Loader.sources);
+  checki "thirteen fixture units" 13 (List.length loaded.Loader.sources);
   checkb "all cmts readable" true (loaded.Loader.unreadable = []);
   checkb "paths keep the build-root prefix" true
     (List.for_all
@@ -114,8 +115,156 @@ let test_p1_seeded () =
       checkb (name ^ " flagged") true (List.exists (mentions name) fs))
     [ "List.hd"; "List.tl"; "List.nth"; "Option.get" ]
 
+let lines fs = List.sort compare (List.map (fun f -> f.Finding.line) fs)
+let checkil = Alcotest.check (Alcotest.list Alcotest.int)
+
+let test_dr1_seeded () =
+  let fs = by "DR1" "fx_dr1.ml" in
+  checkil "five crossings, pinned lines" [ 16; 22; 27; 33; 40 ] (lines fs);
+  checkb "local ref capture named" true
+    (List.exists (mentions "mutable local 'counter'") fs);
+  checkb "parameter read named" true
+    (List.exists (mentions "'tasks' is read") fs);
+  checkb "pool worker write crosses Domain_pool.parallel_for" true
+    (List.exists (mentions "Domain_pool.parallel_for") fs);
+  checkb "direct global capture named" true
+    (List.exists (mentions "unguarded module-level 'Fx_dr1.journal'") fs);
+  checkb "one-hop reach goes through the callee" true
+    (List.exists (mentions "calls Fx_dr1.append") fs);
+  checkb "the allow-annotated spawn is silent" true
+    (List.for_all (fun f -> f.Finding.line <> 46) fs)
+
+let test_dr2_seeded () =
+  let fs = by "DR2" "fx_dr2.ml" in
+  checkil "three lost updates, pinned lines" [ 6; 10; 13 ] (lines fs);
+  checkb "set-over-get named" true
+    (List.exists (mentions "Atomic.set over Atomic.get") fs);
+  checkb "exchange-over-get named" true
+    (List.exists (mentions "Atomic.exchange over Atomic.get") fs);
+  checkb "distinct-atomic copy is clean" true
+    (List.for_all (fun f -> not (mentions "fine_copy" f)) fs)
+
+let test_dr3_seeded () =
+  let fs = by "DR3" "fx_dr3.ml" in
+  checkil "five discipline breaks, pinned lines" [ 11; 19; 25; 31; 38 ]
+    (lines fs);
+  checkb "branch imbalance (if without else) named" true
+    (List.exists (mentions "unbalanced across branches") fs);
+  checkb "raise while holding named" true
+    (List.exists (mentions "failwith while holding 'm'") fs);
+  checkb "loop imbalance named" true
+    (List.exists (mentions "loop body changes the lock balance") fs);
+  checkb "return while holding named" true
+    (List.exists (mentions "still holding 'm'") fs);
+  checkb "blocking under lock is the one warning" true
+    (match List.filter (fun f -> f.Finding.severity = Finding.Warning) fs with
+    | [ w ] -> w.Finding.line = 25 && mentions "Unix.sleepf" w
+    | _ -> false)
+
+let test_dr4_seeded () =
+  let fs = by "DR4" "fx_dr4.ml" in
+  checkil "one bidirectional cell, pinned at its definition" [ 5 ] (lines fs);
+  checkb "both sides named" true
+    (List.exists
+       (fun f ->
+         mentions "'Fx_dr4.stats'" f
+         && mentions "fx_dr4.ml:11" f
+         && mentions "'Fx_dr4.record'" f)
+       fs);
+  checkil "the crossing side carries its own DR1s" [ 11; 16 ]
+    (lines (by "DR1" "fx_dr4.ml"));
+  checkil "fx_dr1's journal is also bidirectional" [ 30 ]
+    (lines (by "DR4" "fx_dr1.ml"))
+
+let test_dr_true_negatives () =
+  checki "synchronized sharing produces nothing" 0
+    (List.length (List.filter (in_file "fx_dr_clean.ml") (findings ())))
+
+let test_severity_split () =
+  let fs = findings () in
+  let warnings =
+    List.filter (fun f -> f.Finding.severity = Finding.Warning) fs
+  in
+  checki "exactly one warning (blocking under lock)" 1 (List.length warnings);
+  checki "everything else is an error"
+    (List.length fs - 1)
+    (List.length
+       (List.filter (fun f -> f.Finding.severity = Finding.Error) fs))
+
+let test_fail_on_threshold () =
+  let warning_only =
+    {
+      Report.rules = [ "DR3" ];
+      sources = 1;
+      findings =
+        [
+          Finding.at ~severity:Finding.Warning ~rule:"DR3" ~file:"x.ml" ~line:1
+            ~col:0 ~message:"blocking call under lock" ();
+        ];
+      suppressed = 0;
+      baselined = 0;
+      stale = [];
+      unreadable = [];
+      cache_hits = 0;
+      cache_misses = 0;
+    }
+  in
+  checki "default gate fails on a warning" 1 (Report.exit_code warning_only);
+  checki "--fail-on error lets warnings through" 0
+    (Report.exit_code ~fail_on:Finding.Error warning_only);
+  checki "errors counted" 0 (Report.errors warning_only);
+  checki "warnings counted" 1 (Report.warnings warning_only);
+  let with_errors =
+    Engine.run ~all_files:true ~rules:Rules.all ~build_dir:"."
+      ~prefixes:[ fixture_prefix ] ()
+  in
+  checki "--fail-on error still fails on errors" 1
+    (Report.exit_code ~fail_on:Finding.Error with_errors)
+
+let test_summary_cache_round_trip () =
+  let cache_file = Filename.temp_file "dangers-lint-cache" ".json" in
+  let run () =
+    Engine.run ~all_files:true ~rules:Rules.all ~build_dir:"." ~cache_file
+      ~prefixes:[ fixture_prefix ] ()
+  in
+  let cold = run () in
+  checki "cold run misses every unit" 13 cold.Report.cache_misses;
+  checki "cold run hits nothing" 0 cold.Report.cache_hits;
+  let warm = run () in
+  checki "warm run hits every unit" 13 warm.Report.cache_hits;
+  checki "warm run recomputes nothing" 0 warm.Report.cache_misses;
+  checkb "cached findings are identical" true
+    (warm.Report.findings = cold.Report.findings);
+  checki "suppressions still applied from typedtrees" cold.Report.suppressed
+    warm.Report.suppressed;
+  Sys.remove cache_file
+
+let test_graph_out () =
+  let graph_file = Filename.temp_file "dangers-lint-graph" ".json" in
+  let _ =
+    Engine.run ~all_files:true ~rules:Rules.all ~build_dir:"." ~use_cache:false
+      ~graph_out:graph_file ~prefixes:[ fixture_prefix ] ()
+  in
+  let ic = open_in_bin graph_file in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove graph_file;
+  let json = Json.of_string raw in
+  checks "graph schema id" "dangers/lint-graph/v1"
+    (Json.string_of (Json.member "schema" json));
+  let cells = Json.list_of (Json.member "cells" json) in
+  let cell_names =
+    List.map (fun c -> Json.string_of (Json.member "key" c)) cells
+  in
+  checkb "journal and stats are graph cells" true
+    (List.exists (fun n -> n = "test/Fx_dr1.journal") cell_names
+    && List.exists (fun n -> n = "test/Fx_dr4.stats") cell_names);
+  checkb "nodes and edges present" true
+    (Json.list_of (Json.member "nodes" json) <> []
+    && Json.list_of (Json.member "edges" json) <> [])
+
 let test_suppression_accounting () =
-  checki "one allow per rule fixture plus two file-wide" 8 (suppressed ());
+  checki "one allow per rule fixture plus two file-wide" 9 (suppressed ());
   checki "file-wide allow silences the whole unit" 0
     (List.length (List.filter (in_file "fx_filewide.ml") (findings ())))
 
@@ -173,11 +322,17 @@ let test_report_json_schema () =
   checkb "fixtures are not clean" false (Report.clean report);
   checki "exit code 1" 1 (Report.exit_code report);
   let json = Report.to_json report in
-  checks "schema id" "dangers/lint/v1" (Json.string_of (Json.member "schema" json));
+  checks "schema id" "dangers/lint/v2" (Json.string_of (Json.member "schema" json));
   checki "findings serialized" (List.length report.Report.findings)
     (List.length (Json.list_of (Json.member "findings" json)));
   checki "suppressed count serialized" (suppressed ())
     (Json.int_of (Json.member "suppressed" json));
+  checki "errors serialized" (Report.errors report)
+    (Json.int_of (Json.member "errors" json));
+  checki "warnings serialized" (Report.warnings report)
+    (Json.int_of (Json.member "warnings" json));
+  checkb "cache counters serialized" true
+    (Json.member_opt "hits" (Json.member "cache" json) <> None);
   checkb "clean flag serialized" true
     (Json.member "clean" json = Json.Bool false)
 
@@ -194,10 +349,15 @@ let test_report_clean_exit () =
 
 let test_rules_registry () =
   Alcotest.check (Alcotest.list Alcotest.string) "id order"
-    [ "D1"; "D2"; "D3"; "R1"; "P1"; "RT1" ] (Rules.ids ());
+    [ "D1"; "D2"; "D3"; "R1"; "P1"; "RT1"; "DR1"; "DR2"; "DR3"; "DR4" ]
+    (Rules.ids ());
   checkb "lookup is case-insensitive" true
     (match Rules.find "d3" with
     | Some r -> r.Rule.id = "D3"
+    | None -> false);
+  checkb "dr lookup is case-insensitive" true
+    (match Rules.find "dr1" with
+    | Some r -> r.Rule.id = "DR1"
     | None -> false);
   checkb "unknown rule is None" true (Rules.find "Z9" = None)
 
@@ -207,8 +367,10 @@ let test_finding_format () =
   | f :: _ ->
       let line = Format.asprintf "%a" Finding.pp f in
       let expected_prefix =
-        Printf.sprintf "%s:%d:%d: [%s]" f.Finding.file f.Finding.line
-          f.Finding.col f.Finding.rule
+        Printf.sprintf "%s:%d:%d: %s [%s]" f.Finding.file f.Finding.line
+          f.Finding.col
+          (Finding.severity_to_string f.Finding.severity)
+          f.Finding.rule
       in
       checkb "pp is compiler-style" true
         (String.length line >= String.length expected_prefix
@@ -229,6 +391,21 @@ let suite =
     Alcotest.test_case "R1 honors a module mutex" `Quick test_r1_mutex_guard;
     Alcotest.test_case "P1 flags partial functions" `Quick test_p1_seeded;
     Alcotest.test_case "RT1 flags direct engine use" `Quick test_rt1_seeded;
+    Alcotest.test_case "DR1 flags unsynchronized crossings" `Quick
+      test_dr1_seeded;
+    Alcotest.test_case "DR2 flags atomic RMW windows" `Quick test_dr2_seeded;
+    Alcotest.test_case "DR3 flags mutex discipline breaks" `Quick
+      test_dr3_seeded;
+    Alcotest.test_case "DR4 flags bidirectional cells" `Quick test_dr4_seeded;
+    Alcotest.test_case "synchronized sharing stays silent" `Quick
+      test_dr_true_negatives;
+    Alcotest.test_case "severities split errors from warnings" `Quick
+      test_severity_split;
+    Alcotest.test_case "fail-on threshold gates the exit code" `Quick
+      test_fail_on_threshold;
+    Alcotest.test_case "summary cache round-trips" `Quick
+      test_summary_cache_round_trip;
+    Alcotest.test_case "graph export names the cells" `Quick test_graph_out;
     Alcotest.test_case "suppressions are honored" `Quick
       test_suppression_accounting;
     Alcotest.test_case "rule scopes filter files" `Quick test_scope_filter;
@@ -237,7 +414,7 @@ let suite =
       test_baseline_stale_and_fresh;
     Alcotest.test_case "baseline counts are budgets" `Quick
       test_baseline_count_is_a_budget;
-    Alcotest.test_case "report json matches dangers/lint/v1" `Quick
+    Alcotest.test_case "report json matches dangers/lint/v2" `Quick
       test_report_json_schema;
     Alcotest.test_case "baselined report exits clean" `Quick
       test_report_clean_exit;
